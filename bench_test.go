@@ -1,0 +1,221 @@
+package synapse
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark regenerates its artifact through
+// internal/exp at the quick configuration and reports the headline numbers
+// the paper quotes as custom metrics, so `go test -bench=.` doubles as a
+// reproduction run. cmd/synapse-exp produces the full-scale tables.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"synapse/internal/exp"
+)
+
+// benchTable runs fn once per iteration and returns the last table.
+func benchTable(b *testing.B, fn func(exp.Config) (*exp.Table, error)) *exp.Table {
+	b.Helper()
+	var tbl *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = fn(exp.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// cell parses a numeric table cell, stripping formatting.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable1Metrics regenerates paper Table 1 (the metric registry).
+func BenchmarkTable1Metrics(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.Table1().Rows)
+	}
+	b.ReportMetric(float64(rows), "metrics")
+}
+
+// BenchmarkFig2SamplingEffects regenerates Fig 2: coarser sampling overlaps
+// serialized consumption and shortens the replay.
+func BenchmarkFig2SamplingEffects(b *testing.B) {
+	tbl := benchTable(b, exp.Fig2)
+	fine := cell(b, tbl.Rows[0][2])
+	coarse := cell(b, tbl.Rows[len(tbl.Rows)-1][2])
+	b.ReportMetric(coarse/fine, "coarse_fine_tx_ratio")
+}
+
+// BenchmarkFig3SamplePortability regenerates Fig 3: the dominant resource
+// per sample flips across machines while sample order is preserved.
+func BenchmarkFig3SamplePortability(b *testing.B) {
+	tbl := benchTable(b, exp.Fig3)
+	b.ReportMetric(float64(len(tbl.Rows)), "machines")
+}
+
+// BenchmarkFig4ProfilingOverhead regenerates Fig 4: profiling overhead is
+// negligible across sampling rates and problem sizes.
+func BenchmarkFig4ProfilingOverhead(b *testing.B) {
+	tbl := benchTable(b, exp.Fig4)
+	var worst float64
+	for _, row := range tbl.Rows {
+		if d := cell(b, row[len(row)-1]); d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "max_overhead_%")
+}
+
+// BenchmarkFig5EmulationSameResource regenerates Fig 5: emulation vs
+// execution on the profiling resource (Thinkie).
+func BenchmarkFig5EmulationSameResource(b *testing.B) {
+	tbl := benchTable(b, exp.Fig5)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(cell(b, last[3]), "converged_diff_%")
+}
+
+// BenchmarkFig6aProfilingConsistency regenerates Fig 6 top: CPU operation
+// totals are independent of the sampling rate.
+func BenchmarkFig6aProfilingConsistency(b *testing.B) {
+	tbl := benchTable(b, exp.Fig6Top)
+	var worst float64
+	for _, row := range tbl.Rows {
+		if s := cell(b, row[len(row)-1]); s > worst {
+			worst = s
+		}
+	}
+	b.ReportMetric(worst, "worst_spread_%")
+}
+
+// BenchmarkFig6bMemoryConsistency regenerates Fig 6 bottom: sampled resident
+// memory is underestimated at low sampling rates.
+func BenchmarkFig6bMemoryConsistency(b *testing.B) {
+	tbl := benchTable(b, exp.Fig6Bottom)
+	row := tbl.Rows[0]
+	low := cell(b, row[1])
+	high := cell(b, row[len(row)-1])
+	b.ReportMetric(low/high, "low_rate_rss_fraction")
+}
+
+// BenchmarkFig7aPortabilityStampede regenerates Fig 7 top: emulation on
+// Stampede converges to ≈40% faster than native execution.
+func BenchmarkFig7aPortabilityStampede(b *testing.B) {
+	tbl := benchTable(b, exp.Fig7)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(cell(b, last[3]), "stampede_diff_%")
+}
+
+// BenchmarkFig7bPortabilityArcher regenerates Fig 7 bottom: emulation on
+// Archer converges to ≈33% slower than native execution.
+func BenchmarkFig7bPortabilityArcher(b *testing.B) {
+	tbl := benchTable(b, exp.Fig7)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(cell(b, last[6]), "archer_diff_%")
+}
+
+// e3Converged extracts the largest-size C and ASM errors for a machine.
+func e3Converged(b *testing.B, tbl *exp.Table, machineName string) (cErr, asmErr float64) {
+	b.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == machineName && row[1] == "100k" {
+			return cell(b, row[4]), cell(b, row[6])
+		}
+	}
+	b.Fatalf("no converged row for %s", machineName)
+	return 0, 0
+}
+
+// BenchmarkFig8KernelCycles regenerates Fig 8: cycles consumed by the C and
+// ASM kernel emulations vs the application.
+func BenchmarkFig8KernelCycles(b *testing.B) {
+	tbl := benchTable(b, func(c exp.Config) (*exp.Table, error) { return exp.Fig8to11(c, exp.MetricCycles) })
+	cErr, asmErr := e3Converged(b, tbl, "comet")
+	b.ReportMetric(cErr, "comet_c_err_%")
+	b.ReportMetric(asmErr, "comet_asm_err_%")
+}
+
+// BenchmarkFig9KernelTx regenerates Fig 9: Tx of the kernel emulations.
+func BenchmarkFig9KernelTx(b *testing.B) {
+	tbl := benchTable(b, func(c exp.Config) (*exp.Table, error) { return exp.Fig8to11(c, exp.MetricTx) })
+	cErr, asmErr := e3Converged(b, tbl, "supermic")
+	b.ReportMetric(cErr, "supermic_c_err_%")
+	b.ReportMetric(asmErr, "supermic_asm_err_%")
+}
+
+// BenchmarkFig10KernelInstructions regenerates Fig 10: instructions executed.
+func BenchmarkFig10KernelInstructions(b *testing.B) {
+	tbl := benchTable(b, func(c exp.Config) (*exp.Table, error) { return exp.Fig8to11(c, exp.MetricInstructions) })
+	cErr, asmErr := e3Converged(b, tbl, "comet")
+	b.ReportMetric(cErr, "comet_c_err_%")
+	b.ReportMetric(asmErr, "comet_asm_err_%")
+}
+
+// BenchmarkFig11InstructionRate regenerates Fig 11: instructions per cycle
+// for the application and both kernels.
+func BenchmarkFig11InstructionRate(b *testing.B) {
+	tbl := benchTable(b, func(c exp.Config) (*exp.Table, error) { return exp.Fig8to11(c, exp.MetricIPC) })
+	for _, row := range tbl.Rows {
+		if row[0] == "comet" && row[1] == "100k" {
+			b.ReportMetric(cell(b, row[2]), "comet_app_ipc")
+			b.ReportMetric(cell(b, row[3]), "comet_c_ipc")
+			b.ReportMetric(cell(b, row[5]), "comet_asm_ipc")
+		}
+	}
+}
+
+// BenchmarkFig12ParallelEmulation regenerates Fig 12: OpenMP/MPI emulation
+// scaling with the Titan/Supermic crossover.
+func BenchmarkFig12ParallelEmulation(b *testing.B) {
+	tbl := benchTable(b, exp.Fig12)
+	for _, row := range tbl.Rows {
+		if row[0] == "16" {
+			b.ReportMetric(cell(b, row[1]), "titan_omp_s")
+			b.ReportMetric(cell(b, row[2]), "titan_mpi_s")
+		}
+		if row[0] == "20" && row[3] != "-" {
+			b.ReportMetric(cell(b, row[3]), "supermic_omp_s")
+			b.ReportMetric(cell(b, row[4]), "supermic_mpi_s")
+		}
+	}
+}
+
+// BenchmarkFig13GromacsOpenMP regenerates Fig 13: the native application's
+// OpenMP scaling baseline on Titan.
+func BenchmarkFig13GromacsOpenMP(b *testing.B) {
+	tbl := benchTable(b, exp.Fig13)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(cell(b, last[2]), "fullnode_speedup_x")
+}
+
+// BenchmarkFig14GromacsMPI regenerates Fig 14: the native application's MPI
+// scaling baseline on Titan.
+func BenchmarkFig14GromacsMPI(b *testing.B) {
+	tbl := benchTable(b, exp.Fig14)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(cell(b, last[2]), "fullnode_speedup_x")
+}
+
+// BenchmarkFig15IOGranularity regenerates Fig 15: I/O emulation across
+// filesystems and block sizes.
+func BenchmarkFig15IOGranularity(b *testing.B) {
+	tbl := benchTable(b, exp.Fig15)
+	for _, row := range tbl.Rows {
+		if row[0] == "titan" && row[1] == "lustre" && row[2] == "64MB" {
+			w := cell(b, row[3])
+			r := cell(b, row[5])
+			b.ReportMetric(w/r, "lustre_write_read_ratio")
+		}
+	}
+}

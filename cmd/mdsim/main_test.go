@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunProducesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "traj.dat")
+	if err := run(500, "", out, 1, "openmp", true); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("trajectory file is empty")
+	}
+	if fi.Size()%frameBytes != 0 {
+		t.Errorf("trajectory size %d is not a whole number of frames", fi.Size())
+	}
+}
+
+func TestRunOutputScalesWithSteps(t *testing.T) {
+	dir := t.TempDir()
+	small := filepath.Join(dir, "s.dat")
+	large := filepath.Join(dir, "l.dat")
+	if err := run(500, "", small, 1, "openmp", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(5000, "", large, 1, "openmp", true); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := os.Stat(small)
+	fl, _ := os.Stat(large)
+	if fl.Size() <= fs.Size() {
+		t.Errorf("more steps should write more: %d vs %d", fl.Size(), fs.Size())
+	}
+}
+
+func TestRunWithProvidedInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "input.dat")
+	if err := os.WriteFile(in, make([]byte, 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(100, in, filepath.Join(dir, "t.dat"), 1, "openmp", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingInputFails(t *testing.T) {
+	if err := run(100, "/nonexistent/input.deck", filepath.Join(t.TempDir(), "t.dat"), 1, "openmp", true); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	if err := run(200, "", filepath.Join(t.TempDir(), "t.dat"), 2, "openmp", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+// synapse-exp regenerates every table and figure of the paper's evaluation
+// section (§5) and prints them as ASCII tables; with -out it also writes one
+// .txt and one .csv file per artifact. -quick runs the reduced configuration
+// used by the test suite; the default runs the full problem sizes (the 10M
+// step configurations take a few seconds of wall time — simulated time runs
+// at many orders of magnitude faster than real time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"synapse/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
+	out := flag.String("out", "", "directory for .txt/.csv exports (optional)")
+	reps := flag.Int("reps", 0, "repetitions for error bars (0 = default)")
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. fig7)")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	start := time.Now()
+	tables, err := exp.All(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synapse-exp:", err)
+		os.Exit(1)
+	}
+
+	for _, t := range tables {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		fmt.Println(t.String())
+		if *out != "" {
+			if err := export(*out, t); err != nil {
+				fmt.Fprintln(os.Stderr, "synapse-exp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("regenerated %d artifacts in %.1fs wall time\n", len(tables), time.Since(start).Seconds())
+}
+
+func export(dir string, t *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, t.ID+".txt"), []byte(t.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, t.ID+".csv"), []byte(t.CSV()), 0o644)
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/render"
+)
+
+// cmdShow renders the latest stored profile for a command as ASCII charts.
+func cmdShow(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	width := fs.Int("width", 60, "chart width in columns")
+	metric := fs.String("metric", "", "render only this metric's series")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 {
+		return fmt.Errorf("show: no command given (use -- <command...>)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	set, err := st.Find(strings.Join(command, " "), tags)
+	if err != nil {
+		return err
+	}
+	p := set[len(set)-1]
+	if *metric != "" {
+		fmt.Fprint(stdout, render.Series(p, *metric, *width))
+		return nil
+	}
+	fmt.Fprint(stdout, render.Profile(p, *width))
+	return nil
+}
+
+// cmdTimeline emulates a stored profile and renders the replay Gantt.
+func cmdTimeline(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on")
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	kernel := fs.String("kernel", "asm", "compute kernel")
+	fsName := fs.String("fs", "", "target filesystem")
+	width := fs.Int("width", 72, "chart width in columns")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 {
+		return fmt.Errorf("timeline: no command given (use -- <command...>)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Emulate(context.Background(), st, strings.Join(command, " "), tags,
+		core.EmulateOptions{Machine: *machineName, Kernel: *kernel, Filesystem: *fsName})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, render.Gantt(rep, *width))
+	return nil
+}
+
+// cmdVerify runs the paper's E.2 sanity check: emulate a stored profile,
+// profile the emulation, and compare consumption metric by metric.
+func cmdVerify(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on")
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	kernel := fs.String("kernel", "asm", "compute kernel")
+	rate := fs.Float64("rate", 10, "re-profiling sample rate in Hz")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 {
+		return fmt.Errorf("verify: no command given (use -- <command...>)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	cmdline := strings.Join(command, " ")
+	set, err := st.Find(cmdline, tags)
+	if err != nil {
+		return err
+	}
+	p := set[len(set)-1]
+	rep, err := core.EmulateProfile(ctx, p, core.EmulateOptions{Machine: *machineName, Kernel: *kernel})
+	if err != nil {
+		return err
+	}
+	rows, err := core.VerifyEmulation(ctx, p, rep, *machineName, *rate)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "verification of %q on %s (kernel=%s):\n", cmdline, *machineName, *kernel)
+	fmt.Fprintf(stdout, "%-20s %14s %14s %8s\n", "metric", "application", "emulation", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-20s %14.5g %14.5g %8.3f\n", r.Metric, r.App, r.Emulated, r.Ratio)
+	}
+	return nil
+}

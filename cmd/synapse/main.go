@@ -1,0 +1,339 @@
+// synapse is the command-line front end to the library, mirroring the
+// paper's CLI wrappers around radical.synapse.profile/emulate (§4).
+//
+// Subcommands:
+//
+//	synapse profile  [flags] -- <command...>   profile an application
+//	synapse emulate  [flags] -- <command...>   emulate a stored profile
+//	synapse stats    [flags] -- <command...>   statistics across stored profiles
+//	synapse list     [flags]                   list stored profile keys
+//	synapse machines                           list machine models
+//	synapse table1                             print the metric table (paper Table 1)
+//
+// Profiles are stored in a file store (-store DIR, default ./synapse-store).
+// Execution is simulated on a catalog machine (-machine) unless -real is
+// given, in which case the command is spawned on the host and watched
+// through /proc.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"synapse/internal/app"
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// stdout is the CLI's output stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "profile":
+		err = cmdProfile(args)
+	case "emulate":
+		err = cmdEmulate(args)
+	case "stats":
+		err = cmdStats(args)
+	case "list":
+		err = cmdList(args)
+	case "show":
+		err = cmdShow(args)
+	case "timeline":
+		err = cmdTimeline(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "machines":
+		for _, n := range machine.Names() {
+			m := machine.MustGet(n)
+			fmt.Fprintf(stdout, "%-10s %2d cores  %.2f GHz  fs=%s\n", n, m.Cores, m.ClockHz/1e9, strings.Join(m.FSNames(), ","))
+		}
+	case "table1":
+		fmt.Fprint(stdout, profile.Table1())
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "synapse: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synapse:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: synapse <command> [flags] [-- command...]
+
+commands:
+  profile   profile an application (simulated or -real)
+  emulate   emulate a stored profile
+  stats     statistics across stored profiles of one command
+  show      render a stored profile's sample series as ASCII charts
+  timeline  emulate and render the replay as an ASCII Gantt chart
+  verify    emulate, re-profile the emulation, compare to the profile
+  list      list stored profile keys
+  machines  list built-in machine models
+  table1    print the supported-metrics table
+
+run 'synapse <command> -h' for flags.
+`)
+}
+
+// tagsFlag collects repeated -tag k=v flags.
+type tagsFlag map[string]string
+
+func (t tagsFlag) String() string { return fmt.Sprint(map[string]string(t)) }
+func (t tagsFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("tag %q is not k=v", s)
+	}
+	t[k] = v
+	return nil
+}
+
+// splitCommand separates flags from the profiled command after "--".
+func splitCommand(args []string) (flags, command []string) {
+	for i, a := range args {
+		if a == "--" {
+			return args[:i], args[i+1:]
+		}
+	}
+	return args, nil
+}
+
+func openStore(dir string) (store.Store, error) {
+	return store.NewFile(dir)
+}
+
+// loadMachineFile registers a JSON machine description and returns its name
+// ("" when no file is given).
+func loadMachineFile(path string) (string, error) {
+	if path == "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("read machine file: %w", err)
+	}
+	m, err := machine.FromJSON(data)
+	if err != nil {
+		return "", err
+	}
+	if err := machine.Register(m); err != nil {
+		return "", err
+	}
+	return m.Name, nil
+}
+
+func cmdProfile(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	machineName := fs.String("machine", machine.Thinkie, "machine model to simulate on (or 'host' with -real)")
+	machineFile := fs.String("machine-file", "", "JSON machine description to register and use")
+	rate := fs.Float64("rate", 1, "sampling rate in Hz (max 10)")
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	real := fs.Bool("real", false, "spawn the command on the host and profile via /proc")
+	concurrent := fs.Bool("concurrent", false, "one goroutine per watcher (real-clock runs)")
+	adaptive := fs.Bool("adaptive", false, "adaptive sampling: 10Hz during startup, then -rate")
+	seed := fs.Uint64("seed", 0, "simulation noise seed")
+	load := fs.Float64("load", 0, "artificial background CPU load fraction")
+	workloadFile := fs.String("workload", "", "JSON workload description to profile instead of a known command")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 && *workloadFile == "" {
+		return fmt.Errorf("profile: no command given (use -- <command...> or -workload)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if name, err := loadMachineFile(*machineFile); err != nil {
+		return err
+	} else if name != "" && *machineName == machine.Thinkie {
+		*machineName = name
+	}
+	opts := core.ProfileOptions{
+		Machine:    *machineName,
+		SampleRate: *rate,
+		Adaptive:   *adaptive,
+		Store:      st,
+		Seed:       *seed,
+		Jitter:     true,
+		Load:       *load,
+		Real:       *real,
+		Concurrent: *concurrent,
+	}
+	if *real {
+		opts.Machine = machine.HostName
+	}
+	var p *profile.Profile
+	if *workloadFile != "" {
+		data, err := os.ReadFile(*workloadFile)
+		if err != nil {
+			return fmt.Errorf("profile: read workload: %w", err)
+		}
+		w, err := app.FromJSON(data)
+		if err != nil {
+			return err
+		}
+		for k, v := range tags {
+			w.Tags[k] = v
+		}
+		p, err = core.ProfileWorkload(context.Background(), w, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		p, err = core.ProfileCommandString(context.Background(), strings.Join(command, " "), tags, opts)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "profiled %q on %s: Tx=%.3fs samples=%d cycles=%.3e written=%.0fB\n",
+		p.Command, p.Machine, p.Duration.Seconds(), len(p.Samples),
+		p.Total(profile.MetricCPUCycles), p.Total(profile.MetricIOWriteBytes))
+	if p.Dropped > 0 {
+		fmt.Fprintf(stdout, "warning: %d samples dropped by the store document limit\n", p.Dropped)
+	}
+	return nil
+}
+
+func cmdEmulate(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("emulate", flag.ExitOnError)
+	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on (or 'host' with -real)")
+	machineFile := fs.String("machine-file", "", "JSON machine description to register and use")
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	kernel := fs.String("kernel", "asm", "compute kernel: asm, c, or registered user kernel")
+	workers := fs.Int("workers", 1, "parallel workers")
+	modeName := fs.String("mode", "serial", "parallel mode: serial, openmp, mpi")
+	rblock := fs.Int64("rblock", 0, "read block size bytes (0 = default 1MB)")
+	wblock := fs.Int64("wblock", 0, "write block size bytes (0 = default 1MB)")
+	fsName := fs.String("fs", "", "target filesystem (machine default when empty)")
+	profiledBlocks := fs.Bool("profiled-blocks", false, "derive I/O block sizes from the profile")
+	real := fs.Bool("real", false, "consume real host resources")
+	load := fs.Float64("load", 0, "artificial background CPU load fraction")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 {
+		return fmt.Errorf("emulate: no command given (use -- <command...>)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if name, err := loadMachineFile(*machineFile); err != nil {
+		return err
+	} else if name != "" && *machineName == machine.Thinkie {
+		*machineName = name
+	}
+	var mode machine.Mode
+	switch strings.ToLower(*modeName) {
+	case "serial", "":
+		mode = machine.ModeSerial
+	case "openmp", "omp":
+		mode = machine.ModeOpenMP
+	case "mpi", "openmpi":
+		mode = machine.ModeMPI
+	default:
+		return fmt.Errorf("emulate: unknown mode %q", *modeName)
+	}
+	opts := core.EmulateOptions{
+		Machine:           *machineName,
+		Kernel:            *kernel,
+		Workers:           *workers,
+		Mode:              mode,
+		ReadBlock:         *rblock,
+		WriteBlock:        *wblock,
+		Filesystem:        *fsName,
+		UseProfiledBlocks: *profiledBlocks,
+		Load:              *load,
+		Real:              *real,
+	}
+	if *real {
+		opts.Machine = machine.HostName
+	}
+	rep, err := core.Emulate(context.Background(), st, strings.Join(command, " "), tags, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "emulated %q on %s (kernel=%s): Tx=%.3fs samples=%d cycles=%.3e ipc=%.2f\n",
+		strings.Join(command, " "), rep.Machine, rep.Kernel,
+		rep.Tx.Seconds(), rep.Samples, rep.Consumed.Cycles, rep.IPC())
+	return nil
+}
+
+func cmdStats(args []string) error {
+	flagArgs, command := splitCommand(args)
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	tags := tagsFlag{}
+	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(command) == 0 {
+		return fmt.Errorf("stats: no command given (use -- <command...>)")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	set, err := st.Find(strings.Join(command, " "), tags)
+	if err != nil {
+		return err
+	}
+	tx := set.TxSummary()
+	fmt.Fprintf(stdout, "%d profiles of %q\n", len(set), strings.Join(command, " "))
+	fmt.Fprintf(stdout, "%-24s %12s %12s %12s\n", "metric", "mean", "stddev", "ci99")
+	fmt.Fprintf(stdout, "%-24s %12.3f %12.3f %12.3f\n", "Tx (s)", tx.Mean, tx.StdDev, tx.CI99)
+	for _, m := range set.Metrics() {
+		s := set.TotalSummary(m)
+		fmt.Fprintf(stdout, "%-24s %12.4g %12.4g %12.4g\n", m, s.Mean, s.StdDev, s.CI99)
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		return err
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(stdout, strings.ReplaceAll(k, "\x00", " "))
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects the CLI's stdout for one test.
+func capture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	t.Cleanup(func() { stdout = old })
+	return &buf
+}
+
+func TestTagsFlag(t *testing.T) {
+	tags := tagsFlag{}
+	if err := tags.Set("steps=1000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tags.Set("cfg=a"); err != nil {
+		t.Fatal(err)
+	}
+	if tags["steps"] != "1000" || tags["cfg"] != "a" {
+		t.Errorf("tags = %v", tags)
+	}
+	if err := tags.Set("malformed"); err == nil {
+		t.Error("tag without '=' should error")
+	}
+	if tags.String() == "" {
+		t.Error("String() should render something")
+	}
+}
+
+func TestSplitCommand(t *testing.T) {
+	flags, cmd := splitCommand([]string{"-rate", "2", "--", "mdsim", "-steps", "5"})
+	if len(flags) != 2 || len(cmd) != 3 {
+		t.Errorf("split = %v | %v", flags, cmd)
+	}
+	flags, cmd = splitCommand([]string{"-rate", "2"})
+	if cmd != nil {
+		t.Errorf("no -- should give nil command, got %v", cmd)
+	}
+	if len(flags) != 2 {
+		t.Errorf("flags = %v", flags)
+	}
+	// Everything after the first -- belongs to the command.
+	_, cmd = splitCommand([]string{"--", "a", "--", "b"})
+	if len(cmd) != 3 {
+		t.Errorf("cmd = %v", cmd)
+	}
+}
+
+func TestProfileEmulateStatsListFlow(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	buf := capture(t)
+
+	profileArgs := []string{"-machine", "thinkie", "-rate", "2", "-store", dir,
+		"-tag", "steps=100000", "--", "mdsim"}
+	if err := cmdProfile(profileArgs); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if !strings.Contains(buf.String(), "profiled \"mdsim\"") {
+		t.Errorf("profile output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdEmulate([]string{"-machine", "stampede", "-store", dir,
+		"-tag", "steps=100000", "--", "mdsim"}); err != nil {
+		t.Fatalf("emulate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "emulated \"mdsim\" on stampede") {
+		t.Errorf("emulate output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdStats([]string{"-store", dir, "-tag", "steps=100000", "--", "mdsim"}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Tx (s)") || !strings.Contains(out, "cpu.cycles") {
+		t.Errorf("stats output = %q", out)
+	}
+
+	buf.Reset()
+	if err := cmdList([]string{"-store", dir}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(buf.String(), "mdsim steps=100000") {
+		t.Errorf("list output = %q", buf.String())
+	}
+}
+
+func TestEmulateParallelModes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	buf := capture(t)
+	if err := cmdProfile([]string{"-store", dir, "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"serial", "openmp", "mpi", "omp", "openmpi"} {
+		if err := cmdEmulate([]string{"-store", dir, "-machine", "titan",
+			"-workers", "8", "-mode", mode, "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	if err := cmdEmulate([]string{"-store", dir, "-mode", "cuda",
+		"-tag", "steps=200000", "--", "mdsim"}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	_ = buf
+}
+
+func TestCommandsRequireTarget(t *testing.T) {
+	if err := cmdProfile([]string{"-rate", "2"}); err == nil {
+		t.Error("profile without -- command should fail")
+	}
+	if err := cmdEmulate([]string{}); err == nil {
+		t.Error("emulate without -- command should fail")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("stats without -- command should fail")
+	}
+}
+
+func TestEmulateWithoutProfileFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := cmdEmulate([]string{"-store", dir, "--", "mdsim"}); err == nil {
+		t.Error("emulating with an empty store should fail")
+	}
+}
+
+func TestStatsAcrossRepetitions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	buf := capture(t)
+	for seed := 0; seed < 3; seed++ {
+		if err := cmdProfile([]string{"-store", dir, "-seed", string(rune('0' + seed)),
+			"-tag", "steps=50000", "--", "mdsim"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Reset()
+	if err := cmdStats([]string{"-store", dir, "-tag", "steps=50000", "--", "mdsim"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3 profiles") {
+		t.Errorf("stats should see 3 profiles: %q", buf.String())
+	}
+}
+
+func TestShowTimelineVerify(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	buf := capture(t)
+	if err := cmdProfile([]string{"-store", dir, "-rate", "2", "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := cmdShow([]string{"-store", dir, "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if !strings.Contains(buf.String(), "totals:") {
+		t.Errorf("show output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdShow([]string{"-store", dir, "-metric", "cpu.cycles", "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatalf("show -metric: %v", err)
+	}
+	if !strings.Contains(buf.String(), "cpu.cycles") {
+		t.Errorf("show metric output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdTimeline([]string{"-store", dir, "-machine", "supermic", "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	if !strings.Contains(buf.String(), "barrier") {
+		t.Errorf("timeline output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdVerify([]string{"-store", dir, "-machine", "thinkie", "-kernel", "c", "-tag", "steps=200000", "--", "mdsim"}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "cpu.cycles") {
+		t.Errorf("verify output = %q", out)
+	}
+}
+
+func TestInspectCommandsRequireTarget(t *testing.T) {
+	for name, fn := range map[string]func([]string) error{
+		"show": cmdShow, "timeline": cmdTimeline, "verify": cmdVerify,
+	} {
+		if err := fn([]string{}); err == nil {
+			t.Errorf("%s without -- command should fail", name)
+		}
+	}
+}
+
+func TestProfileWithWorkloadAndMachineFiles(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	buf := capture(t)
+
+	workload := filepath.Join(dir, "workload.json")
+	if err := os.WriteFile(workload, []byte(`{
+	  "command": "custom-app", "tags": {"case": "demo"},
+	  "phases": [
+	    {"name": "load", "read_mb": 20, "read_block_kb": 1024, "rss_start_mb": 10},
+	    {"name": "solve", "compute_units": 100000, "flops_per_unit": 50000,
+	     "write_mb": 5, "write_block_kb": 64, "rss_start_mb": 10, "rss_end_mb": 40, "blend": true}
+	  ]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	machineFile := filepath.Join(dir, "machine.json")
+	if err := os.WriteFile(machineFile, []byte(`{
+	  "name": "clitest-cluster", "clock_ghz": 3.0, "cores": 8,
+	  "mem_gb": 64, "mem_bw_gbs": 40
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdProfile([]string{"-store", storeDir, "-machine-file", machineFile,
+		"-rate", "2", "-workload", workload}); err != nil {
+		t.Fatalf("profile -workload: %v", err)
+	}
+	if !strings.Contains(buf.String(), "custom-app") || !strings.Contains(buf.String(), "clitest-cluster") {
+		t.Errorf("output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdEmulate([]string{"-store", storeDir, "-machine-file", machineFile,
+		"-tag", "case=demo", "--", "custom-app"}); err != nil {
+		t.Fatalf("emulate on custom machine: %v", err)
+	}
+	if !strings.Contains(buf.String(), "clitest-cluster") {
+		t.Errorf("emulate output = %q", buf.String())
+	}
+}
+
+func TestLoadMachineFileErrors(t *testing.T) {
+	if _, err := loadMachineFile("/nonexistent.json"); err == nil {
+		t.Error("missing machine file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadMachineFile(bad); err == nil {
+		t.Error("malformed machine file should fail")
+	}
+	if name, err := loadMachineFile(""); err != nil || name != "" {
+		t.Error("empty path should be a no-op")
+	}
+}

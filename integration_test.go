@@ -1,0 +1,263 @@
+package synapse
+
+// Integration tests: cross-module flows through the public API, with
+// failure injection. These complement the per-package unit tests by
+// exercising the same paths a downstream user of the library would.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// TestIntegrationFullPipeline drives the complete life cycle on a disk
+// store: repeated profiling at several sizes, statistics, cross-machine
+// emulation, store reopen.
+func TestIntegrationFullPipeline(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := []int{50_000, 200_000}
+	for _, steps := range sizes {
+		tags := map[string]string{"steps": fmt.Sprint(steps)}
+		for seed := uint64(0); seed < 3; seed++ {
+			if _, err := Profile(ctx, "mdsim", tags,
+				OnMachine(Thinkie), AtRate(2), WithStore(st),
+				WithSeed(seed), WithJitter()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Statistics across repetitions: spread is small but non-zero.
+	set, err := Profiles("mdsim", map[string]string{"steps": "200000"}, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("stored %d profiles, want 3", len(set))
+	}
+	tx := set.TxSummary()
+	if tx.StdDev <= 0 {
+		t.Error("jittered repetitions should vary")
+	}
+	if tx.StdDev/tx.Mean > 0.1 {
+		t.Errorf("repetition spread %.1f%% too large", 100*tx.StdDev/tx.Mean)
+	}
+
+	// Reopen the store from disk and emulate on every catalog machine.
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txs []float64
+	for _, mn := range Machines() {
+		rep, err := Emulate(ctx, "mdsim", map[string]string{"steps": "200000"},
+			OnMachine(mn), WithStore(st2))
+		if err != nil {
+			t.Fatalf("emulate on %s: %v", mn, err)
+		}
+		if rep.Samples == 0 {
+			t.Errorf("%s: nothing replayed", mn)
+		}
+		txs = append(txs, rep.Tx.Seconds())
+	}
+	// Different machines must produce different execution times.
+	distinct := map[string]bool{}
+	for _, v := range txs {
+		distinct[fmt.Sprintf("%.3f", v)] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("emulations across 6 machines collapsed to %d distinct Tx", len(distinct))
+	}
+}
+
+// TestIntegrationResampleRoundTrip resamples a stored profile and verifies
+// consumption conservation through emulation.
+func TestIntegrationResampleRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	tags := map[string]string{"steps": "500000"}
+	p, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := profile.Resample(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFine, err := EmulateProfile(ctx, p, OnMachine(Thinkie))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCoarse, err := EmulateProfile(ctx, coarse, OnMachine(Thinkie))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(repFine.Consumed.WriteBytes-repCoarse.Consumed.WriteBytes) > 1 {
+		t.Error("resampling changed replayed writes")
+	}
+	if repCoarse.Tx > repFine.Tx {
+		t.Errorf("coarser replay (%v) should not exceed finer (%v)", repCoarse.Tx, repFine.Tx)
+	}
+}
+
+// TestIntegrationStress verifies the full artificial-load path: CPU, disk
+// and memory stress each slow their resource, compound when combined.
+func TestIntegrationStress(t *testing.T) {
+	ctx := context.Background()
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	tags := map[string]string{"steps": "300000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Supermic), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Emulate(ctx, "mdsim", tags, OnMachine(Supermic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressed, err := Emulate(ctx, "mdsim", tags, OnMachine(Supermic),
+		WithStress(0.5, 0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := stressed.Tx.Seconds() / base.Tx.Seconds()
+	if ratio < 1.3 {
+		t.Errorf("stressed emulation only %.2fx slower", ratio)
+	}
+	// Consumption is load independent.
+	if stressed.Consumed.Cycles != base.Consumed.Cycles {
+		t.Error("stress must not change cycles consumed")
+	}
+	// Invalid stress rejected.
+	if _, err := Emulate(ctx, "mdsim", tags, OnMachine(Supermic), WithStress(1.5, 0, 0)); err == nil {
+		t.Error("stress >= 1 should fail")
+	}
+}
+
+// TestIntegrationDocumentOverflow injects a store that overflows and checks
+// the truncation is surfaced on the stored profile.
+func TestIntegrationDocumentOverflow(t *testing.T) {
+	ctx := context.Background()
+	tiny := store.NewMemWithLimit(16 << 10)
+	tags := map[string]string{"steps": "2000000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(10), WithStore(tiny)); err != nil {
+		t.Fatal(err)
+	}
+	set, err := Profiles("mdsim", tags, WithStore(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set[0].Dropped == 0 {
+		t.Error("expected dropped samples under the tiny limit")
+	}
+	// The truncated profile still emulates (partial replay).
+	rep, err := Emulate(ctx, "mdsim", tags, OnMachine(Thinkie), WithStore(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != len(set[0].Samples) {
+		t.Errorf("replayed %d samples of %d stored", rep.Samples, len(set[0].Samples))
+	}
+}
+
+// TestIntegrationProfiledBlocksEndToEnd checks the blktrace-inspired replay
+// through the public API: a 4 KB-frame writer emulates slower with profiled
+// blocks than with the 1 MB static default on a shared filesystem.
+func TestIntegrationProfiledBlocksEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	tags := map[string]string{"steps": "2000000"} // ~10 MB of 4 KB frames
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Supermic), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	static, err := Emulate(ctx, "mdsim", tags, OnMachine(Supermic), WithoutAtoms("memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := Emulate(ctx, "mdsim", tags, OnMachine(Supermic),
+		WithProfiledBlocks(), WithoutAtoms("memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More, smaller operations were issued.
+	if profiled.Consumed.WriteOps <= static.Consumed.WriteOps {
+		t.Errorf("profiled blocks should issue more ops: %v vs %v",
+			profiled.Consumed.WriteOps, static.Consumed.WriteOps)
+	}
+}
+
+// TestIntegrationTimelineTrace checks the replay trace across a mixed
+// workload: dominant atoms vary and spans cover the whole run.
+func TestIntegrationTimelineTrace(t *testing.T) {
+	ctx := context.Background()
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	tags := map[string]string{"bytes": "1073741824", "block": "1048576", "fs": "lustre"}
+	if _, err := Profile(ctx, "synapse-iobench", tags, OnMachine(Titan), AtRate(2)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Emulate(ctx, "synapse-iobench", tags, OnMachine(Titan), WithFilesystem("lustre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) != rep.Samples {
+		t.Fatalf("trace covers %d of %d samples", len(rep.Trace), rep.Samples)
+	}
+	storageBusy := rep.BusyTime("storage")
+	if storageBusy <= 0 {
+		t.Error("storage atom never ran for an I/O workload")
+	}
+	var traceTotal time.Duration
+	for _, st := range rep.Trace {
+		traceTotal += st.Dur
+	}
+	if got := rep.Startup + traceTotal; got != rep.Tx {
+		t.Errorf("trace durations (%v) + startup don't reassemble Tx (%v)", got, rep.Tx)
+	}
+}
+
+// TestIntegrationCrossMachineMatrix sweeps profile-source × emulation-target
+// across the catalog and verifies the portability invariant: replayed
+// consumption is target independent, Tx is target dependent.
+func TestIntegrationCrossMachineMatrix(t *testing.T) {
+	ctx := context.Background()
+	sources := []string{Thinkie, Comet}
+	targets := []string{Stampede, Titan, Supermic}
+	for _, src := range sources {
+		st := NewMemStore()
+		tags := map[string]string{"steps": "100000"}
+		p, err := Profile(ctx, "mdsim", tags, OnMachine(src), AtRate(1), WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastCycles float64
+		for _, dst := range targets {
+			rep, err := Emulate(ctx, "mdsim", tags, OnMachine(dst), WithStore(st),
+				WithKernel("c"), WithoutAtoms("storage", "memory", "network"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine.MustGet(dst)
+			kp, _ := m.Kernel(machine.KernelC)
+			want := p.Total(profile.MetricCPUCycles) * kp.CalibBias
+			if rel := math.Abs(rep.Consumed.Cycles-want) / want; rel > 0.02 {
+				t.Errorf("%s->%s: consumed cycles off by %.1f%%", src, dst, rel*100)
+			}
+			lastCycles = rep.Consumed.Cycles
+		}
+		_ = lastCycles
+	}
+}

@@ -1,0 +1,191 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+
+	"synapse/internal/machine"
+)
+
+func TestMDSimShape(t *testing.T) {
+	w := MDSim(10000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.App != machine.AppMDSim {
+		t.Errorf("App = %q", w.App)
+	}
+	if w.Tags["steps"] != "10000" {
+		t.Errorf("steps tag = %q", w.Tags["steps"])
+	}
+	if got := w.TotalComputeUnits(); got != 10000+MDSimStartupUnits {
+		t.Errorf("compute units = %v", got)
+	}
+	if got := w.TotalReadBytes(); got != MDSimInputBytes {
+		t.Errorf("read bytes = %v, want constant input", got)
+	}
+}
+
+// The paper's knob semantics: steps drive CPU and disk output linearly,
+// while disk input and memory stay constant.
+func TestMDSimKnobSemantics(t *testing.T) {
+	small := MDSim(10000)
+	large := MDSim(100000)
+
+	// CPU scales with steps (minus the constant startup work).
+	dCPU := large.TotalComputeUnits() - small.TotalComputeUnits()
+	if dCPU != 90000 {
+		t.Errorf("CPU delta = %v, want 90000", dCPU)
+	}
+	// Disk output scales ~linearly.
+	if large.TotalWriteBytes() <= small.TotalWriteBytes() {
+		t.Error("write bytes should grow with steps")
+	}
+	ratio := float64(large.TotalWriteBytes()) / float64(small.TotalWriteBytes())
+	if ratio < 9.5 || ratio > 10.5 {
+		t.Errorf("write scaling ratio = %v, want ~10", ratio)
+	}
+	// Disk input constant.
+	if large.TotalReadBytes() != small.TotalReadBytes() {
+		t.Error("read bytes should be constant")
+	}
+	// Memory envelope constant.
+	lastS, lastL := small.Phases[len(small.Phases)-1], large.Phases[len(large.Phases)-1]
+	if lastS.RSSEnd != lastL.RSSEnd {
+		t.Error("peak RSS should be constant across step counts")
+	}
+}
+
+func TestMDSimNegativeSteps(t *testing.T) {
+	w := MDSim(-5)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("negative steps should clamp, got %v", err)
+	}
+	if w.Phases[1].ComputeUnits != 0 {
+		t.Errorf("clamped compute units = %v", w.Phases[1].ComputeUnits)
+	}
+}
+
+func TestMDSimParallel(t *testing.T) {
+	w := MDSimParallel(5000, 8, machine.ModeOpenMP)
+	if w.Workers != 8 || w.Mode != machine.ModeOpenMP {
+		t.Errorf("parallel config = %d workers, mode %v", w.Workers, w.Mode)
+	}
+	if w.Tags["workers"] != "8" || w.Tags["mode"] != "OpenMP" {
+		t.Errorf("tags = %v", w.Tags)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOBench(t *testing.T) {
+	w := IOBench(1<<30, 4096, machine.FSLustre)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalWriteBytes() != 1<<30 || w.TotalReadBytes() != 1<<30 {
+		t.Error("iobench should write then read the full size")
+	}
+	if w.Phases[0].Filesystem != machine.FSLustre {
+		t.Errorf("fs = %q", w.Phases[0].Filesystem)
+	}
+	if w.TotalComputeUnits() != 0 {
+		t.Error("iobench should not compute")
+	}
+}
+
+func TestSleeper(t *testing.T) {
+	w := Sleeper(30)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalComputeUnits() != 0 || w.TotalReadBytes() != 0 || w.TotalWriteBytes() != 0 {
+		t.Error("sleeper should consume nothing")
+	}
+	if w.Phases[0].WaitSeconds != 30 {
+		t.Errorf("wait = %v", w.Phases[0].WaitSeconds)
+	}
+}
+
+func TestMemRamp(t *testing.T) {
+	w := MemRamp(100 << 20)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var alloc, free int64
+	for _, p := range w.Phases {
+		alloc += p.AllocBytes
+		free += p.FreeBytes
+	}
+	if alloc != 100<<20 {
+		t.Errorf("alloc = %d", alloc)
+	}
+	if free == 0 || free > alloc {
+		t.Errorf("free = %d", free)
+	}
+}
+
+func TestNetEcho(t *testing.T) {
+	w := NetEcho(1<<20, 4096)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Phases[0]
+	if p.NetReadBytes != 1<<20 || p.NetWriteBytes != 1<<20 || p.NetBlock != 4096 {
+		t.Errorf("net phase = %+v", p)
+	}
+}
+
+func TestValidateCatchesNegatives(t *testing.T) {
+	w := Workload{App: "x", Command: "x", Phases: []Phase{{ComputeUnits: -1}}}
+	if w.Validate() == nil {
+		t.Error("negative compute units should be invalid")
+	}
+	w = Workload{Command: "x"}
+	if w.Validate() == nil {
+		t.Error("missing app name should be invalid")
+	}
+	w = Workload{App: "x"}
+	if w.Validate() == nil {
+		t.Error("missing command should be invalid")
+	}
+	w = Workload{App: "x", Command: "x", Workers: -1}
+	if w.Validate() == nil {
+		t.Error("negative workers should be invalid")
+	}
+}
+
+// Property: MDSim workloads are valid and monotone in steps.
+func TestMDSimMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int(aRaw%10_000_000), int(bRaw%10_000_000)
+		if a > b {
+			a, b = b, a
+		}
+		wa, wb := MDSim(a), MDSim(b)
+		if wa.Validate() != nil || wb.Validate() != nil {
+			return false
+		}
+		return wa.TotalComputeUnits() <= wb.TotalComputeUnits() &&
+			wa.TotalWriteBytes() <= wb.TotalWriteBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct step counts produce distinct tags (profiles must not
+// collide in the store).
+func TestMDSimTagUniquenessProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		return MDSim(int(a % 1e7)).Tags["steps"] != MDSim(int(b % 1e7)).Tags["steps"] ||
+			a%1e7 == b%1e7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"synapse/internal/machine"
+)
+
+// The JSON workload format lets users define their own synthetic
+// applications without writing Go — phases of compute, I/O, memory, network
+// and waiting, in human units (MB, KB, seconds):
+//
+//	{
+//	  "app": "mdsim", "command": "my-app", "tags": {"case": "A"},
+//	  "workers": 1, "mode": "serial",
+//	  "phases": [
+//	    {"name": "load",  "read_mb": 100, "read_block_kb": 1024,
+//	     "rss_start_mb": 50},
+//	    {"name": "solve", "compute_units": 200000, "flops_per_unit": 90000,
+//	     "write_mb": 10, "write_block_kb": 4, "rss_start_mb": 50,
+//	     "rss_end_mb": 300, "blend": true},
+//	    {"name": "idle",  "wait_seconds": 2}
+//	  ]
+//	}
+type workloadJSON struct {
+	App     string            `json:"app"`
+	Command string            `json:"command"`
+	Tags    map[string]string `json:"tags"`
+	Workers int               `json:"workers"`
+	Mode    string            `json:"mode"`
+	Phases  []phaseJSON       `json:"phases"`
+}
+
+type phaseJSON struct {
+	Name         string  `json:"name"`
+	ComputeUnits float64 `json:"compute_units"`
+	FLOPsPerUnit float64 `json:"flops_per_unit"`
+
+	ReadMB       float64 `json:"read_mb"`
+	WriteMB      float64 `json:"write_mb"`
+	ReadBlockKB  float64 `json:"read_block_kb"`
+	WriteBlockKB float64 `json:"write_block_kb"`
+	Filesystem   string  `json:"filesystem"`
+
+	AllocMB    float64 `json:"alloc_mb"`
+	FreeMB     float64 `json:"free_mb"`
+	RSSStartMB float64 `json:"rss_start_mb"`
+	RSSEndMB   float64 `json:"rss_end_mb"`
+
+	WaitSeconds float64 `json:"wait_seconds"`
+
+	NetReadMB  float64 `json:"net_read_mb"`
+	NetWriteMB float64 `json:"net_write_mb"`
+	NetBlockKB float64 `json:"net_block_kb"`
+
+	Blend bool `json:"blend"`
+}
+
+const mbf = float64(1 << 20)
+
+// FromJSON parses a workload description and validates it.
+func FromJSON(data []byte) (Workload, error) {
+	var j workloadJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Workload{}, fmt.Errorf("app: parse workload json: %w", err)
+	}
+	w := Workload{
+		App:     j.App,
+		Command: j.Command,
+		Tags:    j.Tags,
+		Workers: j.Workers,
+	}
+	if w.App == "" {
+		w.App = machine.AppDefault
+	}
+	if w.Tags == nil {
+		w.Tags = map[string]string{}
+	}
+	if w.Workers == 0 {
+		w.Workers = 1
+	}
+	switch strings.ToLower(j.Mode) {
+	case "", "serial":
+		w.Mode = machine.ModeSerial
+	case "openmp", "omp":
+		w.Mode = machine.ModeOpenMP
+	case "mpi", "openmpi":
+		w.Mode = machine.ModeMPI
+	default:
+		return Workload{}, fmt.Errorf("app: unknown mode %q", j.Mode)
+	}
+	for _, p := range j.Phases {
+		w.Phases = append(w.Phases, Phase{
+			Name:          p.Name,
+			ComputeUnits:  p.ComputeUnits,
+			FLOPsPerUnit:  p.FLOPsPerUnit,
+			ReadBytes:     int64(p.ReadMB * mbf),
+			WriteBytes:    int64(p.WriteMB * mbf),
+			ReadBlock:     int64(p.ReadBlockKB * 1024),
+			WriteBlock:    int64(p.WriteBlockKB * 1024),
+			Filesystem:    p.Filesystem,
+			AllocBytes:    int64(p.AllocMB * mbf),
+			FreeBytes:     int64(p.FreeMB * mbf),
+			RSSStart:      p.RSSStartMB * mbf,
+			RSSEnd:        p.RSSEndMB * mbf,
+			WaitSeconds:   p.WaitSeconds,
+			NetReadBytes:  int64(p.NetReadMB * mbf),
+			NetWriteBytes: int64(p.NetWriteMB * mbf),
+			NetBlock:      int64(p.NetBlockKB * 1024),
+			Blend:         p.Blend,
+		})
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,75 @@
+package app
+
+import (
+	"testing"
+
+	"synapse/internal/machine"
+)
+
+const workloadSample = `{
+  "app": "mdsim", "command": "my-app", "tags": {"case": "A"},
+  "workers": 4, "mode": "openmp",
+  "phases": [
+    {"name": "load",  "read_mb": 100, "read_block_kb": 1024, "rss_start_mb": 50},
+    {"name": "solve", "compute_units": 200000, "flops_per_unit": 90000,
+     "write_mb": 10, "write_block_kb": 4, "rss_start_mb": 50,
+     "rss_end_mb": 300, "blend": true},
+    {"name": "idle",  "wait_seconds": 2}
+  ]
+}`
+
+func TestWorkloadFromJSON(t *testing.T) {
+	w, err := FromJSON([]byte(workloadSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Command != "my-app" || w.Tags["case"] != "A" {
+		t.Errorf("identity = %q %v", w.Command, w.Tags)
+	}
+	if w.Workers != 4 || w.Mode != machine.ModeOpenMP {
+		t.Errorf("parallel = %d %v", w.Workers, w.Mode)
+	}
+	if len(w.Phases) != 3 {
+		t.Fatalf("phases = %d", len(w.Phases))
+	}
+	if w.Phases[0].ReadBytes != 100<<20 || w.Phases[0].ReadBlock != 1<<20 {
+		t.Errorf("load phase = %+v", w.Phases[0])
+	}
+	if w.Phases[1].WriteBlock != 4096 || !w.Phases[1].Blend {
+		t.Errorf("solve phase = %+v", w.Phases[1])
+	}
+	if w.Phases[1].RSSEnd != 300<<20 {
+		t.Errorf("rss end = %v", w.Phases[1].RSSEnd)
+	}
+	if w.Phases[2].WaitSeconds != 2 {
+		t.Errorf("idle phase = %+v", w.Phases[2])
+	}
+}
+
+func TestWorkloadFromJSONDefaults(t *testing.T) {
+	w, err := FromJSON([]byte(`{"command":"min","phases":[{"compute_units":10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.App != machine.AppDefault || w.Workers != 1 || w.Mode != machine.ModeSerial {
+		t.Errorf("defaults = %q %d %v", w.App, w.Workers, w.Mode)
+	}
+	if w.Tags == nil {
+		t.Error("tags should be initialised")
+	}
+}
+
+func TestWorkloadFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("malformed json should fail")
+	}
+	if _, err := FromJSON([]byte(`{"command":"x","mode":"cuda","phases":[{}]}`)); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if _, err := FromJSON([]byte(`{"phases":[{}]}`)); err == nil {
+		t.Error("missing command should fail validation")
+	}
+	if _, err := FromJSON([]byte(`{"command":"x","phases":[{"compute_units":-5}]}`)); err == nil {
+		t.Error("negative quantities should fail validation")
+	}
+}

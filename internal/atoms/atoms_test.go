@@ -1,0 +1,421 @@
+package atoms
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"synapse/internal/machine"
+)
+
+func simConfig(machineName string) *Config {
+	return &Config{Machine: machine.MustGet(machineName)}
+}
+
+func TestNewSimSet(t *testing.T) {
+	set, err := NewSimSet(simConfig(machine.Comet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, a := range set {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"compute", "storage", "memory", "network"} {
+		if !names[want] {
+			t.Errorf("atom set missing %q", want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if (&Config{}).Validate() == nil {
+		t.Error("config without machine should be invalid")
+	}
+	c := simConfig(machine.Comet)
+	c.Kernel = "cobol"
+	if c.Validate() == nil {
+		t.Error("unknown kernel should be invalid")
+	}
+	c = simConfig(machine.Comet)
+	c.Filesystem = "fat12"
+	if c.Validate() == nil {
+		t.Error("unknown filesystem should be invalid")
+	}
+	c = simConfig(machine.Comet)
+	c.Workers = -1
+	if c.Validate() == nil {
+		t.Error("negative workers should be invalid")
+	}
+	c = simConfig(machine.Comet)
+	c.Load = 1.5
+	if c.Validate() == nil {
+		t.Error("load >= 1 should be invalid")
+	}
+}
+
+func TestSimComputeBiasAndChunks(t *testing.T) {
+	cfg := simConfig(machine.Comet)
+	cfg.Kernel = machine.KernelC
+	a, err := NewSimCompute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, _ := cfg.Machine.Kernel(machine.KernelC)
+
+	// Large request: consumption converges to target*bias.
+	const target = 1e12
+	res, err := a.Consume(context.Background(), Request{Cycles: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRatio := kp.CalibBias
+	gotRatio := res.Consumed.Cycles / target
+	if math.Abs(gotRatio-wantRatio) > 0.001 {
+		t.Errorf("large-target consumption ratio = %v, want ≈%v", gotRatio, wantRatio)
+	}
+	// Instructions follow the kernel's IPC.
+	if ipc := res.Consumed.Instructions / res.Consumed.Cycles; math.Abs(ipc-kp.IPC) > 1e-9 {
+		t.Errorf("kernel IPC = %v, want %v", ipc, kp.IPC)
+	}
+	// Small request: overshoot from chunk granularity exceeds the bias.
+	small, err := a.Consume(context.Background(), Request{Cycles: kp.Chunk() / 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Consumed.Cycles < kp.Chunk()*kp.CalibBias*0.99 {
+		t.Errorf("small request should consume at least one chunk: %v", small.Consumed.Cycles)
+	}
+}
+
+func TestSimComputeErrorConvergesToPaperValues(t *testing.T) {
+	// E.3 calibration: converged cycle error ≈ bias - 1.
+	for _, tc := range []struct {
+		machineName, kernel string
+		wantErrPct          float64
+	}{
+		{machine.Comet, machine.KernelC, 3.5},
+		{machine.Comet, machine.KernelASM, 14.5},
+		{machine.Supermic, machine.KernelC, 4.0},
+		{machine.Supermic, machine.KernelASM, 26.5},
+	} {
+		cfg := simConfig(tc.machineName)
+		cfg.Kernel = tc.kernel
+		a, _ := NewSimCompute(cfg)
+		res, _ := a.Consume(context.Background(), Request{Cycles: 1e13})
+		errPct := (res.Consumed.Cycles/1e13 - 1) * 100
+		if math.Abs(errPct-tc.wantErrPct) > 0.2 {
+			t.Errorf("%s/%s converged error = %.2f%%, want %.1f%%",
+				tc.machineName, tc.kernel, errPct, tc.wantErrPct)
+		}
+	}
+}
+
+func TestSimComputeParallelFaster(t *testing.T) {
+	serialCfg := simConfig(machine.Titan)
+	parCfg := simConfig(machine.Titan)
+	parCfg.Workers = 16
+	parCfg.Mode = machine.ModeOpenMP
+	as, _ := NewSimCompute(serialCfg)
+	ap, _ := NewSimCompute(parCfg)
+	req := Request{Cycles: 1e11}
+	rs, _ := as.Consume(context.Background(), req)
+	rp, _ := ap.Consume(context.Background(), req)
+	if rp.Dur >= rs.Dur {
+		t.Errorf("16-way compute (%v) should beat serial (%v)", rp.Dur, rs.Dur)
+	}
+	if rp.Consumed.Cycles != rs.Consumed.Cycles {
+		t.Error("parallelism must not change cycles consumed")
+	}
+}
+
+func TestSimComputeLoadSlows(t *testing.T) {
+	base := simConfig(machine.Comet)
+	loaded := simConfig(machine.Comet)
+	loaded.Load = 0.5
+	ab, _ := NewSimCompute(base)
+	al, _ := NewSimCompute(loaded)
+	req := Request{Cycles: 1e10}
+	rb, _ := ab.Consume(context.Background(), req)
+	rl, _ := al.Consume(context.Background(), req)
+	if ratio := float64(rl.Dur) / float64(rb.Dur); math.Abs(ratio-2) > 0.01 {
+		t.Errorf("load 0.5 should double duration, ratio = %v", ratio)
+	}
+}
+
+func TestSimComputeZeroRequest(t *testing.T) {
+	a, _ := NewSimCompute(simConfig(machine.Comet))
+	res, err := a.Consume(context.Background(), Request{})
+	if err != nil || res.Dur != 0 || !res.Consumed.IsZero() {
+		t.Errorf("zero request should consume nothing: %+v, %v", res, err)
+	}
+}
+
+func TestSimStorageBlockSensitivity(t *testing.T) {
+	small := simConfig(machine.Supermic)
+	small.WriteBlock = 4 << 10
+	large := simConfig(machine.Supermic)
+	large.WriteBlock = 16 << 20
+	as, _ := NewSimStorage(small)
+	al, _ := NewSimStorage(large)
+	req := Request{WriteBytes: 256 << 20}
+	rs, _ := as.Consume(context.Background(), req)
+	rl, _ := al.Consume(context.Background(), req)
+	if rs.Dur <= rl.Dur {
+		t.Errorf("4KB blocks (%v) should be slower than 16MB (%v)", rs.Dur, rl.Dur)
+	}
+	if rs.Consumed.WriteOps <= rl.Consumed.WriteOps {
+		t.Error("smaller blocks should need more operations")
+	}
+}
+
+func TestSimStorageProfiledBlocks(t *testing.T) {
+	cfg := simConfig(machine.Supermic)
+	cfg.UseProfiledBlocks = true
+	a, _ := NewSimStorage(cfg)
+	// Profile observed 4KB ops (1e6 bytes / 250 ops).
+	req := Request{WriteBytes: 1e6, WriteOps: 250}
+	res, _ := a.Consume(context.Background(), req)
+	if math.Abs(res.Consumed.WriteOps-250) > 1 {
+		t.Errorf("profiled-block mode: ops = %v, want 250", res.Consumed.WriteOps)
+	}
+	// Static mode would issue a single 1MB op instead.
+	cfg2 := simConfig(machine.Supermic)
+	a2, _ := NewSimStorage(cfg2)
+	res2, _ := a2.Consume(context.Background(), req)
+	if res2.Consumed.WriteOps != 1 {
+		t.Errorf("static mode: ops = %v, want 1", res2.Consumed.WriteOps)
+	}
+}
+
+func TestSimStorageFilesystemChoice(t *testing.T) {
+	lustre := simConfig(machine.Titan) // default lustre
+	local := simConfig(machine.Titan)
+	local.Filesystem = machine.FSLocal
+	al, _ := NewSimStorage(lustre)
+	aloc, _ := NewSimStorage(local)
+	req := Request{WriteBytes: 64 << 20}
+	rl, _ := al.Consume(context.Background(), req)
+	rloc, _ := aloc.Consume(context.Background(), req)
+	if rl.Dur <= rloc.Dur {
+		t.Errorf("lustre writes (%v) should be slower than local (%v)", rl.Dur, rloc.Dur)
+	}
+}
+
+func TestSimMemoryAndNetwork(t *testing.T) {
+	cfg := simConfig(machine.Comet)
+	mem := NewSimMemory(cfg)
+	res, err := mem.Consume(context.Background(), Request{AllocBytes: 1 << 30, FreeBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dur <= 0 {
+		t.Error("memory traffic should take time")
+	}
+	net := NewSimNetwork(cfg)
+	rn, err := net.Consume(context.Background(), Request{NetWriteBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Dur <= 0 {
+		t.Error("network traffic should take time")
+	}
+	// Zero requests cost nothing.
+	if r, _ := mem.Consume(context.Background(), Request{}); r.Dur != 0 {
+		t.Error("zero memory request should cost nothing")
+	}
+	if r, _ := net.Consume(context.Background(), Request{}); r.Dur != 0 {
+		t.Error("zero network request should cost nothing")
+	}
+}
+
+func TestAtomsRespectContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	set, _ := NewSimSet(simConfig(machine.Comet))
+	for _, a := range set {
+		if _, err := a.Consume(ctx, Request{Cycles: 1, ReadBytes: 1, AllocBytes: 1, NetReadBytes: 1}); err == nil {
+			t.Errorf("atom %s ignored cancelled context", a.Name())
+		}
+	}
+}
+
+// Real atoms actually consume host resources; keep the quantities tiny.
+func TestRealAtomsSmoke(t *testing.T) {
+	cfg := &Config{Machine: machine.Host(), WriteBlock: 4096, ReadBlock: 4096}
+	set, err := NewRealSet(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, a := range set {
+		var req Request
+		switch a.Name() {
+		case "compute":
+			req = Request{Cycles: 5e6} // ~2ms
+		case "storage":
+			req = Request{WriteBytes: 64 << 10, ReadBytes: 64 << 10}
+		case "memory":
+			req = Request{AllocBytes: 1 << 20, FreeBytes: 1 << 20}
+		case "network":
+			req = Request{NetWriteBytes: 128 << 10}
+		}
+		res, err := a.Consume(ctx, req)
+		if err != nil {
+			t.Fatalf("real %s: %v", a.Name(), err)
+		}
+		if res.Dur <= 0 {
+			t.Errorf("real %s took no time", a.Name())
+		}
+	}
+}
+
+func TestRealStorageReadWithoutPriorWrite(t *testing.T) {
+	cfg := &Config{Machine: machine.Host(), ReadBlock: 4096}
+	st, err := NewRealStorage(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Consume(context.Background(), Request{ReadBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed.ReadBytes != 32<<10 {
+		t.Errorf("read %v bytes, want full request", res.Consumed.ReadBytes)
+	}
+}
+
+// Property: sim atom durations are monotone in request size. Fresh atom
+// sets are built per request because the compute atom intentionally carries
+// chunk-overshoot surplus across samples of one emulation run.
+func TestSimAtomMonotonicityProperty(t *testing.T) {
+	cfg := simConfig(machine.Supermic)
+	ctx := context.Background()
+	consume := func(v float64) ([]Result, bool) {
+		set, err := NewSimSet(cfg)
+		if err != nil {
+			return nil, false
+		}
+		out := make([]Result, len(set))
+		for i, atom := range set {
+			r, err := atom.Consume(ctx, Request{
+				Cycles: v, ReadBytes: v, WriteBytes: v, AllocBytes: v, NetReadBytes: v,
+			})
+			if err != nil {
+				return nil, false
+			}
+			out[i] = r
+		}
+		return out, true
+	}
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		ra, ok1 := consume(a)
+		rb, ok2 := consume(b)
+		if !ok1 || !ok2 {
+			return false
+		}
+		for i := range ra {
+			if ra[i].Dur > rb[i].Dur {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The carry-over itself: consecutive samples through one compute atom never
+// accumulate more than one chunk of overshoot in total.
+func TestSimComputeSurplusCarryOver(t *testing.T) {
+	cfg := simConfig(machine.Comet)
+	cfg.Kernel = machine.KernelC
+	a, err := NewSimCompute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, _ := cfg.Machine.Kernel(machine.KernelC)
+	ctx := context.Background()
+	var directed, consumed float64
+	for i := 0; i < 50; i++ {
+		req := kp.Chunk() * (0.3 + float64(i%7)/10) // varying sub-chunk targets
+		res, err := a.Consume(ctx, Request{Cycles: req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		directed += req
+		consumed += res.Consumed.Cycles
+	}
+	// Whole-run overshoot ≤ bias + one chunk.
+	maxWant := directed*kp.CalibBias + kp.Chunk()*kp.CalibBias
+	if consumed > maxWant {
+		t.Errorf("consumed %v exceeds directed*bias + 1 chunk (%v)", consumed, maxWant)
+	}
+	if consumed < directed*kp.CalibBias*0.999 {
+		t.Errorf("consumed %v below directed*bias %v", consumed, directed*kp.CalibBias)
+	}
+}
+
+func TestRequestIsZero(t *testing.T) {
+	if !(Request{}).IsZero() {
+		t.Error("empty request should be zero")
+	}
+	if (Request{Cycles: 1}).IsZero() {
+		t.Error("non-empty request reported zero")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := &Config{Machine: machine.MustGet(machine.Comet)}
+	if c.kernelName() != machine.KernelASM {
+		t.Errorf("default kernel = %q, want asm", c.kernelName())
+	}
+	if c.readBlock() != DefaultIOBlock || c.writeBlock() != DefaultIOBlock {
+		t.Error("default blocks should be DefaultIOBlock")
+	}
+}
+
+func TestDiskAndMemLoadSlow(t *testing.T) {
+	base := simConfig(machine.Supermic)
+	stressed := simConfig(machine.Supermic)
+	stressed.DiskLoad = 0.5
+	stressed.MemLoad = 0.5
+
+	sb, _ := NewSimStorage(base)
+	ss, _ := NewSimStorage(stressed)
+	req := Request{WriteBytes: 64 << 20}
+	rb, _ := sb.Consume(context.Background(), req)
+	rs, _ := ss.Consume(context.Background(), req)
+	if ratio := float64(rs.Dur) / float64(rb.Dur); math.Abs(ratio-2) > 0.01 {
+		t.Errorf("disk load 0.5 should double I/O time, ratio = %v", ratio)
+	}
+
+	mb := NewSimMemory(base)
+	ms := NewSimMemory(stressed)
+	mreq := Request{AllocBytes: 1 << 30}
+	rmb, _ := mb.Consume(context.Background(), mreq)
+	rms, _ := ms.Consume(context.Background(), mreq)
+	if ratio := float64(rms.Dur) / float64(rmb.Dur); math.Abs(ratio-2) > 0.01 {
+		t.Errorf("memory load 0.5 should double memory time, ratio = %v", ratio)
+	}
+}
+
+func TestLoadValidationAllKinds(t *testing.T) {
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.DiskLoad = -0.1 },
+		func(c *Config) { c.DiskLoad = 1.0 },
+		func(c *Config) { c.MemLoad = 2 },
+	} {
+		c := simConfig(machine.Comet)
+		mod(c)
+		if c.Validate() == nil {
+			t.Errorf("invalid load accepted: %+v", c)
+		}
+	}
+}

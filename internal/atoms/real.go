@@ -1,0 +1,294 @@
+package atoms
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"synapse/internal/kernels"
+	"synapse/internal/machine"
+	"synapse/internal/netem"
+	"synapse/internal/perfcount"
+)
+
+// RealCompute burns host CPU with an actual kernel from internal/kernels,
+// self-calibrated at construction — the real counterpart of the paper's
+// C/assembly kernels.
+type RealCompute struct {
+	cfg *Config
+	k   kernels.Kernel
+	cal kernels.Calibration
+}
+
+// NewRealCompute instantiates and calibrates the configured kernel.
+func NewRealCompute(cfg *Config) (*RealCompute, error) {
+	k, err := kernels.New(cfg.kernelName())
+	if err != nil {
+		return nil, err
+	}
+	cal := kernels.Calibrate(k, 20*time.Millisecond)
+	return &RealCompute{cfg: cfg, k: k, cal: cal}, nil
+}
+
+// Name implements Atom.
+func (a *RealCompute) Name() string { return "compute" }
+
+// Consume implements Atom.
+func (a *RealCompute) Consume(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if req.Cycles <= 0 {
+		return Result{}, nil
+	}
+	clockHz := a.cfg.Machine.ClockHz
+	start := time.Now()
+	var iters int
+	if a.cfg.Workers > 1 && a.cfg.Mode == machine.ModeOpenMP {
+		sec := req.Cycles / clockHz
+		total := int(sec / a.cal.SecPerIter)
+		if total < 1 {
+			total = 1
+		}
+		if err := kernels.RunParallel(a.k.Name(), total, a.cfg.Workers); err != nil {
+			return Result{}, err
+		}
+		iters = total
+	} else {
+		iters = kernels.ConsumeCycles(a.k, a.cal, req.Cycles, clockHz)
+	}
+	el := time.Since(start)
+	return Result{
+		Dur: el,
+		Consumed: perfcount.Counters{
+			Cycles: el.Seconds() * clockHz,
+			FLOPs:  float64(iters) * a.k.FLOPsPerIter(),
+		},
+	}, nil
+}
+
+// RealStorage performs actual file I/O in a scratch directory with the
+// configured block sizes.
+type RealStorage struct {
+	cfg  *Config
+	dir  string
+	file string
+	seq  int
+}
+
+// NewRealStorage prepares a scratch directory for the atom's files.
+func NewRealStorage(cfg *Config, dir string) (*RealStorage, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "synapse-storage-")
+		if err != nil {
+			return nil, fmt.Errorf("atoms: scratch dir: %w", err)
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("atoms: scratch dir: %w", err)
+	}
+	return &RealStorage{cfg: cfg, dir: dir, file: filepath.Join(dir, "atom.dat")}, nil
+}
+
+// Name implements Atom.
+func (a *RealStorage) Name() string { return "storage" }
+
+// Dir exposes the scratch directory (for cleanup by the owner).
+func (a *RealStorage) Dir() string { return a.dir }
+
+// Consume implements Atom.
+func (a *RealStorage) Consume(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if req.ReadBytes <= 0 && req.WriteBytes <= 0 {
+		return Result{}, nil
+	}
+	start := time.Now()
+	var c perfcount.Counters
+	if req.WriteBytes > 0 {
+		n, ops, err := a.write(int64(req.WriteBytes), a.cfg.writeBlock())
+		if err != nil {
+			return Result{}, err
+		}
+		c.WriteBytes, c.WriteOps = float64(n), float64(ops)
+	}
+	if req.ReadBytes > 0 {
+		n, ops, err := a.read(int64(req.ReadBytes), a.cfg.readBlock())
+		if err != nil {
+			return Result{}, err
+		}
+		c.ReadBytes, c.ReadOps = float64(n), float64(ops)
+	}
+	return Result{Dur: time.Since(start), Consumed: c}, nil
+}
+
+// write appends total bytes in block-sized operations, rotating files so the
+// scratch file does not grow unboundedly across samples.
+func (a *RealStorage) write(total, block int64) (written int64, ops int64, err error) {
+	a.seq++
+	name := fmt.Sprintf("%s.%d", a.file, a.seq%4)
+	f, err := os.Create(name)
+	if err != nil {
+		return 0, 0, fmt.Errorf("atoms: create: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, min64(block, total))
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	remaining := total
+	for remaining > 0 {
+		n := min64(int64(len(buf)), remaining)
+		w, err := f.Write(buf[:n])
+		written += int64(w)
+		ops++
+		if err != nil {
+			return written, ops, fmt.Errorf("atoms: write: %w", err)
+		}
+		remaining -= int64(w)
+	}
+	if err := f.Sync(); err != nil {
+		// Sync failures on exotic filesystems degrade to unsynced writes.
+		_ = err
+	}
+	return written, ops, nil
+}
+
+// read reads total bytes in block-sized operations from the most recent
+// scratch file, wrapping around as needed.
+func (a *RealStorage) read(total, block int64) (read int64, ops int64, err error) {
+	name := fmt.Sprintf("%s.%d", a.file, a.seq%4)
+	f, err := os.Open(name)
+	if os.IsNotExist(err) {
+		// Nothing written yet: materialise a file to read.
+		if _, _, werr := a.write(min64(total, 4<<20), block); werr != nil {
+			return 0, 0, werr
+		}
+		name = fmt.Sprintf("%s.%d", a.file, a.seq%4)
+		f, err = os.Open(name)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("atoms: open: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, min64(block, total))
+	remaining := total
+	for remaining > 0 {
+		n := min64(int64(len(buf)), remaining)
+		r, err := f.Read(buf[:n])
+		if r > 0 {
+			read += int64(r)
+			remaining -= int64(r)
+			ops++
+		}
+		if err != nil {
+			// EOF: wrap around.
+			if _, serr := f.Seek(0, 0); serr != nil {
+				return read, ops, fmt.Errorf("atoms: seek: %w", serr)
+			}
+		}
+	}
+	return read, ops, nil
+}
+
+// RealMemory allocates and touches actual memory.
+type RealMemory struct {
+	cfg  *Config
+	held [][]byte
+}
+
+// NewRealMemory builds the real memory atom.
+func NewRealMemory(cfg *Config) *RealMemory { return &RealMemory{cfg: cfg} }
+
+// Name implements Atom.
+func (a *RealMemory) Name() string { return "memory" }
+
+// Consume implements Atom.
+func (a *RealMemory) Consume(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if req.AllocBytes <= 0 && req.FreeBytes <= 0 {
+		return Result{}, nil
+	}
+	start := time.Now()
+	if req.AllocBytes > 0 {
+		// Cap single allocations to keep the emulation robust on small
+		// hosts; the modeled amount is still accounted.
+		n := min64(int64(req.AllocBytes), 256<<20)
+		buf := make([]byte, n)
+		// Touch pages so the allocation is resident.
+		for i := int64(0); i < n; i += 4096 {
+			buf[i] = byte(i)
+		}
+		a.held = append(a.held, buf)
+	}
+	if req.FreeBytes > 0 {
+		freed := int64(0)
+		for freed < int64(req.FreeBytes) && len(a.held) > 0 {
+			freed += int64(len(a.held[0]))
+			a.held = a.held[1:]
+		}
+	}
+	return Result{
+		Dur:      time.Since(start),
+		Consumed: perfcount.Counters{AllocBytes: req.AllocBytes, FreeBytes: req.FreeBytes},
+	}, nil
+}
+
+// RealNetwork moves bytes over loopback sockets via internal/netem.
+type RealNetwork struct {
+	cfg *Config
+}
+
+// NewRealNetwork builds the real network atom.
+func NewRealNetwork(cfg *Config) *RealNetwork { return &RealNetwork{cfg: cfg} }
+
+// Name implements Atom.
+func (a *RealNetwork) Name() string { return "network" }
+
+// Consume implements Atom.
+func (a *RealNetwork) Consume(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	total := int64(req.NetReadBytes + req.NetWriteBytes)
+	if total <= 0 {
+		return Result{}, nil
+	}
+	d, err := netem.Transfer(total, a.cfg.NetBlock)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Dur:      d,
+		Consumed: perfcount.Counters{NetReadBytes: req.NetReadBytes, NetWriteBytes: req.NetWriteBytes},
+	}, nil
+}
+
+// NewRealSet builds the full real atom set; scratchDir may be empty for a
+// temporary directory.
+func NewRealSet(cfg *Config, scratchDir string) ([]Atom, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	compute, err := NewRealCompute(cfg)
+	if err != nil {
+		return nil, err
+	}
+	storage, err := NewRealStorage(cfg, scratchDir)
+	if err != nil {
+		return nil, err
+	}
+	return []Atom{compute, storage, NewRealMemory(cfg), NewRealNetwork(cfg)}, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

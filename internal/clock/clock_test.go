@@ -1,0 +1,290 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2016, 5, 23, 0, 0, 0, 0, time.UTC)
+
+func TestSimNowStartsAtEpoch(t *testing.T) {
+	s := NewSim(epoch)
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), epoch)
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(3 * time.Second)
+	want := epoch.Add(3 * time.Second)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimAdvanceToBackwardsIsNoop(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(5 * time.Second)
+	s.AdvanceTo(epoch) // earlier than now
+	want := epoch.Add(5 * time.Second)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now() = %v after backwards AdvanceTo, want %v", s.Now(), want)
+	}
+}
+
+func TestSimAfterFiresAtDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	ch := s.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any Advance")
+	default:
+	}
+	s.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	s.Advance(time.Second)
+	got := <-ch
+	want := epoch.Add(10 * time.Second)
+	if !got.Equal(want) {
+		t.Fatalf("After delivered %v, want %v", got, want)
+	}
+}
+
+func TestSimAfterNonPositiveFiresImmediately(t *testing.T) {
+	s := NewSim(epoch)
+	for _, d := range []time.Duration{0, -time.Second} {
+		select {
+		case got := <-s.After(d):
+			if !got.Equal(epoch) {
+				t.Fatalf("After(%v) delivered %v, want %v", d, got, epoch)
+			}
+		default:
+			t.Fatalf("After(%v) did not fire immediately", d)
+		}
+	}
+}
+
+func TestSimSleepNonPositiveReturns(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(0)
+		s.Sleep(-time.Minute)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep(<=0) blocked")
+	}
+}
+
+func TestSimSleepWokenByAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan time.Time, 1)
+	go func() {
+		s.Sleep(time.Minute)
+		done <- s.Now()
+	}()
+	// Wait for the sleeper to register.
+	for s.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Minute)
+	select {
+	case got := <-done:
+		want := epoch.Add(time.Minute)
+		if !got.Equal(want) {
+			t.Fatalf("sleeper woke at %v, want %v", got, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper was not woken by Advance")
+	}
+}
+
+func TestSimWaitersReleasedInDeadlineOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var mu sync.Mutex
+	var order []int
+
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	chans := make([]<-chan time.Time, len(delays))
+	for i, d := range delays {
+		chans[i] = s.After(d)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-chans[i]
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	// Release one at a time so the observed order is deterministic.
+	for i := range delays {
+		if !s.Step() {
+			t.Fatal("Step() found no waiter")
+		}
+		// Wait until the released goroutine has recorded itself.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n >= i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never recorded its wake-up", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	want := []int{1, 2, 0} // sorted by deadline: 10s, 20s, 30s
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	// Step releases in deadline order; goroutine scheduling may reorder the
+	// appends only if two releases race, which Step prevents by design of the
+	// test loop above. Verify the full order.
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimEqualDeadlinesFIFO(t *testing.T) {
+	s := NewSim(epoch)
+	const n = 8
+	chans := make([]<-chan time.Time, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.After(5 * time.Second)
+	}
+	s.Advance(5 * time.Second)
+	// All fired; FIFO is guaranteed by the seq tiebreak, observable through
+	// heap pop order which fills the buffered channels in order. Since each
+	// channel has its own buffer we can only verify each carries the right
+	// timestamp.
+	want := epoch.Add(5 * time.Second)
+	for i, ch := range chans {
+		select {
+		case got := <-ch:
+			if !got.Equal(want) {
+				t.Fatalf("waiter %d woke at %v, want %v", i, got, want)
+			}
+		default:
+			t.Fatalf("waiter %d was not released", i)
+		}
+	}
+}
+
+func TestSimStepOnEmpty(t *testing.T) {
+	s := NewSim(epoch)
+	if s.Step() {
+		t.Fatal("Step() = true on empty clock")
+	}
+}
+
+func TestSimPendingCounts(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+	_ = s.After(time.Second)
+	_ = s.After(2 * time.Second)
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	s.Advance(time.Second)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after partial advance, want 1", got)
+	}
+}
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not move: %v then %v", a, b)
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("real After never fired")
+	}
+}
+
+func TestElapsed(t *testing.T) {
+	s := NewSim(epoch)
+	start := s.Now()
+	s.Advance(42 * time.Second)
+	if got := Elapsed(s, start); got != 42*time.Second {
+		t.Fatalf("Elapsed = %v, want 42s", got)
+	}
+}
+
+// Property: advancing by a sequence of non-negative durations always yields
+// now == start + sum(durations), regardless of how the advances are split.
+func TestSimAdvanceAdditiveProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		s := NewSim(epoch)
+		var total time.Duration
+		for _, st := range steps {
+			d := time.Duration(st) * time.Millisecond
+			total += d
+			s.Advance(d)
+		}
+		return s.Now().Equal(epoch.Add(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a waiter never observes a wake-up time earlier than its deadline.
+func TestSimWakeupNotBeforeDeadlineProperty(t *testing.T) {
+	f := func(delayMs []uint16, advMs uint16) bool {
+		s := NewSim(epoch)
+		type pair struct {
+			deadline time.Time
+			ch       <-chan time.Time
+		}
+		var ps []pair
+		for _, d := range delayMs {
+			dd := time.Duration(d) * time.Millisecond
+			ps = append(ps, pair{epoch.Add(dd), s.After(dd)})
+		}
+		s.Advance(time.Duration(advMs) * time.Millisecond)
+		for _, p := range ps {
+			select {
+			case got := <-p.ch:
+				if got.Before(p.deadline) {
+					return false
+				}
+			default:
+				// Not yet fired: deadline must be in the future.
+				if !p.deadline.After(s.Now()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+func TestWorkloadFromCommand(t *testing.T) {
+	w, err := WorkloadFromCommand("mdsim", map[string]string{"steps": "5000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalComputeUnits() != 5000+6000 {
+		t.Errorf("units = %v", w.TotalComputeUnits())
+	}
+	// Gromacs aliases resolve to the same model.
+	if _, err := WorkloadFromCommand("gromacs", nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadFromCommand("gmx mdrun", nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadFromCommand("sleep", map[string]string{"seconds": "2.5"}); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadFromCommand("synapse-iobench", map[string]string{"bytes": "1024", "block": "64", "fs": "local"}); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadFromCommand("unknown-app", nil); err == nil {
+		t.Error("unknown command should fail")
+	}
+	// Malformed tags fall back to defaults.
+	w, err = WorkloadFromCommand("mdsim", map[string]string{"steps": "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalComputeUnits() != 10000+6000 {
+		t.Errorf("fallback units = %v", w.TotalComputeUnits())
+	}
+}
+
+func TestProfileThenEmulateRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := store.NewMem()
+	tags := map[string]string{"steps": "200000"}
+
+	p, err := ProfileCommandString(ctx, "mdsim", tags, ProfileOptions{
+		Machine:    machine.Thinkie,
+		SampleRate: 2,
+		Store:      s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total(profile.MetricCPUCycles) <= 0 {
+		t.Fatal("profile has no cycles")
+	}
+
+	rep, err := Emulate(ctx, s, "mdsim", tags, EmulateOptions{Machine: machine.Thinkie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := (rep.Tx.Seconds() - p.Duration.Seconds()) / p.Duration.Seconds()
+	if diff < 0 || diff > 0.25 {
+		t.Errorf("same-machine emulation diff = %.1f%%", diff*100)
+	}
+}
+
+func TestEmulateMissingProfile(t *testing.T) {
+	s := store.NewMem()
+	if _, err := Emulate(context.Background(), s, "mdsim", nil, EmulateOptions{Machine: machine.Thinkie}); err == nil {
+		t.Error("emulating an unprofiled command should fail")
+	}
+	if _, err := Emulate(context.Background(), nil, "mdsim", nil, EmulateOptions{Machine: machine.Thinkie}); err == nil {
+		t.Error("emulating without a store should fail")
+	}
+}
+
+func TestProfileRequiresMachine(t *testing.T) {
+	_, err := ProfileCommandString(context.Background(), "mdsim", nil, ProfileOptions{})
+	if err == nil {
+		t.Error("simulated profile without machine should fail")
+	}
+}
+
+func TestProfileUnknownMachine(t *testing.T) {
+	_, err := ProfileCommandString(context.Background(), "mdsim", nil, ProfileOptions{Machine: "cray-1"})
+	if err == nil {
+		t.Error("unknown machine should fail")
+	}
+}
+
+func TestEmulateProfileUnknownMachine(t *testing.T) {
+	p := profile.New("x", nil)
+	p.Finalize(0)
+	if _, err := EmulateProfile(context.Background(), p, EmulateOptions{Machine: "cray-1"}); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if _, err := EmulateProfile(context.Background(), p, EmulateOptions{}); err == nil {
+		t.Error("missing machine should fail")
+	}
+}
+
+func TestAdaptiveProfiling(t *testing.T) {
+	p, err := ProfileCommandString(context.Background(), "mdsim", map[string]string{"steps": "400000"},
+		ProfileOptions{Machine: machine.Thinkie, SampleRate: 0.5, Adaptive: true, AdaptiveWindow: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples in the first 2 seconds should be dense (10 Hz).
+	dense := 0
+	for _, s := range p.Samples {
+		if s.T <= 2*time.Second {
+			dense++
+		}
+	}
+	if dense < 15 {
+		t.Errorf("adaptive window produced only %d samples", dense)
+	}
+}
+
+func TestStoreTruncationPath(t *testing.T) {
+	// A tiny document limit forces PutTruncated to drop samples without
+	// failing the profiling run.
+	s := store.NewMemWithLimit(8 << 10)
+	p, err := ProfileCommandString(context.Background(), "mdsim", map[string]string{"steps": "1000000"},
+		ProfileOptions{Machine: machine.Thinkie, SampleRate: 10, Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Find("mdsim", p.Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dropped == 0 {
+		t.Error("expected dropped samples under the tiny document limit")
+	}
+}
+
+func TestEmulateStoredProfileUsesLatest(t *testing.T) {
+	ctx := context.Background()
+	s := store.NewMem()
+	tags := map[string]string{"steps": "50000"}
+	for seed := uint64(0); seed < 3; seed++ {
+		_, err := ProfileCommandString(ctx, "mdsim", tags, ProfileOptions{
+			Machine: machine.Thinkie, SampleRate: 1, Store: s, Seed: seed, Jitter: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	set, err := Lookup(s, "mdsim", tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("stored %d profiles", len(set))
+	}
+	if _, err := Emulate(ctx, s, "mdsim", tags, EmulateOptions{Machine: machine.Archer}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Real process profiling on Linux: profile a short sleep through /proc.
+func TestProfileExecSleep(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("real profiling requires linux /proc")
+	}
+	ctx := context.Background()
+	p, err := ProfileCommandString(ctx, "sleep 0.4", nil, ProfileOptions{
+		Real:       true,
+		SampleRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Duration.Seconds()
+	if tx < 0.3 || tx > 2.0 {
+		t.Errorf("profiled sleep Tx = %.2fs, want ≈0.4s", tx)
+	}
+	// The paper's sleep(3) limitation: Tx is large, consumption near zero.
+	cpuSec := p.Total(profile.MetricCPUCycles) / machine.Host().ClockHz
+	if cpuSec > 0.2 {
+		t.Errorf("sleep consumed %.2fs of CPU, want ≈0", cpuSec)
+	}
+	if p.Machine != machine.HostName {
+		t.Errorf("machine = %q", p.Machine)
+	}
+}
+
+func TestProfileExecBadCommand(t *testing.T) {
+	_, err := ProfileCommandString(context.Background(), "/nonexistent/binary-xyz", nil,
+		ProfileOptions{Real: true, SampleRate: 10})
+	if err == nil {
+		t.Error("nonexistent binary should fail to start")
+	}
+	_, err = ProfileCommandString(context.Background(), "   ", nil,
+		ProfileOptions{Real: true, SampleRate: 10})
+	if err == nil {
+		t.Error("empty command should fail")
+	}
+}
+
+// The sleep limitation end-to-end (paper §4.5): emulating a profiled sleep
+// finishes almost immediately because no resource consumption was observed.
+func TestSleeperEmulationLimitation(t *testing.T) {
+	ctx := context.Background()
+	s := store.NewMem()
+	_, err := ProfileCommandString(ctx, "sleep", map[string]string{"seconds": "30"},
+		ProfileOptions{Machine: machine.Thinkie, SampleRate: 1, Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Emulate(ctx, s, "sleep", map[string]string{"seconds": "30"},
+		EmulateOptions{Machine: machine.Thinkie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App Tx = 30s; emulation should be dominated by the 1s startup.
+	if rep.Tx.Seconds() > 3 {
+		t.Errorf("emulated sleep Tx = %v, want ≈startup only", rep.Tx)
+	}
+}
+
+func TestKernelAndIOKnobsPropagate(t *testing.T) {
+	ctx := context.Background()
+	s := store.NewMem()
+	tags := map[string]string{"steps": "100000"}
+	if _, err := ProfileCommandString(ctx, "mdsim", tags, ProfileOptions{
+		Machine: machine.Comet, SampleRate: 1, Store: s,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	repC, err := Emulate(ctx, s, "mdsim", tags, EmulateOptions{
+		Machine: machine.Comet, Kernel: machine.KernelC, DisableStorage: true, DisableMemory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := Emulate(ctx, s, "mdsim", tags, EmulateOptions{
+		Machine: machine.Comet, Kernel: machine.KernelASM, DisableStorage: true, DisableMemory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.Kernel != machine.KernelC || repA.Kernel != machine.KernelASM {
+		t.Error("kernel names not propagated")
+	}
+	if !(repC.IPC() < repA.IPC()) {
+		t.Errorf("C kernel IPC (%v) should be below ASM (%v)", repC.IPC(), repA.IPC())
+	}
+	if math.IsNaN(repC.IPC()) {
+		t.Error("IPC is NaN")
+	}
+}
+
+// The paper's threading model end to end: profile a real process with one
+// goroutine per watcher.
+func TestProfileExecConcurrentWatchers(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("real profiling requires linux /proc")
+	}
+	p, err := ProfileCommandString(context.Background(), "sleep 0.3", nil, ProfileOptions{
+		Real:       true,
+		Concurrent: true,
+		SampleRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration.Seconds() < 0.2 || p.Duration.Seconds() > 2 {
+		t.Errorf("concurrent profiled Tx = %v", p.Duration)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The E.2 sanity check as an operation: re-profiling an emulation agrees
+// with the source profile on I/O exactly and on compute up to the bias.
+func TestVerifyEmulation(t *testing.T) {
+	ctx := context.Background()
+	s := store.NewMem()
+	tags := map[string]string{"steps": "300000"}
+	p, err := ProfileCommandString(ctx, "mdsim", tags, ProfileOptions{
+		Machine: machine.Comet, SampleRate: 2, Store: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Emulate(ctx, s, "mdsim", tags, EmulateOptions{
+		Machine: machine.Comet, Kernel: machine.KernelC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := VerifyEmulation(ctx, p, rep, machine.Comet, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := map[string]VerifyRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	kp, _ := machine.MustGet(machine.Comet).Kernel(machine.KernelC)
+	if r, ok := byMetric[profile.MetricCPUCycles]; !ok || math.Abs(r.Ratio-kp.CalibBias) > 0.02 {
+		t.Errorf("cycles ratio = %+v, want ≈%v", r, kp.CalibBias)
+	}
+	if r, ok := byMetric[profile.MetricIOWriteBytes]; !ok || math.Abs(r.Ratio-1) > 0.01 {
+		t.Errorf("write ratio = %+v, want ≈1", r)
+	}
+	if r, ok := byMetric["runtime (s)"]; !ok || r.Ratio <= 0 {
+		t.Errorf("runtime row missing: %+v", r)
+	}
+}

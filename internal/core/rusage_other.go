@@ -1,0 +1,20 @@
+//go:build !unix
+
+package core
+
+import (
+	"os/exec"
+	"time"
+)
+
+// childUsage is the subset of rusage the profiler corrects with.
+type childUsage struct {
+	cpu    time.Duration
+	maxRSS int64
+}
+
+// rusageOf is unavailable off unix; the profiler falls back to the last
+// /proc-style snapshot (itself unavailable off Linux, so real-mode profiling
+// degrades to Tx-only observation — matching the paper's caveat that
+// profiling needs system-level support).
+func rusageOf(*exec.Cmd) (childUsage, bool) { return childUsage{}, false }

@@ -1,0 +1,39 @@
+//go:build unix
+
+package core
+
+import (
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// childUsage is the subset of rusage the profiler corrects with.
+type childUsage struct {
+	cpu      time.Duration // user + system CPU time
+	maxRSS   int64         // peak resident set size in bytes
+	blockIn  int64         // bytes actually read from the block layer
+	blockOut int64         // bytes actually written to the block layer
+}
+
+// rusageOf extracts the child's rusage after Wait has completed — the
+// paper's "POSIX rusage call to obtain runtime process information".
+func rusageOf(cmd *exec.Cmd) (childUsage, bool) {
+	state := cmd.ProcessState
+	if state == nil {
+		return childUsage{}, false
+	}
+	ru, ok := state.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return childUsage{}, false
+	}
+	cpu := time.Duration(ru.Utime.Sec+ru.Stime.Sec)*time.Second +
+		time.Duration(ru.Utime.Usec+ru.Stime.Usec)*time.Microsecond
+	// ru_maxrss is kilobytes on Linux; ru_inblock/oublock are 512B blocks.
+	return childUsage{
+		cpu:      cpu,
+		maxRSS:   ru.Maxrss << 10,
+		blockIn:  ru.Inblock * 512,
+		blockOut: ru.Oublock * 512,
+	}, true
+}

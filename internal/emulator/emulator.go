@@ -1,0 +1,367 @@
+// Package emulator implements Synapse's emulation module: the global loop
+// that feeds profile samples to the emulation atoms in the order the samples
+// were collected (paper §4, §4.4).
+//
+// Replay semantics, from the paper:
+//
+//   - All resource consumptions of one sample start immediately and
+//     concurrently when the sample starts; there is no ordering between
+//     resource types inside a sample.
+//   - A sample ends when its last resource consumption completes (barrier);
+//     only then does the next sample start.
+//   - All timing information in the profile is disregarded: emulation
+//     consumes the same amount of resources, not the same timings.
+//
+// Preserving sample order preserves the implicit cross-resource dependencies
+// the sampling captured; the per-sample barrier is what makes profiles
+// portable across machines with different relative resource speeds (Fig 3).
+package emulator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"synapse/internal/atoms"
+	"synapse/internal/clock"
+	"synapse/internal/machine"
+	"synapse/internal/perfcount"
+	"synapse/internal/profile"
+)
+
+// DefaultStartupDelay models the emulator's fixed start-up cost (fetching
+// the profile, spawning the atom threads); the paper measures ≈1 s and shows
+// it dominating short emulations (Fig 5).
+const DefaultStartupDelay = time.Second
+
+// DefaultSampleOverhead is the driver's bookkeeping cost per replayed sample
+// ("a tight loop that feeds into the Synapse atoms", paper §4.5).
+const DefaultSampleOverhead = 200 * time.Microsecond
+
+// Options configure one emulation run.
+type Options struct {
+	// Atoms carries the tunables: machine, kernel choice, I/O blocks,
+	// filesystem, parallelism, artificial load.
+	Atoms atoms.Config
+	// Real selects real host-resource consumption instead of the modeled
+	// machine. ScratchDir is the real storage atom's directory.
+	Real       bool
+	ScratchDir string
+	// Clock paces the run; clock.AutoSim (default for !Real) makes
+	// simulated emulation instantaneous.
+	Clock clock.Clock
+	// StartupDelay and SampleOverhead model driver costs in simulated
+	// mode; negative disables, zero selects the defaults.
+	StartupDelay   time.Duration
+	SampleOverhead time.Duration
+	// DisableStorage/DisableMemory/DisableNetwork turn off those atoms —
+	// the paper disables memory and I/O emulation in E.3/E.4.
+	DisableStorage bool
+	DisableMemory  bool
+	DisableNetwork bool
+}
+
+// AtomSpan is one atom's activity within one replayed sample.
+type AtomSpan struct {
+	Atom string
+	Dur  time.Duration
+}
+
+// SampleTrace records how one sample replayed: when it started relative to
+// the first sample, how long each atom ran, and the barrier duration.
+type SampleTrace struct {
+	Index int
+	Start time.Duration
+	Spans []AtomSpan
+	// Dur is the sample's barrier duration: the slowest atom plus driver
+	// overhead.
+	Dur time.Duration
+	// Consumed is what the atoms consumed replaying this sample.
+	Consumed perfcount.Counters
+}
+
+// Report is the outcome of an emulation run.
+type Report struct {
+	// Tx is the emulation's execution time (on the run's clock).
+	Tx time.Duration
+	// Startup is the modeled or measured start-up delay included in Tx.
+	Startup time.Duration
+	// Samples is the number of replayed samples.
+	Samples int
+	// Consumed aggregates what the atoms consumed.
+	Consumed perfcount.Counters
+	// SampleDurations holds each sample's replay duration, in order.
+	SampleDurations []time.Duration
+	// Trace holds the per-sample, per-atom replay timeline (paper Fig 2:
+	// within a sample all atoms run concurrently; samples are ordered).
+	Trace []SampleTrace
+	// Machine is the emulation resource's name.
+	Machine string
+	// Kernel is the compute kernel used.
+	Kernel string
+}
+
+// BusyTime returns the total time the named atom was active across samples.
+func (r *Report) BusyTime(atom string) time.Duration {
+	var total time.Duration
+	for _, st := range r.Trace {
+		for _, sp := range st.Spans {
+			if sp.Atom == atom {
+				total += sp.Dur
+			}
+		}
+	}
+	return total
+}
+
+// DominantAtom returns the atom that bounded the given sample (the slowest
+// span), or "" for an empty sample.
+func (r *Report) DominantAtom(i int) string {
+	if i < 0 || i >= len(r.Trace) {
+		return ""
+	}
+	var name string
+	var max time.Duration
+	for _, sp := range r.Trace[i].Spans {
+		if sp.Dur > max {
+			max = sp.Dur
+			name = sp.Atom
+		}
+	}
+	return name
+}
+
+// IPC returns the consumed instructions per cycle.
+func (r *Report) IPC() float64 { return r.Consumed.IPC() }
+
+// RequestFromSample converts one profile sample into an atom request.
+func RequestFromSample(s profile.Sample) atoms.Request {
+	return atoms.Request{
+		Cycles:        s.Get(profile.MetricCPUCycles),
+		FLOPs:         s.Get(profile.MetricCPUFLOPs),
+		ReadBytes:     s.Get(profile.MetricIOReadBytes),
+		WriteBytes:    s.Get(profile.MetricIOWriteBytes),
+		ReadOps:       s.Get(profile.MetricIOReadOps),
+		WriteOps:      s.Get(profile.MetricIOWriteOps),
+		AllocBytes:    s.Get(profile.MetricMemAlloc),
+		FreeBytes:     s.Get(profile.MetricMemFree),
+		NetReadBytes:  s.Get(profile.MetricNetReadBytes),
+		NetWriteBytes: s.Get(profile.MetricNetWriteBytes),
+	}
+}
+
+// splitRequest hands each atom its slice of the sample's demand, applying
+// the MPI duplication rule: multi-processing duplicates non-compute resource
+// usage across ranks, multi-threading shares it (paper §5 E.4).
+func splitRequest(req atoms.Request, name string, cfg *atoms.Config) atoms.Request {
+	dup := 1.0
+	if cfg.Mode == machine.ModeMPI && cfg.Workers > 1 {
+		dup = float64(cfg.Workers)
+	}
+	switch name {
+	case "compute":
+		return atoms.Request{Cycles: req.Cycles, FLOPs: req.FLOPs}
+	case "storage":
+		return atoms.Request{
+			ReadBytes: req.ReadBytes * dup, WriteBytes: req.WriteBytes * dup,
+			ReadOps: req.ReadOps * dup, WriteOps: req.WriteOps * dup,
+		}
+	case "memory":
+		return atoms.Request{AllocBytes: req.AllocBytes * dup, FreeBytes: req.FreeBytes * dup}
+	case "network":
+		return atoms.Request{NetReadBytes: req.NetReadBytes * dup, NetWriteBytes: req.NetWriteBytes * dup}
+	default:
+		return atoms.Request{}
+	}
+}
+
+// Emulate replays the profile's samples through the atoms and returns the
+// run report.
+func Emulate(ctx context.Context, p *profile.Profile, opts Options) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("emulator: nil profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Atoms
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("emulator: options need a machine model")
+	}
+
+	var set []atoms.Atom
+	var err error
+	if opts.Real {
+		set, err = atoms.NewRealSet(&cfg, opts.ScratchDir)
+	} else {
+		set, err = atoms.NewSimSet(&cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	set = filterAtoms(set, opts)
+
+	clk := opts.Clock
+	if clk == nil {
+		if opts.Real {
+			clk = clock.NewReal()
+		} else {
+			clk = clock.NewAutoSim(time.Unix(0, 0).UTC())
+		}
+	}
+	startup := opts.StartupDelay
+	switch {
+	case startup < 0:
+		startup = 0
+	case startup == 0:
+		startup = DefaultStartupDelay
+	}
+	overhead := opts.SampleOverhead
+	switch {
+	case overhead < 0:
+		overhead = 0
+	case overhead == 0:
+		overhead = DefaultSampleOverhead
+	}
+
+	// Parallel runs pay the one-time worker-pool setup cost as part of
+	// the startup (threads spawned / MPI ranks launched once per run).
+	if cfg.Workers > 1 && cfg.Mode != machine.ModeSerial {
+		startup += cfg.Machine.Threading.SetupOverhead(cfg.Workers, cfg.Mode)
+	}
+
+	start := clk.Now()
+	// Start-up: locate and load the profile, spawn atom threads. In real
+	// mode the construction above already cost real time; the modeled
+	// delay applies to simulated runs.
+	if !opts.Real && startup > 0 {
+		clk.Sleep(startup)
+	}
+
+	rep := &Report{
+		Machine: cfg.Machine.Name,
+		Kernel:  cfg.Kernel,
+		Startup: startup,
+	}
+	if rep.Kernel == "" {
+		rep.Kernel = machine.KernelASM
+	}
+
+	var cursor time.Duration
+	for i, s := range p.Samples {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		req := RequestFromSample(s)
+		spans, dur, consumed, err := replaySample(ctx, set, req, &cfg, opts.Real)
+		if err != nil {
+			return nil, err
+		}
+		dur += overhead
+		rep.SampleDurations = append(rep.SampleDurations, dur)
+		rep.Trace = append(rep.Trace, SampleTrace{
+			Index: i, Start: cursor, Spans: spans, Dur: dur, Consumed: consumed,
+		})
+		cursor += dur
+		rep.Consumed = rep.Consumed.Add(consumed)
+		rep.Samples++
+		if !opts.Real {
+			clk.Sleep(dur)
+		}
+	}
+
+	rep.Tx = clk.Now().Sub(start)
+	if !opts.Real {
+		// Simulated clocks advance exactly by slept time; assemble Tx
+		// from parts to avoid clock granularity concerns.
+		rep.Tx = startup
+		for _, d := range rep.SampleDurations {
+			rep.Tx += d
+		}
+	}
+	return rep, nil
+}
+
+// replaySample runs one sample through all atoms concurrently and waits for
+// the slowest one (the paper's per-sample barrier). In simulated mode the
+// atoms return modeled durations instantly and the barrier is the max; in
+// real mode the consumption happens in parallel goroutines and the barrier
+// is the actual wait.
+func replaySample(ctx context.Context, set []atoms.Atom, req atoms.Request, cfg *atoms.Config, real bool) ([]AtomSpan, time.Duration, perfcount.Counters, error) {
+	type outcome struct {
+		res atoms.Result
+		err error
+	}
+	results := make([]outcome, len(set))
+
+	if real {
+		wallStart := time.Now()
+		done := make(chan int, len(set))
+		for i, a := range set {
+			go func(i int, a atoms.Atom) {
+				res, err := a.Consume(ctx, splitRequest(req, a.Name(), cfg))
+				results[i] = outcome{res, err}
+				done <- i
+			}(i, a)
+		}
+		for range set {
+			<-done
+		}
+		var consumed perfcount.Counters
+		var spans []AtomSpan
+		for i, o := range results {
+			if o.err != nil {
+				return nil, 0, consumed, o.err
+			}
+			consumed = consumed.Add(o.res.Consumed)
+			if o.res.Dur > 0 {
+				spans = append(spans, AtomSpan{Atom: set[i].Name(), Dur: o.res.Dur})
+			}
+		}
+		return spans, time.Since(wallStart), consumed, nil
+	}
+
+	var max time.Duration
+	var consumed perfcount.Counters
+	var spans []AtomSpan
+	for i, a := range set {
+		res, err := a.Consume(ctx, splitRequest(req, a.Name(), cfg))
+		if err != nil {
+			return nil, 0, consumed, err
+		}
+		results[i] = outcome{res, nil}
+		if res.Dur > max {
+			max = res.Dur
+		}
+		if res.Dur > 0 {
+			spans = append(spans, AtomSpan{Atom: set[i].Name(), Dur: res.Dur})
+		}
+		consumed = consumed.Add(res.Consumed)
+	}
+	return spans, max, consumed, nil
+}
+
+// filterAtoms applies the disable switches.
+func filterAtoms(set []atoms.Atom, opts Options) []atoms.Atom {
+	out := set[:0]
+	for _, a := range set {
+		switch a.Name() {
+		case "storage":
+			if opts.DisableStorage {
+				continue
+			}
+		case "memory":
+			if opts.DisableMemory {
+				continue
+			}
+		case "network":
+			if opts.DisableNetwork {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package emulator
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"synapse/internal/atoms"
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+)
+
+// randomProfile builds a valid profile from fuzz inputs: up to 12 samples
+// with arbitrary mixes of compute, I/O and memory demand.
+func randomProfile(cycles []uint32, rw []uint32, mem []uint32) *profile.Profile {
+	p := profile.New("property", nil)
+	p.SampleRate = 1
+	n := len(cycles)
+	if m := len(rw); m < n {
+		n = m
+	}
+	if m := len(mem); m < n {
+		n = m
+	}
+	if n > 12 {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		v := map[string]float64{}
+		if c := float64(cycles[i]); c > 0 {
+			v[profile.MetricCPUCycles] = c * 1e3
+		}
+		if b := float64(rw[i] % (1 << 26)); b > 0 {
+			if i%2 == 0 {
+				v[profile.MetricIOWriteBytes] = b
+			} else {
+				v[profile.MetricIOReadBytes] = b
+			}
+		}
+		if a := float64(mem[i] % (1 << 24)); a > 0 {
+			v[profile.MetricMemAlloc] = a
+		}
+		_ = p.Append(profile.Sample{T: time.Duration(i+1) * time.Second, Values: v})
+	}
+	p.Finalize(time.Duration(n+1) * time.Second)
+	return p
+}
+
+// Property: replay conserves non-compute consumption exactly and compute up
+// to bias plus one chunk; the number of replayed samples matches; and Tx is
+// bounded below by the slowest atom's busy time plus startup.
+func TestReplayConservationProperty(t *testing.T) {
+	m := machine.MustGet(machine.Comet)
+	kp, _ := m.Kernel(machine.KernelASM)
+	f := func(cycles, rw, mem []uint32) bool {
+		p := randomProfile(cycles, rw, mem)
+		rep, err := Emulate(context.Background(), p, Options{
+			Atoms: atoms.Config{Machine: m},
+		})
+		if err != nil {
+			return false
+		}
+		if rep.Samples != len(p.Samples) {
+			return false
+		}
+		// Exact conservation for storage and memory.
+		if math.Abs(rep.Consumed.WriteBytes-p.Total(profile.MetricIOWriteBytes)) > 1 {
+			return false
+		}
+		if math.Abs(rep.Consumed.ReadBytes-p.Total(profile.MetricIOReadBytes)) > 1 {
+			return false
+		}
+		if math.Abs(rep.Consumed.AllocBytes-p.Total(profile.MetricMemAlloc)) > 1 {
+			return false
+		}
+		// Compute: within [target*bias, target*bias + one chunk*bias].
+		target := p.Total(profile.MetricCPUCycles)
+		if target > 0 {
+			lo := target * kp.CalibBias * 0.999
+			hi := target*kp.CalibBias + kp.Chunk()*kp.CalibBias*1.001
+			if rep.Consumed.Cycles < lo || rep.Consumed.Cycles > hi {
+				return false
+			}
+		}
+		// Tx lower bound: startup plus the slowest resource's busy time.
+		var maxBusy time.Duration
+		for _, a := range []string{"compute", "storage", "memory", "network"} {
+			if d := rep.BusyTime(a); d > maxBusy {
+				maxBusy = d
+			}
+		}
+		return rep.Tx >= rep.Startup+maxBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replay order matches profile order (trace starts are strictly
+// increasing by sample index and contiguous).
+func TestReplayOrderProperty(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	f := func(cycles, rw, mem []uint32) bool {
+		p := randomProfile(cycles, rw, mem)
+		rep, err := Emulate(context.Background(), p, Options{
+			Atoms: atoms.Config{Machine: m},
+		})
+		if err != nil {
+			return false
+		}
+		var cursor time.Duration
+		for i, st := range rep.Trace {
+			if st.Index != i {
+				return false
+			}
+			if st.Start != cursor {
+				return false
+			}
+			cursor += st.Dur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

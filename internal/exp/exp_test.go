@@ -1,0 +1,334 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse a formatted cell back to float (strips %, +, x, unit suffixes).
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.Add("1", "2")
+	tbl.Note("hello %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"demo", "a", "1", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	tbl := &Table{Columns: []string{"a,b"}}
+	tbl.Add("x,y")
+	csv := tbl.CSV()
+	if strings.Count(strings.Split(csv, "\n")[0], ",") != 0 {
+		t.Errorf("CSV header not sanitised: %q", csv)
+	}
+}
+
+func TestFig4ProfilingOverheadNegligible(t *testing.T) {
+	tbl, err := Fig4(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last column holds the max |diff| per size; all must be small
+	// (the paper finds profiling does not affect Tx).
+	for _, row := range tbl.Rows {
+		diff := cellFloat(t, row[len(row)-1])
+		if diff > 15 {
+			t.Errorf("size %s: profiling overhead %v%% too large", row[0], diff)
+		}
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("quick config should test 3 sizes, got %d", len(tbl.Rows))
+	}
+}
+
+func TestFig5SameResourceConvergence(t *testing.T) {
+	tbl, err := Fig5(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short runs: diff large (startup); long runs: small.
+	first := cellFloat(t, tbl.Rows[0][3])
+	last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if first < last {
+		t.Errorf("startup should dominate short runs: first %v%%, last %v%%", first, last)
+	}
+	if last > 10 {
+		t.Errorf("long-run diff = %v%%, want <10%%", last)
+	}
+}
+
+func TestFig6TopConsistency(t *testing.T) {
+	tbl, err := Fig6Top(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		spread := cellFloat(t, row[len(row)-1])
+		if spread > 2 {
+			t.Errorf("size %s: CPU ops spread %v%% across rates, want <2%%", row[0], spread)
+		}
+	}
+}
+
+func TestFig6BottomUnderestimation(t *testing.T) {
+	tbl, err := Fig6Bottom(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the smallest problem size, RSS at the lowest rate must be below
+	// RSS at the highest rate.
+	row := tbl.Rows[0]
+	low := cellFloat(t, row[1])
+	high := cellFloat(t, row[len(row)-1])
+	if low >= high {
+		t.Errorf("smallest size: low-rate RSS %v should underestimate high-rate %v", low, high)
+	}
+}
+
+func TestFig7PortabilityShape(t *testing.T) {
+	tbl, err := Fig7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	stampedeDiff := cellFloat(t, last[3])
+	archerDiff := cellFloat(t, last[6])
+	if stampedeDiff > -30 || stampedeDiff < -50 {
+		t.Errorf("stampede converged diff = %v%%, want ≈-40%%", stampedeDiff)
+	}
+	if archerDiff < 25 || archerDiff > 45 {
+		t.Errorf("archer converged diff = %v%%, want ≈+33%%", archerDiff)
+	}
+}
+
+func TestFig8CycleErrors(t *testing.T) {
+	tbl, err := Fig8to11(QuickConfig(), MetricCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row per machine = largest size: C error ≈ bias, ASM larger.
+	for _, row := range tbl.Rows {
+		if row[1] != "100k" {
+			continue
+		}
+		cErr := cellFloat(t, row[4])
+		aErr := cellFloat(t, row[6])
+		if cErr >= aErr {
+			t.Errorf("%s: C kernel cycle error (%v%%) should beat ASM (%v%%)", row[0], cErr, aErr)
+		}
+		switch row[0] {
+		case "comet":
+			if cErr < 2 || cErr > 6 {
+				t.Errorf("comet C error = %v%%, want ≈3.5%%", cErr)
+			}
+			if aErr < 12 || aErr > 18 {
+				t.Errorf("comet ASM error = %v%%, want ≈14.5%%", aErr)
+			}
+		case "supermic":
+			if cErr < 2.5 || cErr > 6.5 {
+				t.Errorf("supermic C error = %v%%, want ≈4%%", cErr)
+			}
+			if aErr < 22 || aErr > 31 {
+				t.Errorf("supermic ASM error = %v%%, want ≈26.5%%", aErr)
+			}
+		}
+	}
+}
+
+func TestFig9TxErrorsTrackCycles(t *testing.T) {
+	tbl, err := Fig8to11(QuickConfig(), MetricTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "100k" {
+			continue
+		}
+		cErr := cellFloat(t, row[4])
+		aErr := cellFloat(t, row[6])
+		if cErr >= aErr {
+			t.Errorf("%s: C kernel Tx error should beat ASM", row[0])
+		}
+	}
+}
+
+func TestFig11IPCOrdering(t *testing.T) {
+	tbl, err := Fig8to11(QuickConfig(), MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "100k" {
+			continue
+		}
+		appIPC := cellFloat(t, row[2])
+		cIPC := cellFloat(t, row[3])
+		aIPC := cellFloat(t, row[5])
+		if !(appIPC < cIPC && cIPC < aIPC) {
+			t.Errorf("%s: IPC ordering app(%v) < C(%v) < ASM(%v) violated", row[0], appIPC, cIPC, aIPC)
+		}
+		// Paper values at the largest size.
+		switch row[0] {
+		case "comet":
+			if appIPC < 2.0 || appIPC > 2.35 {
+				t.Errorf("comet app IPC = %v, want ≈2.17", appIPC)
+			}
+		case "supermic":
+			if appIPC < 1.9 || appIPC > 2.2 {
+				t.Errorf("supermic app IPC = %v, want ≈2.04", appIPC)
+			}
+		}
+	}
+}
+
+func TestFig12Crossover(t *testing.T) {
+	tbl, err := Fig12(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the full-node rows: titan at 16, supermic at 20.
+	var titanOMP, titanMPI, smOMP, smMPI float64
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "16":
+			titanOMP, titanMPI = cellFloat(t, row[1]), cellFloat(t, row[2])
+		case "20":
+			if row[3] != "-" {
+				smOMP, smMPI = cellFloat(t, row[3]), cellFloat(t, row[4])
+			}
+		}
+	}
+	if titanOMP <= 0 || smOMP <= 0 {
+		t.Fatal("missing full-node rows")
+	}
+	if titanOMP >= titanMPI {
+		t.Errorf("titan: OpenMP (%v) should beat MPI (%v)", titanOMP, titanMPI)
+	}
+	if smMPI >= smOMP {
+		t.Errorf("supermic: MPI (%v) should beat OpenMP (%v)", smMPI, smOMP)
+	}
+	// Scaling: the serial row must be slower than the full-node rows.
+	serialTitan := cellFloat(t, tbl.Rows[0][1])
+	if serialTitan <= titanOMP {
+		t.Errorf("no scaling: serial %v vs 16-way %v", serialTitan, titanOMP)
+	}
+}
+
+func TestFig13And14Scaling(t *testing.T) {
+	for _, fn := range []func(Config) (*Table, error){Fig13, Fig14} {
+		tbl, err := fn(QuickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := cellFloat(t, tbl.Rows[0][2])
+		last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][2])
+		if first != 1 {
+			t.Errorf("%s: serial speedup = %v, want 1", tbl.ID, first)
+		}
+		if last < 3 {
+			t.Errorf("%s: full-node speedup = %v, want >3x", tbl.ID, last)
+		}
+		// Diminishing returns: speedup at 16 cores well below ideal.
+		if last > 14 {
+			t.Errorf("%s: speedup %v too close to ideal, contention missing", tbl.ID, last)
+		}
+	}
+}
+
+func TestFig15IOShapes(t *testing.T) {
+	tbl, err := Fig15(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ mn, fs, block string }
+	write := map[key]float64{}
+	read := map[key]float64{}
+	for _, row := range tbl.Rows {
+		k := key{row[0], row[1], row[2]}
+		write[k] = cellFloat(t, row[3])
+		read[k] = cellFloat(t, row[5])
+	}
+	// Writes ≈10x slower than reads on lustre at large blocks.
+	k := key{"titan", "lustre", "64MB"}
+	if write[k] < 5*read[k] {
+		t.Errorf("lustre writes should be ~10x slower: w=%v r=%v", write[k], read[k])
+	}
+	// Small blocks slower than large on every fs.
+	for _, mn := range []string{"titan", "supermic"} {
+		for _, fs := range []string{"lustre", "local"} {
+			small := write[key{mn, fs, "4KB"}]
+			large := write[key{mn, fs, "64MB"}]
+			if small <= large {
+				t.Errorf("%s/%s: 4KB writes (%v) should be slower than 64MB (%v)", mn, fs, small, large)
+			}
+		}
+	}
+	// Lustre similar across machines; local differs.
+	tl := write[key{"titan", "lustre", "1MB"}]
+	sl := write[key{"supermic", "lustre", "1MB"}]
+	if rel := (tl - sl) / sl; rel > 0.2 || rel < -0.2 {
+		t.Errorf("lustre differs %v%% across machines, want <20%%", rel*100)
+	}
+	tloc := write[key{"titan", "local", "1MB"}]
+	sloc := write[key{"supermic", "local", "1MB"}]
+	if tloc >= sloc {
+		t.Errorf("titan local (%v) should be faster than supermic local (%v)", tloc, sloc)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) < 30 {
+		t.Errorf("Table 1 has %d rows, want the paper's 33", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, want := range []string{"cycles used", "bytes peak", "block size write", "(+)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	tables, err := All(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 16 {
+		t.Errorf("All returned %d tables, want 16", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || len(tbl.Rows) == 0 {
+			t.Errorf("table %q is empty", tbl.Title)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate table ID %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+)
+
+// fig15Total is the bytes moved per I/O measurement.
+func fig15Total(cfg Config) int64 {
+	if cfg.Quick {
+		return 64 << 20
+	}
+	return 256 << 20
+}
+
+// fig15Blocks is the block-size sweep.
+func fig15Blocks(cfg Config) []int64 {
+	if cfg.Quick {
+		return []int64{4 << 10, 1 << 20, 64 << 20}
+	}
+	return []int64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
+}
+
+// ioProfile builds a single-sample profile demanding one direction of I/O.
+func ioProfile(write bool, total int64) *profile.Profile {
+	p := profile.New("synapse-iobench", map[string]string{"dir": map[bool]string{true: "write", false: "read"}[write]})
+	v := map[string]float64{}
+	if write {
+		v[profile.MetricIOWriteBytes] = float64(total)
+	} else {
+		v[profile.MetricIOReadBytes] = float64(total)
+	}
+	_ = p.Append(profile.Sample{T: time.Second, Values: v})
+	p.Finalize(time.Second)
+	return p
+}
+
+// Fig15 reproduces "I/O Emulation": read and write performance of the
+// storage atom across target filesystems and block sizes on Titan and
+// Supermic. Writes are roughly an order of magnitude slower than reads on
+// shared filesystems; small blocks are far slower than large ones; Lustre
+// behaves alike on both machines while local storage differs significantly.
+func Fig15(cfg Config) (*Table, error) {
+	total := fig15Total(cfg)
+	t := &Table{
+		ID:    "fig15",
+		Title: fmt.Sprintf("I/O emulation: %d MB per operation set, by filesystem and block size", total>>20),
+		Columns: []string{"machine", "fs", "block",
+			"write (s)", "write MB/s", "read (s)", "read MB/s"},
+	}
+
+	type key struct{ mn, fs string }
+	writeAtMB := map[key]float64{} // write seconds at the 1MB block, for notes
+
+	for _, mn := range []string{machine.Titan, machine.Supermic} {
+		m := machine.MustGet(mn)
+		for _, fs := range []string{machine.FSLustre, machine.FSLocal} {
+			if _, err := m.Filesystem(fs); err != nil {
+				continue
+			}
+			for _, block := range fig15Blocks(cfg) {
+				var secs [2]float64 // write, read
+				for i, write := range []bool{true, false} {
+					p := ioProfile(write, total)
+					fs, block := fs, block
+					rep, err := emulate(p, mn, func(o *core.EmulateOptions) {
+						o.Filesystem = fs
+						o.ReadBlock = block
+						o.WriteBlock = block
+						o.StartupDelay = -1
+						o.SampleOverhead = -1
+						o.DisableMemory = true
+						o.DisableNetwork = true
+					})
+					if err != nil {
+						return nil, err
+					}
+					secs[i] = rep.Tx.Seconds()
+				}
+				mb := float64(total) / (1 << 20)
+				t.Add(mn, fs, blockLabel(block),
+					fmtSec(secs[0]), fmt.Sprintf("%.1f", mb/secs[0]),
+					fmtSec(secs[1]), fmt.Sprintf("%.1f", mb/secs[1]))
+				if block == 1<<20 {
+					writeAtMB[key{mn, fs}] = secs[0]
+				}
+			}
+		}
+	}
+
+	tl := writeAtMB[key{machine.Titan, machine.FSLustre}]
+	sl := writeAtMB[key{machine.Supermic, machine.FSLustre}]
+	tloc := writeAtMB[key{machine.Titan, machine.FSLocal}]
+	sloc := writeAtMB[key{machine.Supermic, machine.FSLocal}]
+	t.Note("Lustre performs very similarly on both machines (1MB-block writes: titan %.2fs vs supermic %.2fs)", tl, sl)
+	t.Note("local storage differs significantly (titan %.2fs vs supermic %.2fs); Titan's local FS is much faster", tloc, sloc)
+	t.Note("writes are roughly an order of magnitude slower than reads on the shared filesystem; small blocks pay per-operation latency")
+	return t, nil
+}
+
+func blockLabel(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Table1 reproduces paper Table 1: the metric registry with its support
+// levels (Tot/Sampled/Derived/Emulated).
+func Table1() *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   "List of Synapse metrics and their usage (paper Table 1)",
+		Columns: []string{"Resource", "Metric", "Tot.", "Samp.", "Der.", "Emul."},
+	}
+	prev := ""
+	for _, r := range profile.Registry {
+		group := r.Resource
+		if group == prev {
+			group = ""
+		} else {
+			prev = r.Resource
+		}
+		t.Add(group, r.Title, r.Total.String(), r.Sampled.String(), r.Derived.String(), r.Emul.String())
+	}
+	t.Note("legend: + supported, - not supported, (+) partial, (-) planned")
+	return t
+}

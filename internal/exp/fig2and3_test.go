@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig2CoarserSamplingSpeedsReplay(t *testing.T) {
+	tbl, err := Fig2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 granularities, got %d", len(tbl.Rows))
+	}
+	fine := cellFloat(t, tbl.Rows[0][2])
+	coarse := cellFloat(t, tbl.Rows[2][2])
+	if coarse > fine {
+		t.Errorf("coarse replay (%v) should not exceed fine replay (%v)", coarse, fine)
+	}
+	if coarse >= fine {
+		t.Logf("no strict overlap gain observed (%v vs %v)", coarse, fine)
+	}
+	// Resource consumption identical across granularities.
+	for col := 3; col <= 4; col++ {
+		a := cellFloat(t, tbl.Rows[0][col])
+		b := cellFloat(t, tbl.Rows[2][col])
+		if a != b {
+			t.Errorf("busy time column %d differs: %v vs %v", col, a, b)
+		}
+	}
+}
+
+func TestFig3DominantResourceFlips(t *testing.T) {
+	tbl, err := Fig3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 machines, got %d", len(tbl.Rows))
+	}
+	seqThinkie := tbl.Rows[0][2]
+	seqSupermic := tbl.Rows[1][2]
+	if seqThinkie == seqSupermic {
+		t.Errorf("dominant sequences should differ across machines: %q vs %q", seqThinkie, seqSupermic)
+	}
+	if len(seqThinkie) != len(seqSupermic) {
+		t.Errorf("sample count must be preserved: %q vs %q", seqThinkie, seqSupermic)
+	}
+	// The mixed samples flip from compute- to storage-dominated on the
+	// machine with the faster CPU and slower shared filesystem.
+	if !strings.Contains(seqSupermic, "S") {
+		t.Error("supermic sequence should contain storage-dominated samples")
+	}
+}

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"synapse/internal/app"
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/stats"
+	"synapse/internal/store"
+)
+
+// Fig4 reproduces "Profiling Overhead" (experiment E.1): application Tx under
+// native execution versus execution under the profiler at sampling rates of
+// 0.1–10 Hz, over problem sizes of 10⁴–10⁷ iterations, on Thinkie. The paper
+// finds negligible overhead; the footnote artifact — the largest
+// configuration losing data to the MongoDB 16 MB document limit — is
+// reproduced through the store accounting.
+func Fig4(cfg Config) (*Table, error) {
+	rates := sampleRates(cfg)
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Profiling overhead: Tx (s) native vs profiled, Thinkie",
+		Columns: []string{"steps", "execution"},
+	}
+	for _, r := range rates {
+		t.Columns = append(t.Columns, fmt.Sprintf("profiled %.1fHz", r))
+	}
+	t.Columns = append(t.Columns, "max diff")
+
+	// One Mongo-like document per command/tags key accumulates every
+	// profile of that configuration (repetitions x rates).
+	st := store.NewMem()
+	var maxDiff float64
+	var droppedTotal int
+
+	for _, steps := range mdsimSizes(cfg) {
+		w := app.MDSim(steps)
+		var execTx []float64
+		for rep := 0; rep < cfg.reps(); rep++ {
+			tx, err := nativeTx(machine.Thinkie, w, cfg.Seed+uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+			execTx = append(execTx, tx.Seconds())
+		}
+		exec := stats.Mean(execTx)
+
+		row := []string{stepsLabel(steps), fmtSec(exec)}
+		worst := 0.0
+		for _, rate := range rates {
+			var profTx []float64
+			for rep := 0; rep < cfg.reps(); rep++ {
+				p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed+uint64(rep))
+				if err != nil {
+					return nil, err
+				}
+				profTx = append(profTx, p.Duration.Seconds())
+				d, err := st.PutTruncated(p)
+				if err != nil {
+					return nil, err
+				}
+				droppedTotal += d
+			}
+			m := stats.Mean(profTx)
+			row = append(row, fmtSec(m))
+			if d := math.Abs(stats.PctDiff(m, exec)); d > worst {
+				worst = d
+			}
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", worst))
+		t.Add(row...)
+		if worst > maxDiff {
+			maxDiff = worst
+		}
+	}
+	t.Note("profiling overhead is negligible: max |Tx diff| across all sizes and rates = %.1f%% (noise)", maxDiff)
+	if droppedTotal > 0 {
+		t.Note("DB limitation artifact reproduced: %d samples dropped by the 16MB document limit (largest configuration)", droppedTotal)
+	} else {
+		t.Note("no document-limit overflow at this scale (full-scale run overflows on the 10M-step configuration)")
+	}
+	return t, nil
+}
+
+// Fig5 reproduces "Emulation Correctness" on the profiling resource:
+// emulated Tx tracks application Tx on Thinkie, with the ~1 s emulator
+// startup dominating short runs.
+func Fig5(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Emulation vs execution on the profiling resource (Thinkie)",
+		Columns: []string{"steps", "execution Tx (s)", "emulation Tx (s)", "diff"},
+	}
+	var longDiff float64
+	for _, steps := range mdsimSizes(cfg) {
+		w := app.MDSim(steps)
+		p, err := profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := emulate(p, machine.Thinkie, nil)
+		if err != nil {
+			return nil, err
+		}
+		diff := stats.PctDiff(rep.Tx.Seconds(), p.Duration.Seconds())
+		t.Add(stepsLabel(steps), fmtSec(p.Duration.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff))
+		longDiff = diff
+	}
+	t.Note("diff converges to ≈%+.0f%% for long runs; short runs are dominated by the ≈1s emulator startup", longDiff)
+	return t, nil
+}
+
+// Fig6Top reproduces "Profiling Consistency": the profiled CPU-operation
+// totals are independent of sampling rate for every problem size.
+func Fig6Top(cfg Config) (*Table, error) {
+	rates := sampleRates(cfg)
+	t := &Table{
+		ID:      "fig6top",
+		Title:   "CPU operations over sampling frequency and problem size (Thinkie)",
+		Columns: []string{"steps"},
+	}
+	for _, r := range rates {
+		t.Columns = append(t.Columns, fmt.Sprintf("%.1fHz", r))
+	}
+	t.Columns = append(t.Columns, "spread")
+
+	var worstSpread float64
+	for _, steps := range mdsimSizes(cfg) {
+		w := app.MDSim(steps)
+		row := []string{stepsLabel(steps)}
+		var means []float64
+		for _, rate := range rates {
+			var ops []float64
+			for rep := 0; rep < cfg.reps(); rep++ {
+				p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed+uint64(rep))
+				if err != nil {
+					return nil, err
+				}
+				ops = append(ops, p.Total("cpu.instructions"))
+			}
+			m := stats.Mean(ops)
+			means = append(means, m)
+			row = append(row, fmtSci(m))
+		}
+		spread := (stats.Max(means) - stats.Min(means)) / stats.Mean(means) * 100
+		row = append(row, fmt.Sprintf("%.2f%%", spread))
+		t.Add(row...)
+		if spread > worstSpread {
+			worstSpread = spread
+		}
+	}
+	t.Note("consumed CPU operations are consistent across sampling rates: worst spread %.2f%%", worstSpread)
+	return t, nil
+}
+
+// Fig6Bottom reproduces "Profiled Memory Usage": sampled resident memory is
+// underestimated when the sampling rate allows only one sample during the
+// run, and stabilises once multiple samples fit.
+func Fig6Bottom(cfg Config) (*Table, error) {
+	rates := sampleRates(cfg)
+	t := &Table{
+		ID:      "fig6bottom",
+		Title:   "Profiled resident memory (bytes) over sampling rate and problem size (Thinkie)",
+		Columns: []string{"steps"},
+	}
+	for _, r := range rates {
+		t.Columns = append(t.Columns, fmt.Sprintf("%.1fHz", r))
+	}
+
+	var lowSmall, highSmall float64
+	for _, steps := range mdsimSizes(cfg) {
+		w := app.MDSim(steps)
+		row := []string{stepsLabel(steps)}
+		for i, rate := range rates {
+			p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rss := p.Total("mem.rss")
+			row = append(row, fmtSci(rss))
+			if steps == mdsimSizes(cfg)[0] {
+				if i == 0 {
+					lowSmall = rss
+				}
+				if i == len(rates)-1 {
+					highSmall = rss
+				}
+			}
+		}
+		t.Add(row...)
+	}
+	t.Note("for the smallest size, 0.1Hz sampling reports %.2g bytes vs %.2g at 10Hz: single-sample profiles underestimate the resident size", lowSmall, highSmall)
+	t.Note("the rusage-based mem.peak total remains exact at every rate (see watcher tests)")
+	return t, nil
+}
+
+// Fig7 reproduces "Emulation Correctness" across resources: profiles taken
+// on Thinkie are emulated on Stampede (top; emulation ≈40% faster than the
+// native application) and Archer (bottom; ≈33% slower).
+func Fig7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "fig7",
+		Title: "Emulation vs execution on foreign resources (profiles from Thinkie)",
+		Columns: []string{"steps",
+			"stampede exec (s)", "stampede emul (s)", "diff",
+			"archer exec (s)", "archer emul (s)", "diff"},
+	}
+	var lastStampede, lastArcher float64
+	for _, steps := range mdsimSizes(cfg) {
+		w := app.MDSim(steps)
+		p, err := profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{stepsLabel(steps)}
+		for _, target := range []string{machine.Stampede, machine.Archer} {
+			exec, err := nativeTx(target, w, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := emulate(p, target, func(o *core.EmulateOptions) {})
+			if err != nil {
+				return nil, err
+			}
+			diff := stats.PctDiff(rep.Tx.Seconds(), exec.Seconds())
+			row = append(row, fmtSec(exec.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff))
+			if target == machine.Stampede {
+				lastStampede = diff
+			} else {
+				lastArcher = diff
+			}
+		}
+		t.Add(row...)
+	}
+	t.Note("converged diffs: Stampede %+.1f%% (paper ≈-40%%), Archer %+.1f%% (paper ≈+33%%)", lastStampede, lastArcher)
+	return t, nil
+}

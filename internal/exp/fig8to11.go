@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+
+	"synapse/internal/app"
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+	"synapse/internal/stats"
+)
+
+// Metric selects which of the four E.3 figures to reproduce.
+type Metric int
+
+// E.3 metrics, one per paper figure.
+const (
+	MetricCycles       Metric = iota // Fig 8: cycles used
+	MetricTx                         // Fig 9: execution time
+	MetricInstructions               // Fig 10: instructions executed
+	MetricIPC                        // Fig 11: instructions per cycle
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricCycles:
+		return "cycles"
+	case MetricTx:
+		return "Tx (s)"
+	case MetricInstructions:
+		return "instructions"
+	case MetricIPC:
+		return "instructions/cycle"
+	default:
+		return "?"
+	}
+}
+
+func (m Metric) figID() string {
+	switch m {
+	case MetricCycles:
+		return "fig8"
+	case MetricTx:
+		return "fig9"
+	case MetricInstructions:
+		return "fig10"
+	default:
+		return "fig11"
+	}
+}
+
+// e3Run holds one (machine, size) measurement set.
+type e3Run struct {
+	app  stats.Summary // application values over repetitions
+	emul map[string]stats.Summary
+}
+
+// runE3 profiles the application on the machine and emulates it with both
+// kernels, with memory and storage emulation disabled as in the paper.
+func runE3(cfg Config, machineName string, steps int, metric Metric) (e3Run, error) {
+	kernels := []string{machine.KernelC, machine.KernelASM}
+	out := e3Run{emul: map[string]stats.Summary{}}
+
+	var appVals []float64
+	emulVals := map[string][]float64{}
+	for rep := 0; rep < cfg.reps(); rep++ {
+		w := app.MDSim(steps)
+		p, err := profileWorkload(machineName, w, 10, cfg.Seed+uint64(rep))
+		if err != nil {
+			return out, err
+		}
+		appVals = append(appVals, extractAppMetric(p, metric))
+		for _, k := range kernels {
+			k := k
+			rep, err := emulate(p, machineName, func(o *core.EmulateOptions) {
+				o.Kernel = k
+				o.DisableStorage = true
+				o.DisableMemory = true
+				o.DisableNetwork = true
+			})
+			if err != nil {
+				return out, err
+			}
+			var v float64
+			switch metric {
+			case MetricCycles:
+				v = rep.Consumed.Cycles
+			case MetricTx:
+				v = rep.Tx.Seconds()
+			case MetricInstructions:
+				v = rep.Consumed.Instructions
+			case MetricIPC:
+				v = rep.IPC()
+			}
+			emulVals[k] = append(emulVals[k], v)
+		}
+	}
+	out.app = stats.Summarize(appVals)
+	for _, k := range kernels {
+		out.emul[k] = stats.Summarize(emulVals[k])
+	}
+	return out, nil
+}
+
+func extractAppMetric(p *profile.Profile, metric Metric) float64 {
+	switch metric {
+	case MetricCycles:
+		return p.Total(profile.MetricCPUCycles)
+	case MetricTx:
+		return p.Duration.Seconds()
+	case MetricInstructions:
+		return p.Total(profile.MetricCPUInstructions)
+	case MetricIPC:
+		return p.Total(profile.MetricCPUInstructions) / p.Total(profile.MetricCPUCycles)
+	default:
+		return 0
+	}
+}
+
+// Fig8to11 reproduces experiment E.3 ("Emulating with Different Kernels")
+// for one metric: the application value and the C- and ASM-kernel emulation
+// values with error percentages, on Comet and Supermic.
+func Fig8to11(cfg Config, metric Metric) (*Table, error) {
+	t := &Table{
+		ID:    metric.figID(),
+		Title: fmt.Sprintf("E.3 kernel comparison: %s (app vs C vs ASM kernels)", metric),
+		Columns: []string{"machine", "steps", "application",
+			"C kernel", "err", "ASM kernel", "err"},
+	}
+	fmtVal := func(v float64) string {
+		if metric == MetricTx {
+			return fmtSec(v)
+		}
+		if metric == MetricIPC {
+			return fmt.Sprintf("%.2f", v)
+		}
+		return fmtSci(v)
+	}
+
+	type converged struct{ c, asm float64 }
+	conv := map[string]converged{}
+	var maxCI float64
+
+	for _, mn := range []string{machine.Comet, machine.Supermic} {
+		for _, steps := range e3Sizes(cfg) {
+			run, err := runE3(cfg, mn, steps, metric)
+			if err != nil {
+				return nil, err
+			}
+			cErr := stats.PctDiff(run.emul[machine.KernelC].Mean, run.app.Mean)
+			aErr := stats.PctDiff(run.emul[machine.KernelASM].Mean, run.app.Mean)
+			t.Add(mn, stepsLabel(steps),
+				fmtVal(run.app.Mean),
+				fmtVal(run.emul[machine.KernelC].Mean), fmtPct(cErr),
+				fmtVal(run.emul[machine.KernelASM].Mean), fmtPct(aErr))
+			conv[mn] = converged{cErr, aErr}
+			if run.app.Mean > 0 && run.app.CI99/run.app.Mean > maxCI {
+				maxCI = run.app.CI99 / run.app.Mean
+			}
+		}
+	}
+	if metric == MetricIPC {
+		t.Note("IPC ordering app < C kernel < ASM kernel holds on both machines (paper: 2.17/2.80/3.30 Comet, 2.04/2.53/2.86 Supermic)")
+	} else {
+		t.Note("converged errors at the largest size: Comet C %+.1f%% / ASM %+.1f%%, Supermic C %+.1f%% / ASM %+.1f%%",
+			conv[machine.Comet].c, conv[machine.Comet].asm,
+			conv[machine.Supermic].c, conv[machine.Supermic].asm)
+		t.Note("paper values: cycles/Tx errors ≈3.5%%/14.5%% (Comet) and ≈4.0%%/26.5%% (Supermic); the C kernel is more faithful everywhere")
+	}
+	t.Note("99%% confidence intervals are at most %.2f%% of the mean (paper: <=6.6%%)", maxCI*100)
+	return t, nil
+}

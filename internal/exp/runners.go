@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"context"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/core"
+	"synapse/internal/emulator"
+	"synapse/internal/machine"
+	"synapse/internal/proc"
+	"synapse/internal/profile"
+)
+
+// nativeTx executes the workload natively (simulated) and returns its Tx.
+func nativeTx(machineName string, w app.Workload, seed uint64) (time.Duration, error) {
+	m, err := machine.Get(machineName)
+	if err != nil {
+		return 0, err
+	}
+	sp, err := proc.Execute(w, m, proc.Options{Seed: seed, Jitter: true})
+	if err != nil {
+		return 0, err
+	}
+	return sp.Duration(), nil
+}
+
+// profileWorkload profiles a workload on the named machine.
+func profileWorkload(machineName string, w app.Workload, rate float64, seed uint64) (*profile.Profile, error) {
+	return core.ProfileWorkload(context.Background(), w, core.ProfileOptions{
+		Machine:      machineName,
+		SampleRate:   rate,
+		Seed:         seed,
+		Jitter:       true,
+		CounterNoise: 0.0008,
+		Clock:        simClock(),
+	})
+}
+
+// emulate replays a profile on the named machine with optional overrides.
+func emulate(p *profile.Profile, machineName string, mod func(*core.EmulateOptions)) (*emulator.Report, error) {
+	opts := core.EmulateOptions{Machine: machineName, Clock: simClock()}
+	if mod != nil {
+		mod(&opts)
+	}
+	return core.EmulateProfile(context.Background(), p, opts)
+}
+
+// mdsimSizes returns the paper's E.1/E.2 problem sizes (iteration steps).
+func mdsimSizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{10_000, 100_000, 1_000_000}
+	}
+	return []int{10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000}
+}
+
+// sampleRates returns the paper's E.1 sampling-rate sweep in Hz.
+func sampleRates(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0.1, 1, 10}
+	}
+	return []float64{0.1, 0.2, 0.5, 1, 2, 5, 10}
+}
+
+// e3Sizes returns the paper's E.3 iteration counts.
+func e3Sizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1000, 10_000, 100_000}
+	}
+	return []int{1000, 5000, 10_000, 25_000, 50_000, 75_000, 100_000}
+}

@@ -1,0 +1,339 @@
+// Package kernels provides real, runnable compute kernels for emulation on
+// the host, mirroring the paper's kernel menagerie (§4.2): a cache-resident
+// matrix-multiplication kernel (the paper's assembly kernel — maximum
+// efficiency), an out-of-cache matrix multiplication (the paper's C kernel —
+// closer to real application behaviour), and an application-specific
+// Lennard-Jones kernel of the kind users plug in for higher fidelity.
+//
+// In simulated mode the atoms use the analytic per-machine kernel models
+// from internal/machine instead; these implementations are what cmd/mdsim
+// and real-mode emulation actually execute.
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kernel is a unit-of-work generator: Run(n) executes n independent
+// iterations and returns a checksum (which callers should consume to defeat
+// dead-code elimination).
+type Kernel interface {
+	// Name is the kernel's registry key ("asm", "c", "lj").
+	Name() string
+	// FLOPsPerIter reports the floating-point work of one iteration.
+	FLOPsPerIter() float64
+	// Run executes n iterations.
+	Run(n int) float64
+}
+
+// asmDim is the matrix dimension of the cache-resident kernel; three
+// float64 matrices of 48x48 occupy ~55 KB and stay within L2.
+const asmDim = 48
+
+// cDim is the matrix dimension of the out-of-cache kernel; three matrices
+// of 384x384 occupy ~3.5 MB and spill past typical L2 caches, giving the
+// memory-access pattern the paper attributes to its C kernel.
+const cDim = 384
+
+// ASM is the cache-resident matrix-multiplication kernel. One iteration is
+// one full dim³ multiply on matrices that fit in cache.
+type ASM struct {
+	a, b, c []float64
+}
+
+// NewASM allocates the kernel's working set.
+func NewASM() *ASM {
+	return &ASM{a: seedMatrix(asmDim, 1), b: seedMatrix(asmDim, 2), c: make([]float64, asmDim*asmDim)}
+}
+
+// Name implements Kernel.
+func (*ASM) Name() string { return "asm" }
+
+// FLOPsPerIter implements Kernel: 2·dim³ multiply-adds.
+func (*ASM) FLOPsPerIter() float64 { return 2 * asmDim * asmDim * asmDim }
+
+// Run implements Kernel.
+func (k *ASM) Run(n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		matmul(k.c, k.a, k.b, asmDim)
+		sum += k.c[(i*7)%len(k.c)]
+	}
+	return sum
+}
+
+// C is the out-of-cache matrix-multiplication kernel. One iteration is one
+// row-panel pass (dim² multiply-adds), so iteration cost is comparable to
+// the ASM kernel while the working set is not cache resident.
+type C struct {
+	a, b, c []float64
+	row     int
+}
+
+// NewC allocates the kernel's working set.
+func NewC() *C {
+	return &C{a: seedMatrix(cDim, 3), b: seedMatrix(cDim, 4), c: make([]float64, cDim*cDim)}
+}
+
+// Name implements Kernel.
+func (*C) Name() string { return "c" }
+
+// FLOPsPerIter implements Kernel: 2·dim² per row panel.
+func (*C) FLOPsPerIter() float64 { return 2 * cDim * cDim }
+
+// Run implements Kernel.
+func (k *C) Run(n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := k.row
+		k.row = (k.row + 1) % cDim
+		// One row of C = A[r,:] * B.
+		for j := 0; j < cDim; j++ {
+			var acc float64
+			aj := k.a[r*cDim:]
+			for p := 0; p < cDim; p++ {
+				acc += aj[p] * k.b[p*cDim+j]
+			}
+			k.c[r*cDim+j] = acc
+		}
+		sum += k.c[r*cDim+(i%cDim)]
+	}
+	return sum
+}
+
+// ljParticles is the particle count of the Lennard-Jones kernel; one
+// iteration computes all pairwise forces of one particle against the rest.
+const ljParticles = 512
+
+// LJ is an application-specific kernel: a Lennard-Jones force evaluation of
+// the sort a user would register to emulate a molecular-dynamics code more
+// faithfully than generic matrix multiplication (paper §5 E.3 discussion).
+type LJ struct {
+	x, y, z    []float64
+	fx, fy, fz []float64
+	idx        int
+}
+
+// NewLJ allocates and seeds the particle system.
+func NewLJ() *LJ {
+	k := &LJ{
+		x: make([]float64, ljParticles), y: make([]float64, ljParticles), z: make([]float64, ljParticles),
+		fx: make([]float64, ljParticles), fy: make([]float64, ljParticles), fz: make([]float64, ljParticles),
+	}
+	for i := 0; i < ljParticles; i++ {
+		k.x[i] = math.Sin(float64(i) * 0.7)
+		k.y[i] = math.Cos(float64(i) * 1.3)
+		k.z[i] = math.Sin(float64(i)*0.37 + 1)
+	}
+	return k
+}
+
+// Name implements Kernel.
+func (*LJ) Name() string { return "lj" }
+
+// FLOPsPerIter implements Kernel: ~26 flops per pair interaction.
+func (*LJ) FLOPsPerIter() float64 { return 26 * (ljParticles - 1) }
+
+// Run implements Kernel.
+func (k *LJ) Run(n int) float64 {
+	var sum float64
+	for it := 0; it < n; it++ {
+		i := k.idx
+		k.idx = (k.idx + 1) % ljParticles
+		var fx, fy, fz float64
+		xi, yi, zi := k.x[i], k.y[i], k.z[i]
+		for j := 0; j < ljParticles; j++ {
+			if j == i {
+				continue
+			}
+			dx, dy, dz := xi-k.x[j], yi-k.y[j], zi-k.z[j]
+			r2 := dx*dx + dy*dy + dz*dz + 0.01
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			f := inv6 * (inv6 - 0.5) * inv2
+			fx += f * dx
+			fy += f * dy
+			fz += f * dz
+		}
+		k.fx[i], k.fy[i], k.fz[i] = fx, fy, fz
+		sum += fx + fy + fz
+	}
+	return sum
+}
+
+// matmul computes c = a*b for dim×dim row-major matrices (ikj loop order).
+func matmul(c, a, b []float64, dim int) {
+	for i := 0; i < dim; i++ {
+		ci := c[i*dim : (i+1)*dim]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < dim; p++ {
+			av := a[i*dim+p]
+			bp := b[p*dim : (p+1)*dim]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// seedMatrix fills a dim×dim matrix deterministically.
+func seedMatrix(dim int, seed float64) []float64 {
+	m := make([]float64, dim*dim)
+	for i := range m {
+		m[i] = math.Sin(seed + float64(i)*0.001)
+	}
+	return m
+}
+
+// registry of kernel constructors; user kernels can be registered at init
+// time (the paper's "users can provide additional compute kernels").
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Kernel{
+		"asm": func() Kernel { return NewASM() },
+		"c":   func() Kernel { return NewC() },
+		"lj":  func() Kernel { return NewLJ() },
+	}
+)
+
+// Register adds a kernel constructor under its name; re-registering a name
+// replaces the previous constructor.
+func Register(name string, mk func() Kernel) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = mk
+}
+
+// New instantiates the named kernel.
+func New(name string) (Kernel, error) {
+	regMu.RLock()
+	mk, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q (known: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists registered kernels, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Calibration is a kernel's measured speed on this host.
+type Calibration struct {
+	Kernel     string
+	SecPerIter float64
+	FLOPS      float64 // achieved floating-point rate
+}
+
+// Calibrate measures the kernel for roughly the given duration (minimum a
+// few milliseconds) and returns its speed. The measurement regime differs
+// from long bulk runs (cold branch predictors, timer overhead) — the origin
+// of the calibration bias the paper observes in E.3.
+func Calibrate(k Kernel, budget time.Duration) Calibration {
+	if budget < 2*time.Millisecond {
+		budget = 2 * time.Millisecond
+	}
+	// Warm up.
+	sink := k.Run(1)
+	n := 1
+	var el time.Duration
+	for {
+		start := time.Now()
+		sink += k.Run(n)
+		el = time.Since(start)
+		if el >= budget/4 {
+			break
+		}
+		n *= 2
+		if n > 1<<22 {
+			break
+		}
+	}
+	useSink(sink)
+	sec := el.Seconds() / float64(n)
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	return Calibration{Kernel: k.Name(), SecPerIter: sec, FLOPS: k.FLOPsPerIter() / sec}
+}
+
+// ConsumeCycles runs the kernel until approximately the requested number of
+// cycles (at the nominal clock rate) have been consumed, using the supplied
+// calibration. It returns the iterations executed.
+func ConsumeCycles(k Kernel, cal Calibration, cycles, clockHz float64) int {
+	if cycles <= 0 || clockHz <= 0 || cal.SecPerIter <= 0 {
+		return 0
+	}
+	sec := cycles / clockHz
+	iters := int(math.Ceil(sec / cal.SecPerIter))
+	if iters < 1 {
+		iters = 1
+	}
+	useSink(k.Run(iters))
+	return iters
+}
+
+// RunParallel distributes n iterations over workers goroutines, each with
+// its own kernel instance — the OpenMP-style emulation mode.
+func RunParallel(name string, n, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			k, err := New(name)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			useSink(k.Run(share))
+		}(w, share)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sink defeats dead-code elimination of kernel results.
+var sink float64
+var sinkMu sync.Mutex
+
+func useSink(v float64) {
+	sinkMu.Lock()
+	sink += v
+	sinkMu.Unlock()
+}
+
+// Sink exposes the accumulated checksum (tests only).
+func Sink() float64 {
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	return sink
+}

@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The JSON machine-description format lets users model their own resources
+// — the "emulate anywhere" of the paper extends to machines outside the
+// built-in catalog. Units are chosen for human authoring: GHz, GB, GB/s,
+// microseconds.
+//
+//	{
+//	  "name": "mycluster",
+//	  "clock_ghz": 2.4, "cores": 32, "mem_gb": 192, "mem_bw_gbs": 80,
+//	  "l1_kb": 32, "l2_kb": 512, "l3_mb": 40,
+//	  "net_bw_gbs": 10, "net_lat_us": 5,
+//	  "default_fs": "lustre",
+//	  "fs": {"lustre": {"read_lat_us": 300, "write_lat_us": 2500,
+//	                    "read_bw_mbs": 900, "write_bw_mbs": 120}},
+//	  "apps": {"mdsim": {"cycles_per_unit": 115000, "ipc": 2.1}},
+//	  "kernels": {"asm": {"ipc": 3.1, "calib_bias": 1.08},
+//	              "c":   {"ipc": 2.6, "calib_bias": 1.02}},
+//	  "threading": {"serial_frac": 0.02, "thread_overhead_ms": 40,
+//	                "proc_overhead_ms": 90, "proc_startup_ms": 700,
+//	                "contention": 0.3},
+//	  "noise_rel": 0.02
+//	}
+type modelJSON struct {
+	Name      string                `json:"name"`
+	ClockGHz  float64               `json:"clock_ghz"`
+	Cores     int                   `json:"cores"`
+	MemGB     float64               `json:"mem_gb"`
+	MemBWGBs  float64               `json:"mem_bw_gbs"`
+	L1KB      float64               `json:"l1_kb"`
+	L2KB      float64               `json:"l2_kb"`
+	L3MB      float64               `json:"l3_mb"`
+	NetBWGBs  float64               `json:"net_bw_gbs"`
+	NetLatUS  float64               `json:"net_lat_us"`
+	DefaultFS string                `json:"default_fs"`
+	FS        map[string]fsJSON     `json:"fs"`
+	Apps      map[string]appJSON    `json:"apps"`
+	Kernels   map[string]kernelJSON `json:"kernels"`
+	Threading *threadingJSON        `json:"threading,omitempty"`
+	NoiseRel  float64               `json:"noise_rel"`
+}
+
+type fsJSON struct {
+	ReadLatUS  float64 `json:"read_lat_us"`
+	WriteLatUS float64 `json:"write_lat_us"`
+	ReadBWMBs  float64 `json:"read_bw_mbs"`
+	WriteBWMBs float64 `json:"write_bw_mbs"`
+}
+
+type appJSON struct {
+	CyclesPerUnit float64        `json:"cycles_per_unit"`
+	IPC           float64        `json:"ipc"`
+	Parallel      *threadingJSON `json:"parallel,omitempty"`
+}
+
+type kernelJSON struct {
+	IPC         float64 `json:"ipc"`
+	CalibBias   float64 `json:"calib_bias"`
+	ChunkCycles float64 `json:"chunk_cycles,omitempty"`
+}
+
+type threadingJSON struct {
+	SerialFrac       float64 `json:"serial_frac"`
+	ThreadOverheadMS float64 `json:"thread_overhead_ms"`
+	ProcOverheadMS   float64 `json:"proc_overhead_ms"`
+	ProcStartupMS    float64 `json:"proc_startup_ms"`
+	Contention       float64 `json:"contention"`
+}
+
+func (t *threadingJSON) model() ParallelModel {
+	if t == nil {
+		return ParallelModel{SerialFrac: 0.02, ThreadOverhead: 50 * time.Millisecond,
+			ProcOverhead: 100 * time.Millisecond, ProcStartup: 700 * time.Millisecond, Contention: 0.3}
+	}
+	return ParallelModel{
+		SerialFrac:     t.SerialFrac,
+		ThreadOverhead: time.Duration(t.ThreadOverheadMS * float64(time.Millisecond)),
+		ProcOverhead:   time.Duration(t.ProcOverheadMS * float64(time.Millisecond)),
+		ProcStartup:    time.Duration(t.ProcStartupMS * float64(time.Millisecond)),
+		Contention:     t.Contention,
+	}
+}
+
+// FromJSON parses a machine description. The resulting model is validated;
+// missing apps/kernels inherit MDSim-like defaults so a minimal description
+// is immediately usable.
+func FromJSON(data []byte) (*Model, error) {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("machine: parse json: %w", err)
+	}
+	m := &Model{
+		Name:     j.Name,
+		ClockHz:  j.ClockGHz * 1e9,
+		Cores:    j.Cores,
+		MemBytes: int64(j.MemGB * float64(gb)),
+		MemBW:    j.MemBWGBs * 1e9,
+		L1:       int64(j.L1KB * float64(kb)),
+		L2:       int64(j.L2KB * float64(kb)),
+		L3:       int64(j.L3MB * float64(mb)),
+		NetBW:    j.NetBWGBs * 1e9,
+		NetLat:   time.Duration(j.NetLatUS * float64(time.Microsecond)),
+		FS:       map[string]FSPerf{},
+		Apps:     map[string]AppPerf{},
+		Kernels:  map[string]KernelPerf{},
+		NoiseRel: j.NoiseRel,
+	}
+	for name, fs := range j.FS {
+		m.FS[name] = FSPerf{
+			ReadLatency:  time.Duration(fs.ReadLatUS * float64(time.Microsecond)),
+			WriteLatency: time.Duration(fs.WriteLatUS * float64(time.Microsecond)),
+			ReadBW:       fs.ReadBWMBs * 1e6,
+			WriteBW:      fs.WriteBWMBs * 1e6,
+		}
+	}
+	if len(m.FS) == 0 {
+		m.FS[FSLocal] = FSPerf{100 * time.Microsecond, 200 * time.Microsecond, 200e6, 150e6}
+	}
+	m.DefaultFS = j.DefaultFS
+	if m.DefaultFS == "" {
+		for name := range m.FS {
+			if m.DefaultFS == "" || name == FSLocal {
+				m.DefaultFS = name
+			}
+		}
+	}
+	for name, a := range j.Apps {
+		m.Apps[name] = AppPerf{
+			CyclesPerUnit: a.CyclesPerUnit,
+			IPC:           a.IPC,
+			Parallel:      a.Parallel.model(),
+		}
+	}
+	if _, ok := m.Apps[AppDefault]; !ok {
+		if a, ok := m.Apps[AppMDSim]; ok {
+			m.Apps[AppDefault] = a
+		} else {
+			def := AppPerf{CyclesPerUnit: 140e3, IPC: 1.9, Parallel: (*threadingJSON)(nil).model()}
+			m.Apps[AppDefault] = def
+			m.Apps[AppMDSim] = def
+		}
+	}
+	if _, ok := m.Apps[AppGromacs]; !ok {
+		m.Apps[AppGromacs] = m.Apps[AppDefault]
+	}
+	if _, ok := m.Apps[AppIOBench]; !ok {
+		a := m.Apps[AppDefault]
+		m.Apps[AppIOBench] = AppPerf{CyclesPerUnit: 1e3, IPC: 1.2, Parallel: a.Parallel}
+	}
+	for name, k := range j.Kernels {
+		m.Kernels[name] = KernelPerf{IPC: k.IPC, CalibBias: k.CalibBias, ChunkCycles: k.ChunkCycles}
+	}
+	if _, ok := m.Kernels[KernelASM]; !ok {
+		m.Kernels[KernelASM] = KernelPerf{IPC: 3.0, CalibBias: 1.05}
+	}
+	if _, ok := m.Kernels[KernelC]; !ok {
+		m.Kernels[KernelC] = KernelPerf{IPC: 2.5, CalibBias: 1.02}
+	}
+	if _, ok := m.Kernels[KernelOpenMP]; !ok {
+		m.Kernels[KernelOpenMP] = m.Kernels[KernelASM]
+	}
+	m.Threading = j.Threading.model()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// extras holds user-registered machine models, consulted by Get after the
+// built-in catalog.
+var (
+	extrasMu sync.RWMutex
+	extras   = map[string]*Model{}
+)
+
+// Register adds (or replaces) a user machine model; it cannot shadow
+// catalog machines.
+func Register(m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if _, ok := catalog[m.Name]; ok {
+		return fmt.Errorf("machine: %q is a built-in model", m.Name)
+	}
+	if m.Name == HostName {
+		return fmt.Errorf("machine: %q is reserved", HostName)
+	}
+	extrasMu.Lock()
+	defer extrasMu.Unlock()
+	extras[m.Name] = m
+	return nil
+}
+
+// lookupExtra returns a registered user model.
+func lookupExtra(name string) (*Model, bool) {
+	extrasMu.RLock()
+	defer extrasMu.RUnlock()
+	m, ok := extras[name]
+	return m, ok
+}

@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleJSON = `{
+  "name": "mycluster",
+  "clock_ghz": 2.4, "cores": 32, "mem_gb": 192, "mem_bw_gbs": 80,
+  "l1_kb": 32, "l2_kb": 512, "l3_mb": 40,
+  "net_bw_gbs": 10, "net_lat_us": 5,
+  "default_fs": "lustre",
+  "fs": {"lustre": {"read_lat_us": 300, "write_lat_us": 2500,
+                    "read_bw_mbs": 900, "write_bw_mbs": 120},
+         "local":  {"read_lat_us": 80, "write_lat_us": 160,
+                    "read_bw_mbs": 400, "write_bw_mbs": 250}},
+  "apps": {"mdsim": {"cycles_per_unit": 115000, "ipc": 2.1}},
+  "kernels": {"asm": {"ipc": 3.1, "calib_bias": 1.08},
+              "c":   {"ipc": 2.6, "calib_bias": 1.02}},
+  "threading": {"serial_frac": 0.02, "thread_overhead_ms": 40,
+                "proc_overhead_ms": 90, "proc_startup_ms": 700,
+                "contention": 0.3},
+  "noise_rel": 0.02
+}`
+
+func TestFromJSON(t *testing.T) {
+	m, err := FromJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "mycluster" || m.Cores != 32 {
+		t.Errorf("identity = %s/%d", m.Name, m.Cores)
+	}
+	if m.ClockHz != 2.4e9 {
+		t.Errorf("clock = %v", m.ClockHz)
+	}
+	fs, err := m.Filesystem("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.WriteBW != 120e6 {
+		t.Errorf("default fs write bw = %v", fs.WriteBW)
+	}
+	a, err := m.App(AppMDSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CyclesPerUnit != 115000 || a.IPC != 2.1 {
+		t.Errorf("app = %+v", a)
+	}
+	k, err := m.Kernel(KernelASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.CalibBias != 1.08 {
+		t.Errorf("kernel bias = %v", k.CalibBias)
+	}
+	if m.Threading.ThreadOverhead != 40*time.Millisecond {
+		t.Errorf("threading = %+v", m.Threading)
+	}
+	// Gromacs alias and iobench defaults were filled in.
+	if _, err := m.App(AppGromacs); err != nil {
+		t.Error("gromacs alias missing")
+	}
+	if _, err := m.App(AppIOBench); err != nil {
+		t.Error("iobench default missing")
+	}
+	if _, err := m.Kernel(KernelOpenMP); err != nil {
+		t.Error("openmp kernel default missing")
+	}
+}
+
+func TestFromJSONMinimal(t *testing.T) {
+	m, err := FromJSON([]byte(`{"name":"tiny","clock_ghz":2,"cores":4,"mem_gb":8,"mem_bw_gbs":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Filesystem, apps, kernels default sensibly.
+	if _, err := m.Filesystem(""); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.App(AppMDSim); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Kernel(KernelC); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromJSONInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("malformed json should fail")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("missing clock should fail validation")
+	}
+	if _, err := FromJSON([]byte(`{"name":"","clock_ghz":1,"cores":1,"mem_gb":1,"mem_bw_gbs":1}`)); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	m, err := FromJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Get("mycluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mycluster" {
+		t.Errorf("Get returned %s", got.Name)
+	}
+	// Shadowing built-ins or "host" is rejected.
+	bad := *m
+	bad.Name = Thinkie
+	if err := Register(&bad); err == nil || !strings.Contains(err.Error(), "built-in") {
+		t.Errorf("shadowing thinkie: %v", err)
+	}
+	bad.Name = HostName
+	if err := Register(&bad); err == nil {
+		t.Error("registering 'host' should fail")
+	}
+	// Invalid models rejected.
+	bad = *m
+	bad.Name = "broken"
+	bad.ClockHz = -1
+	if err := Register(&bad); err == nil {
+		t.Error("invalid model should not register")
+	}
+}

@@ -1,0 +1,342 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	names := []string{Thinkie, Stampede, Archer, Supermic, Comet, Titan}
+	if got := len(Names()); got != len(names) {
+		t.Fatalf("catalog has %d machines, want %d: %v", got, len(names), Names())
+	}
+	for _, n := range names {
+		m, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", n, err)
+		}
+		if _, err := m.App(AppMDSim); err != nil {
+			t.Errorf("%s has no mdsim app: %v", n, err)
+		}
+		if _, err := m.App(AppGromacs); err != nil {
+			t.Errorf("%s has no gromacs alias: %v", n, err)
+		}
+		if _, err := m.Kernel(KernelASM); err != nil {
+			t.Errorf("%s has no asm kernel: %v", n, err)
+		}
+		if _, err := m.Kernel(KernelC); err != nil {
+			t.Errorf("%s has no c kernel: %v", n, err)
+		}
+		if _, err := m.Filesystem(""); err != nil {
+			t.Errorf("%s has no default filesystem: %v", n, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonesuch"); err == nil {
+		t.Fatal("Get of unknown machine should error")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(unknown) should panic")
+		}
+	}()
+	MustGet("nonesuch")
+}
+
+func TestHostModel(t *testing.T) {
+	h := Host()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("host model invalid: %v", err)
+	}
+	if h.Cores < 1 {
+		t.Errorf("host cores = %d", h.Cores)
+	}
+	if m, err := Get(HostName); err != nil || m != h {
+		t.Errorf("Get(host) = %v, %v", m, err)
+	}
+}
+
+func TestComputeTimeRoundTrip(t *testing.T) {
+	m := MustGet(Comet)
+	d := m.ComputeTime(2.89e9) // exactly one second of cycles
+	if math.Abs(d.Seconds()-1) > 1e-9 {
+		t.Errorf("ComputeTime(clockHz) = %v, want 1s", d)
+	}
+	cyc := m.Cycles(2 * time.Second)
+	if math.Abs(cyc-2*2.89e9) > 1 {
+		t.Errorf("Cycles(2s) = %v", cyc)
+	}
+	if m.ComputeTime(0) != 0 || m.ComputeTime(-5) != 0 {
+		t.Error("non-positive cycles should cost no time")
+	}
+}
+
+func TestIOTimeBlockGranularity(t *testing.T) {
+	fs := FSPerf{ReadLatency: time.Millisecond, WriteLatency: 10 * time.Millisecond, ReadBW: 100e6, WriteBW: 10e6}
+	total := int64(100 * mb)
+	small := fs.ReadTime(total, 4*kb)
+	large := fs.ReadTime(total, 64*mb)
+	if small <= large {
+		t.Errorf("small blocks should be slower: %v vs %v", small, large)
+	}
+	// Writes with the same block size must be slower than reads here.
+	if fs.WriteTime(total, 1*mb) <= fs.ReadTime(total, 1*mb) {
+		t.Error("writes should be slower than reads for this model")
+	}
+	// Zero bytes costs nothing.
+	if fs.ReadTime(0, 4*kb) != 0 {
+		t.Error("zero-byte read should cost nothing")
+	}
+	// Non-positive block size means a single operation.
+	one := fs.ReadTime(total, 0)
+	wantMin := time.Duration(float64(total) / fs.ReadBW * float64(time.Second))
+	if one < wantMin || one > wantMin+2*fs.ReadLatency {
+		t.Errorf("single-op read = %v, want ≈%v + 1 latency", one, wantMin)
+	}
+}
+
+func TestIOTimePartialBlockCounts(t *testing.T) {
+	fs := FSPerf{ReadLatency: time.Millisecond, WriteLatency: time.Millisecond, ReadBW: 1e9, WriteBW: 1e9}
+	// 10 bytes in 4-byte blocks = 3 operations.
+	got := fs.ReadTime(10, 4)
+	latPart := 3 * time.Millisecond
+	if got < latPart {
+		t.Errorf("ReadTime(10,4) = %v, want >= %v (3 ops)", got, latPart)
+	}
+}
+
+func TestFilesystemLookup(t *testing.T) {
+	m := MustGet(Titan)
+	if _, err := m.Filesystem(FSLustre); err != nil {
+		t.Errorf("titan should have lustre: %v", err)
+	}
+	if _, err := m.Filesystem(FSLocal); err != nil {
+		t.Errorf("titan should have local: %v", err)
+	}
+	// /tmp aliases local when not present explicitly.
+	if _, err := m.Filesystem(FSTmp); err != nil {
+		t.Errorf("tmp should alias local: %v", err)
+	}
+	if _, err := m.Filesystem("gpfs"); err == nil {
+		t.Error("unknown filesystem should error")
+	}
+}
+
+func TestAppFallsBackToDefault(t *testing.T) {
+	m := MustGet(Thinkie)
+	a, err := m.App("some-unknown-app")
+	if err != nil {
+		t.Fatalf("App should fall back to default: %v", err)
+	}
+	want, _ := m.App(AppMDSim)
+	if a.CyclesPerUnit != want.CyclesPerUnit {
+		t.Errorf("default app = %+v, want mdsim numbers", a)
+	}
+}
+
+func TestKernelUnknown(t *testing.T) {
+	m := MustGet(Thinkie)
+	if _, err := m.Kernel("fortran"); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+// The paper's Fig 7 calibration: replaying a Thinkie profile on Stampede must
+// be ≈40 % faster than native execution, and ≈33 % slower on Archer.
+func TestPortabilityCalibration(t *testing.T) {
+	thinkie := MustGet(Thinkie)
+	appT, _ := thinkie.App(AppMDSim)
+
+	check := func(target string, wantDiff, tol float64) {
+		m := MustGet(target)
+		appM, _ := m.App(AppMDSim)
+		k, _ := m.Kernel(KernelASM)
+		// Emulation replays the cycles profiled on Thinkie.
+		const units = 1e6
+		emul := float64(units) * appT.CyclesPerUnit * k.CalibBias / m.ClockHz
+		app := float64(units) * appM.CyclesPerUnit / m.ClockHz
+		diff := 100 * (emul - app) / app
+		if math.Abs(diff-wantDiff) > tol {
+			t.Errorf("%s: emulation diff = %.1f%%, want %.0f%% ± %.0f", target, diff, wantDiff, tol)
+		}
+	}
+	check(Stampede, -40, 3)
+	check(Archer, +33, 3)
+}
+
+// The paper's Fig 11 calibration: IPC ordering app < C kernel < ASM kernel on
+// Comet and Supermic, with the published values.
+func TestKernelIPCCalibration(t *testing.T) {
+	for _, tc := range []struct {
+		machine     string
+		app, c, asm float64
+	}{
+		{Comet, 2.17, 2.80, 3.30},
+		{Supermic, 2.04, 2.53, 2.86},
+	} {
+		m := MustGet(tc.machine)
+		a, _ := m.App(AppMDSim)
+		ck, _ := m.Kernel(KernelC)
+		ak, _ := m.Kernel(KernelASM)
+		if math.Abs(a.IPC-tc.app) > 1e-9 || math.Abs(ck.IPC-tc.c) > 1e-9 || math.Abs(ak.IPC-tc.asm) > 1e-9 {
+			t.Errorf("%s IPCs = (%.2f, %.2f, %.2f), want (%.2f, %.2f, %.2f)",
+				tc.machine, a.IPC, ck.IPC, ak.IPC, tc.app, tc.c, tc.asm)
+		}
+		if !(a.IPC < ck.IPC && ck.IPC < ak.IPC) {
+			t.Errorf("%s: IPC ordering app < C < ASM violated", tc.machine)
+		}
+		// Cycle-consumption bias ordering: C kernel more accurate.
+		if !(ck.CalibBias-1 < ak.CalibBias-1) {
+			t.Errorf("%s: C kernel should have smaller calibration bias", tc.machine)
+		}
+	}
+}
+
+// Fig 12 calibration: OpenMP beats MPI at full node on Titan; MPI beats
+// OpenMP on Supermic.
+func TestParallelCrossover(t *testing.T) {
+	serial := 60 * time.Second
+	titan := MustGet(Titan)
+	omp := titan.Threading.Scale(serial, titan.Cores, titan.Cores, ModeOpenMP)
+	mpi := titan.Threading.Scale(serial, titan.Cores, titan.Cores, ModeMPI)
+	if omp >= mpi {
+		t.Errorf("titan: OpenMP (%v) should beat MPI (%v)", omp, mpi)
+	}
+	sm := MustGet(Supermic)
+	omp = sm.Threading.Scale(serial, sm.Cores, sm.Cores, ModeOpenMP)
+	mpi = sm.Threading.Scale(serial, sm.Cores, sm.Cores, ModeMPI)
+	if mpi >= omp {
+		t.Errorf("supermic: MPI (%v) should beat OpenMP (%v)", mpi, omp)
+	}
+}
+
+// Fig 15 calibration: Lustre performs about the same on Titan and Supermic;
+// local storage differs significantly (Titan faster); writes are roughly an
+// order of magnitude slower than reads on shared filesystems.
+func TestIOCalibration(t *testing.T) {
+	titan := MustGet(Titan)
+	sm := MustGet(Supermic)
+	tl, _ := titan.Filesystem(FSLustre)
+	sl, _ := sm.Filesystem(FSLustre)
+	const total, block = 256 * 1024 * 1024, 1024 * 1024
+	rt := tl.ReadTime(total, block).Seconds()
+	rs := sl.ReadTime(total, block).Seconds()
+	if rel := math.Abs(rt-rs) / rs; rel > 0.15 {
+		t.Errorf("lustre read differs %.0f%% between titan and supermic", rel*100)
+	}
+	tloc, _ := titan.Filesystem(FSLocal)
+	sloc, _ := sm.Filesystem(FSLocal)
+	if tloc.ReadTime(total, block) >= sloc.ReadTime(total, block) {
+		t.Error("titan local should be much faster than supermic local")
+	}
+	if ratio := tl.WriteTime(total, block).Seconds() / tl.ReadTime(total, block).Seconds(); ratio < 5 {
+		t.Errorf("lustre writes only %.1fx slower than reads, want order of magnitude", ratio)
+	}
+}
+
+func TestParallelScaleSerialModes(t *testing.T) {
+	p := ParallelModel{SerialFrac: 0.1, ThreadOverhead: time.Millisecond}
+	d := 10 * time.Second
+	if got := p.Scale(d, 1, 8, ModeOpenMP); got != d {
+		t.Errorf("n=1 should be serial, got %v", got)
+	}
+	if got := p.Scale(d, 4, 8, ModeSerial); got != d {
+		t.Errorf("serial mode should ignore n, got %v", got)
+	}
+}
+
+func TestParallelScaleZeroCores(t *testing.T) {
+	p := ParallelModel{SerialFrac: 0.1}
+	// Must not panic or divide by zero.
+	_ = p.Scale(time.Second, 4, 0, ModeOpenMP)
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOpenMP.String() != "OpenMP" || ModeMPI.String() != "MPI" || ModeSerial.String() != "serial" {
+		t.Error("Mode.String() mismatch")
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	good := *MustGet(Thinkie)
+	bad := good
+	bad.ClockHz = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock should be invalid")
+	}
+	bad = good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("empty name should be invalid")
+	}
+	bad = good
+	bad.DefaultFS = "gone"
+	if bad.Validate() == nil {
+		t.Error("dangling default FS should be invalid")
+	}
+}
+
+// Property: more work never takes less time (monotonicity of the cost models).
+func TestCostMonotonicityProperty(t *testing.T) {
+	m := MustGet(Supermic)
+	fs, _ := m.Filesystem(FSLustre)
+	f := func(aRaw, bRaw uint32, blockRaw uint16) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		block := int64(blockRaw) + 1
+		if fs.ReadTime(a, block) > fs.ReadTime(b, block) {
+			return false
+		}
+		if fs.WriteTime(a, block) > fs.WriteTime(b, block) {
+			return false
+		}
+		if m.ComputeTime(float64(a)) > m.ComputeTime(float64(b)) {
+			return false
+		}
+		return m.MemTime(a) <= m.MemTime(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel runtime with contention never beats perfect speedup and
+// never exceeds the serial runtime by more than overheads.
+func TestParallelScaleBoundsProperty(t *testing.T) {
+	m := MustGet(Titan)
+	f := func(nRaw uint8, secRaw uint16) bool {
+		n := int(nRaw%32) + 1
+		d := time.Duration(secRaw) * time.Millisecond
+		got := m.Threading.Scale(d, n, m.Cores, ModeOpenMP)
+		// Lower bound: perfect speedup of the parallel fraction.
+		ideal := time.Duration(float64(d) * (m.Threading.SerialFrac + (1-m.Threading.SerialFrac)/float64(n)))
+		return got >= ideal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetTime(t *testing.T) {
+	m := MustGet(Thinkie)
+	if m.NetTime(0, 0) != 0 {
+		t.Error("zero bytes should cost nothing")
+	}
+	small := m.NetTime(10*mb, 1*kb)
+	large := m.NetTime(10*mb, 1*mb)
+	if small <= large {
+		t.Errorf("smaller network blocks should be slower: %v vs %v", small, large)
+	}
+}

@@ -1,0 +1,141 @@
+// Package netem provides real network-traffic emulation over loopback TCP
+// sockets. The paper implements "emulation of simple socket-based network
+// communication" (§4.5 IPC/MPI); this is that capability for real-mode runs.
+// Simulated runs model transfer time analytically via machine.Model.NetTime.
+package netem
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// DefaultBlock is the write granularity used when none is configured.
+const DefaultBlock = 64 << 10
+
+// Transfer sends total bytes over a fresh loopback TCP connection in blocks
+// of block bytes, waits for the receiver to drain them, and returns the
+// elapsed wall time.
+func Transfer(total, block int64) (time.Duration, error) {
+	if total <= 0 {
+		return 0, nil
+	}
+	if block <= 0 || block > total {
+		block = min64(DefaultBlock, total)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("netem: listen: %w", err)
+	}
+	defer ln.Close()
+
+	recvDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			recvDone <- fmt.Errorf("netem: accept: %w", err)
+			return
+		}
+		defer conn.Close()
+		_, err = io.Copy(io.Discard, conn)
+		recvDone <- err
+	}()
+
+	start := time.Now()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, fmt.Errorf("netem: dial: %w", err)
+	}
+	buf := make([]byte, block)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	remaining := total
+	for remaining > 0 {
+		n := min64(block, remaining)
+		if _, err := conn.Write(buf[:n]); err != nil {
+			conn.Close()
+			return 0, fmt.Errorf("netem: write: %w", err)
+		}
+		remaining -= n
+	}
+	if err := conn.Close(); err != nil {
+		return 0, fmt.Errorf("netem: close: %w", err)
+	}
+	if err := <-recvDone; err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Echo sends total bytes to a loopback echo server and reads them all back,
+// exercising both directions of the connection endpoint.
+func Echo(total, block int64) (time.Duration, error) {
+	if total <= 0 {
+		return 0, nil
+	}
+	if block <= 0 || block > total {
+		block = min64(DefaultBlock, total)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("netem: listen: %w", err)
+	}
+	defer ln.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer conn.Close()
+		// Echo until EOF.
+		_, err = io.Copy(conn, conn)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		srvDone <- err
+	}()
+
+	start := time.Now()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, fmt.Errorf("netem: dial: %w", err)
+	}
+	defer conn.Close()
+
+	out := make([]byte, block)
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, conn)
+		readDone <- err
+	}()
+	remaining := total
+	for remaining > 0 {
+		n := min64(block, remaining)
+		if _, err := conn.Write(out[:n]); err != nil {
+			return 0, fmt.Errorf("netem: write: %w", err)
+		}
+		remaining -= n
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	if err := <-readDone; err != nil {
+		return 0, fmt.Errorf("netem: read back: %w", err)
+	}
+	if err := <-srvDone; err != nil {
+		return 0, fmt.Errorf("netem: server: %w", err)
+	}
+	return time.Since(start), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

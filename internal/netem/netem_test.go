@@ -1,0 +1,52 @@
+package netem
+
+import "testing"
+
+func TestTransferZero(t *testing.T) {
+	d, err := Transfer(0, 0)
+	if err != nil || d != 0 {
+		t.Fatalf("Transfer(0) = %v, %v", d, err)
+	}
+}
+
+func TestTransferSmall(t *testing.T) {
+	d, err := Transfer(1<<20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("transfer took no time")
+	}
+}
+
+func TestTransferOddBlock(t *testing.T) {
+	// Total not divisible by block.
+	if _, err := Transfer(1000, 333); err != nil {
+		t.Fatal(err)
+	}
+	// Block larger than total clamps.
+	if _, err := Transfer(100, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// Unset block uses the default.
+	if _, err := Transfer(100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEcho(t *testing.T) {
+	d, err := Echo(256<<10, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("echo took no time")
+	}
+}
+
+func TestEchoZero(t *testing.T) {
+	d, err := Echo(0, 0)
+	if err != nil || d != 0 {
+		t.Fatalf("Echo(0) = %v, %v", d, err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package proc executes application workloads on simulated machines.
+//
+// A SimProcess is the simulated-mode stand-in for the operating-system
+// process the paper's profiler watches through /proc and perf-stat: it
+// precomputes a piecewise-linear timeline of resource consumption from an
+// app.Workload and a machine.Model, and can then report cumulative counters
+// at any time offset. Watchers sample those counters exactly as they would
+// sample a real process, which keeps the profiler code path identical in
+// simulated and real mode.
+package proc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/machine"
+	"synapse/internal/perfcount"
+	"synapse/internal/stats"
+)
+
+// issueWidth is the modeled CPU issue width used to derive stalled cycles
+// from a workload's effective IPC: a loop retiring IPC instructions per
+// cycle on a width-4 core wastes the equivalent of (width-IPC)/IPC of its
+// used cycles in stalls. The paper's efficiency formula then evaluates to
+// IPC/width.
+const issueWidth = 4.0
+
+// stallFrontFrac splits modeled stalls between frontend and backend; memory
+// bound codes stall mostly in the backend.
+const stallFrontFrac = 0.4
+
+// Options adjust workload execution.
+type Options struct {
+	// Seed drives the run-to-run jitter; runs with equal seeds are
+	// identical.
+	Seed uint64
+	// Jitter stretches segment durations by the machine's NoiseRel to
+	// model system background (the error bars of the paper's figures).
+	// Counters are unaffected: the paper finds consumption metrics
+	// consistent across runs while Tx varies (Fig 6).
+	Jitter bool
+	// Load models an artificially stressed machine (paper §4.3): the
+	// fraction of CPU capacity consumed by background load. Compute
+	// segments slow down by 1/(1-Load).
+	Load float64
+	// CounterNoise adds a small run-wide multiplicative error to the
+	// consumption counters, modeling hardware-counter measurement noise
+	// (the paper's Fig 8 reports tiny but non-zero confidence intervals).
+	// It is a relative standard deviation, typically ≤0.002.
+	CounterNoise float64
+}
+
+// segment is one span of uniform resource-consumption rates.
+type segment struct {
+	start, end time.Duration
+	// counters consumed across the whole segment (not rates).
+	c perfcount.Counters
+}
+
+// phaseSpan records a phase's extent for gauge interpolation.
+type phaseSpan struct {
+	start, end       time.Duration
+	rssStart, rssEnd float64
+}
+
+// SimProcess is a fully materialised simulated process execution.
+type SimProcess struct {
+	workload app.Workload
+	m        *machine.Model
+
+	segs   []segment
+	phases []phaseSpan
+	dur    time.Duration
+	final  perfcount.Counters
+
+	threads, procs float64
+	counterScale   float64
+}
+
+// Execute materialises the workload's execution on machine m.
+func Execute(w app.Workload, m *machine.Model, opts Options) (*SimProcess, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Load < 0 || opts.Load >= 1 {
+		if opts.Load != 0 {
+			return nil, fmt.Errorf("proc: load %g outside [0,1)", opts.Load)
+		}
+	}
+	ap, err := m.App(w.App)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := stats.NewRNG(opts.Seed ^ 0x5eed5eed)
+	jitter := func(d time.Duration) time.Duration {
+		if !opts.Jitter || d <= 0 {
+			return d
+		}
+		return time.Duration(rng.Jitter(float64(d), m.NoiseRel))
+	}
+	counterScale := 1.0
+	if opts.CounterNoise > 0 {
+		counterScale = rng.Jitter(1, opts.CounterNoise)
+	}
+
+	p := &SimProcess{workload: w, m: m, threads: 1, procs: 1, counterScale: counterScale}
+	if w.Workers > 1 {
+		switch w.Mode {
+		case machine.ModeOpenMP:
+			p.threads = float64(w.Workers)
+		case machine.ModeMPI:
+			p.procs = float64(w.Workers)
+		}
+	}
+
+	var cursor time.Duration
+	for i := range w.Phases {
+		ph := &w.Phases[i]
+		fs, err := m.Filesystem(ph.Filesystem)
+		if err != nil {
+			return nil, fmt.Errorf("proc: phase %s: %w", ph.Name, err)
+		}
+
+		// Per-activity durations on this machine.
+		cycles := ph.ComputeUnits * ap.CyclesPerUnit
+		computeDur := m.ComputeTime(cycles)
+		if opts.Load > 0 {
+			computeDur = time.Duration(float64(computeDur) / (1 - opts.Load))
+		}
+		if w.Workers > 1 && w.Mode != machine.ModeSerial {
+			computeDur = ap.Parallel.Scale(computeDur, w.Workers, m.Cores, w.Mode)
+		}
+		readDur := fs.ReadTime(ph.ReadBytes, ph.ReadBlock)
+		writeDur := fs.WriteTime(ph.WriteBytes, ph.WriteBlock)
+		memDur := m.MemTime(ph.AllocBytes + ph.FreeBytes)
+		netDur := m.NetTime(ph.NetReadBytes+ph.NetWriteBytes, ph.NetBlock)
+		waitDur := time.Duration(ph.WaitSeconds * float64(time.Second))
+
+		counters := func(cyc float64, rb, wb, ab, fb, nr, nw int64) perfcount.Counters {
+			c := perfcount.Counters{
+				Cycles:       cyc,
+				Instructions: cyc * ap.IPC,
+				FLOPs:        0,
+				ReadBytes:    float64(rb),
+				WriteBytes:   float64(wb),
+				AllocBytes:   float64(ab),
+				FreeBytes:    float64(fb),
+				NetReadBytes: float64(nr), NetWriteBytes: float64(nw),
+			}
+			if cyc > 0 {
+				stalled := cyc * (issueWidth - ap.IPC) / ap.IPC
+				if stalled < 0 {
+					stalled = 0
+				}
+				c.StalledFront = stalled * stallFrontFrac
+				c.StalledBack = stalled * (1 - stallFrontFrac)
+			}
+			if ph.ReadBlock > 0 && rb > 0 {
+				c.ReadOps = math.Ceil(float64(rb) / float64(ph.ReadBlock))
+			} else if rb > 0 {
+				c.ReadOps = 1
+			}
+			if ph.WriteBlock > 0 && wb > 0 {
+				c.WriteOps = math.Ceil(float64(wb) / float64(ph.WriteBlock))
+			} else if wb > 0 {
+				c.WriteOps = 1
+			}
+			return c
+		}
+
+		phaseStart := cursor
+		if ph.Blend {
+			// All activity mixed uniformly over the phase.
+			dur := jitter(computeDur + readDur + writeDur + memDur + netDur + waitDur)
+			c := counters(cycles, ph.ReadBytes, ph.WriteBytes, ph.AllocBytes, ph.FreeBytes,
+				ph.NetReadBytes, ph.NetWriteBytes)
+			c.FLOPs = ph.ComputeUnits * ph.FLOPsPerUnit
+			cursor = p.addSegment(cursor, dur, c)
+		} else {
+			// Sequential activities: read, alloc, compute, write,
+			// net, free, wait.
+			type act struct {
+				dur time.Duration
+				c   perfcount.Counters
+			}
+			cc := counters(cycles, 0, 0, 0, 0, 0, 0)
+			cc.FLOPs = ph.ComputeUnits * ph.FLOPsPerUnit
+			acts := []act{
+				{readDur, counters(0, ph.ReadBytes, 0, 0, 0, 0, 0)},
+				{m.MemTime(ph.AllocBytes), counters(0, 0, 0, ph.AllocBytes, 0, 0, 0)},
+				{computeDur, cc},
+				{writeDur, counters(0, 0, ph.WriteBytes, 0, 0, 0, 0)},
+				{netDur, counters(0, 0, 0, 0, 0, ph.NetReadBytes, ph.NetWriteBytes)},
+				{m.MemTime(ph.FreeBytes), counters(0, 0, 0, 0, ph.FreeBytes, 0, 0)},
+				{waitDur, perfcount.Counters{}},
+			}
+			for _, a := range acts {
+				if a.dur <= 0 && a.c.IsZero() {
+					continue
+				}
+				cursor = p.addSegment(cursor, jitter(a.dur), a.c)
+			}
+		}
+		rssEnd := ph.RSSEnd
+		if rssEnd == 0 {
+			rssEnd = ph.RSSStart
+		}
+		p.phases = append(p.phases, phaseSpan{phaseStart, cursor, ph.RSSStart, rssEnd})
+	}
+	p.dur = cursor
+	for _, s := range p.segs {
+		p.final = p.final.Add(s.c)
+	}
+	p.final.Threads = p.threads
+	p.final.Processes = p.procs
+	p.final.RSS = p.RSSAt(p.dur)
+	p.final.PeakRSS = p.peakRSSUpTo(p.dur)
+	return p, nil
+}
+
+// addSegment appends a segment and returns the new cursor.
+func (p *SimProcess) addSegment(start, dur time.Duration, c perfcount.Counters) time.Duration {
+	if dur < 0 {
+		dur = 0
+	}
+	end := start + dur
+	c = c.Scale(p.counterScale)
+	p.segs = append(p.segs, segment{start: start, end: end, c: c})
+	return end
+}
+
+// Duration returns the simulated Tx of the process.
+func (p *SimProcess) Duration() time.Duration { return p.dur }
+
+// Workload returns the executed workload.
+func (p *SimProcess) Workload() app.Workload { return p.workload }
+
+// Machine returns the model the process ran on.
+func (p *SimProcess) Machine() *machine.Model { return p.m }
+
+// Final returns the process' total resource consumption, as an exit-time
+// counter read (perf-stat and rusage semantics).
+func (p *SimProcess) Final() perfcount.Counters { return p.final }
+
+// CountersAt returns cumulative counters at offset t since process start.
+// Offsets beyond the process end return the final counters; this mirrors
+// reading /proc for a process that has already exited being impossible —
+// callers (watchers) must check Done separately.
+func (p *SimProcess) CountersAt(t time.Duration) perfcount.Counters {
+	if t >= p.dur {
+		return p.final
+	}
+	var c perfcount.Counters
+	for _, s := range p.segs {
+		if s.end <= t {
+			c = c.Add(s.c)
+			continue
+		}
+		if s.start >= t {
+			break
+		}
+		// Partial segment: linear interpolation.
+		frac := float64(t-s.start) / float64(s.end-s.start)
+		c = c.Add(s.c.Scale(frac))
+	}
+	c.Threads = p.threads
+	c.Processes = p.procs
+	c.RSS = p.RSSAt(t)
+	c.PeakRSS = p.peakRSSUpTo(t)
+	return c
+}
+
+// RSSAt returns the resident-set gauge at offset t, interpolating linearly
+// within each phase.
+func (p *SimProcess) RSSAt(t time.Duration) float64 {
+	if len(p.phases) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return p.phases[0].rssStart
+	}
+	for _, ph := range p.phases {
+		if t > ph.end {
+			continue
+		}
+		if ph.end == ph.start {
+			return ph.rssEnd
+		}
+		frac := float64(t-ph.start) / float64(ph.end-ph.start)
+		return ph.rssStart + frac*(ph.rssEnd-ph.rssStart)
+	}
+	return p.phases[len(p.phases)-1].rssEnd
+}
+
+// peakRSSUpTo returns the RSS high-water mark over [0, t].
+func (p *SimProcess) peakRSSUpTo(t time.Duration) float64 {
+	var peak float64
+	for _, ph := range p.phases {
+		peak = math.Max(peak, ph.rssStart)
+		end := ph.end
+		if end > t {
+			if ph.start >= t {
+				break
+			}
+			// Partial phase.
+			frac := float64(t-ph.start) / float64(ph.end-ph.start)
+			peak = math.Max(peak, ph.rssStart+frac*(ph.rssEnd-ph.rssStart))
+			break
+		}
+		peak = math.Max(peak, ph.rssEnd)
+	}
+	return peak
+}
+
+// Done reports whether the process has exited by offset t.
+func (p *SimProcess) Done(t time.Duration) bool { return t >= p.dur }
+
+// SegmentCount exposes the number of timeline segments (for tests).
+func (p *SimProcess) SegmentCount() int { return len(p.segs) }

@@ -1,0 +1,335 @@
+package proc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/machine"
+)
+
+func mustExecute(t *testing.T, w app.Workload, m *machine.Model, opts Options) *SimProcess {
+	t.Helper()
+	p, err := Execute(w, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMDSimDurationScalesWithSteps(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	small := mustExecute(t, app.MDSim(10_000), m, Options{})
+	large := mustExecute(t, app.MDSim(1_000_000), m, Options{})
+	if small.Duration() <= 0 {
+		t.Fatal("small run has zero duration")
+	}
+	ratio := large.Duration().Seconds() / small.Duration().Seconds()
+	// 1e6 steps vs 1e4 steps: ~100x compute, plus constant startup.
+	if ratio < 20 || ratio > 110 {
+		t.Errorf("duration ratio = %v, want within [20,110]", ratio)
+	}
+}
+
+// Calibration: 1e7 steps on Thinkie takes a few hundred seconds (paper Fig 4
+// shows Tx ≈ 5x10^2 s at 10^7 iterations).
+func TestMDSimThinkieAbsoluteCalibration(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.MDSim(10_000_000), m, Options{})
+	tx := p.Duration().Seconds()
+	if tx < 300 || tx > 800 {
+		t.Errorf("Tx(1e7 steps, thinkie) = %.1fs, want a few hundred seconds", tx)
+	}
+}
+
+func TestFinalCountersMatchWorkload(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	w := app.MDSim(50_000)
+	p := mustExecute(t, w, m, Options{})
+	f := p.Final()
+
+	ap, _ := m.App(w.App)
+	wantCycles := w.TotalComputeUnits() * ap.CyclesPerUnit
+	if math.Abs(f.Cycles-wantCycles) > 1e-6*wantCycles {
+		t.Errorf("cycles = %v, want %v", f.Cycles, wantCycles)
+	}
+	if math.Abs(f.Instructions-wantCycles*ap.IPC) > 1e-6*f.Instructions {
+		t.Errorf("instructions = %v, want cycles*IPC", f.Instructions)
+	}
+	if f.ReadBytes != float64(w.TotalReadBytes()) {
+		t.Errorf("read bytes = %v, want %v", f.ReadBytes, w.TotalReadBytes())
+	}
+	if f.WriteBytes != float64(w.TotalWriteBytes()) {
+		t.Errorf("write bytes = %v, want %v", f.WriteBytes, w.TotalWriteBytes())
+	}
+	if f.PeakRSS != app.MDSimRSSPeak {
+		t.Errorf("peak RSS = %v, want %v", f.PeakRSS, app.MDSimRSSPeak)
+	}
+}
+
+func TestCountersAtMonotone(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.MDSim(100_000), m, Options{})
+	var prev float64
+	for i := 0; i <= 20; i++ {
+		tt := time.Duration(float64(p.Duration()) * float64(i) / 20)
+		c := p.CountersAt(tt)
+		if c.Cycles < prev {
+			t.Fatalf("cycles decreased at %v: %v < %v", tt, c.Cycles, prev)
+		}
+		prev = c.Cycles
+	}
+	// At the end, counters equal finals.
+	end := p.CountersAt(p.Duration())
+	if end.Cycles != p.Final().Cycles {
+		t.Errorf("counters at end = %v, final = %v", end.Cycles, p.Final().Cycles)
+	}
+	// Beyond the end, clamped.
+	after := p.CountersAt(p.Duration() + time.Hour)
+	if after.Cycles != p.Final().Cycles {
+		t.Error("counters after exit should be final")
+	}
+}
+
+func TestCountersInterpolateLinearly(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	// Single blended phase: rates are uniform, so counters at T/2 must be
+	// half the totals.
+	w := app.Workload{
+		App: machine.AppMDSim, Command: "x", Workers: 1,
+		Phases: []app.Phase{{
+			Name: "u", ComputeUnits: 100_000, WriteBytes: 1 << 20, WriteBlock: 4096,
+			RSSStart: 1e6, RSSEnd: 2e6, Blend: true,
+		}},
+	}
+	p := mustExecute(t, w, m, Options{})
+	half := p.CountersAt(p.Duration() / 2)
+	if rel := math.Abs(half.Cycles/p.Final().Cycles - 0.5); rel > 0.01 {
+		t.Errorf("cycles at T/2 = %.3f of total, want 0.5", half.Cycles/p.Final().Cycles)
+	}
+	if rel := math.Abs(half.WriteBytes/p.Final().WriteBytes - 0.5); rel > 0.01 {
+		t.Errorf("writes at T/2 = %.3f of total, want 0.5", half.WriteBytes/p.Final().WriteBytes)
+	}
+	if math.Abs(p.RSSAt(p.Duration()/2)-1.5e6) > 1e4 {
+		t.Errorf("RSS at T/2 = %v, want 1.5e6", p.RSSAt(p.Duration()/2))
+	}
+}
+
+func TestSequentialPhaseOrdering(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	// Unblended phase: read happens before compute, write after.
+	w := app.Workload{
+		App: machine.AppMDSim, Command: "x", Workers: 1,
+		Phases: []app.Phase{{
+			Name: "seq", ComputeUnits: 200_000,
+			ReadBytes: 64 << 20, ReadBlock: 1 << 20,
+			WriteBytes: 64 << 20, WriteBlock: 1 << 20,
+			RSSStart: 1e6,
+		}},
+	}
+	p := mustExecute(t, w, m, Options{})
+	early := p.CountersAt(p.Duration() / 100)
+	if early.WriteBytes > 0 {
+		t.Error("writes should not start before compute in a sequential phase")
+	}
+	if early.ReadBytes == 0 {
+		t.Error("reads should start first in a sequential phase")
+	}
+	// Just before the end all reads done, writes in progress or done.
+	late := p.CountersAt(p.Duration() * 99 / 100)
+	if late.ReadBytes != p.Final().ReadBytes {
+		t.Error("reads should be complete near the end")
+	}
+}
+
+func TestSleeperConsumesTimeOnly(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.Sleeper(30), m, Options{})
+	if got := p.Duration(); math.Abs(got.Seconds()-30) > 0.001 {
+		t.Errorf("sleeper duration = %v, want 30s", got)
+	}
+	f := p.Final()
+	if f.Cycles != 0 || f.ReadBytes != 0 || f.WriteBytes != 0 {
+		t.Errorf("sleeper consumed resources: %+v", f)
+	}
+}
+
+func TestJitterChangesTxNotCounters(t *testing.T) {
+	m := machine.MustGet(machine.Supermic) // largest NoiseRel in catalog
+	w := app.MDSim(100_000)
+	a := mustExecute(t, w, m, Options{Seed: 1, Jitter: true})
+	b := mustExecute(t, w, m, Options{Seed: 2, Jitter: true})
+	c := mustExecute(t, w, m, Options{Seed: 1, Jitter: true})
+	if a.Duration() == b.Duration() {
+		t.Error("different seeds should give different Tx")
+	}
+	if a.Duration() != c.Duration() {
+		t.Error("same seed should reproduce Tx exactly")
+	}
+	if a.Final().Cycles != b.Final().Cycles {
+		t.Error("jitter must not change consumption counters")
+	}
+}
+
+func TestLoadSlowsCompute(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	w := app.MDSim(100_000)
+	base := mustExecute(t, w, m, Options{})
+	loaded := mustExecute(t, w, m, Options{Load: 0.5})
+	ratio := loaded.Duration().Seconds() / base.Duration().Seconds()
+	if ratio < 1.5 {
+		t.Errorf("50%% load should roughly double compute time, ratio = %v", ratio)
+	}
+	if loaded.Final().Cycles != base.Final().Cycles {
+		t.Error("load must not change cycles consumed")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	if _, err := Execute(app.MDSim(10), m, Options{Load: 1.5}); err == nil {
+		t.Error("load >= 1 should error")
+	}
+	if _, err := Execute(app.MDSim(10), m, Options{Load: -0.1}); err == nil {
+		t.Error("negative load should error")
+	}
+}
+
+func TestParallelWorkloadFasterButSameWork(t *testing.T) {
+	m := machine.MustGet(machine.Titan)
+	serial := mustExecute(t, app.MDSim(1_000_000), m, Options{})
+	par := mustExecute(t, app.MDSimParallel(1_000_000, 8, machine.ModeOpenMP), m, Options{})
+	if par.Duration() >= serial.Duration() {
+		t.Errorf("8-way OpenMP (%v) should beat serial (%v)", par.Duration(), serial.Duration())
+	}
+	if par.Final().Cycles != serial.Final().Cycles {
+		t.Error("parallel run should do the same total work")
+	}
+	if par.Final().Threads != 8 {
+		t.Errorf("threads = %v, want 8", par.Final().Threads)
+	}
+	mpi := mustExecute(t, app.MDSimParallel(1_000_000, 8, machine.ModeMPI), m, Options{})
+	if mpi.Final().Processes != 8 {
+		t.Errorf("processes = %v, want 8", mpi.Final().Processes)
+	}
+}
+
+func TestEfficiencyIsIPCOverWidth(t *testing.T) {
+	m := machine.MustGet(machine.Comet)
+	p := mustExecute(t, app.MDSim(100_000), m, Options{})
+	ap, _ := m.App(machine.AppMDSim)
+	want := ap.IPC / issueWidth
+	if got := p.Final().Efficiency(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("efficiency = %v, want %v", got, want)
+	}
+}
+
+func TestRSSAtBoundaries(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.MDSim(100_000), m, Options{})
+	if got := p.RSSAt(0); got != app.MDSimRSSBase {
+		t.Errorf("RSS at 0 = %v, want base %v", got, app.MDSimRSSBase)
+	}
+	if got := p.RSSAt(p.Duration()); math.Abs(got-app.MDSimRSSPeak) > 1 {
+		t.Errorf("RSS at end = %v, want peak %v", got, app.MDSimRSSPeak)
+	}
+	if got := p.RSSAt(p.Duration() + time.Hour); math.Abs(got-app.MDSimRSSPeak) > 1 {
+		t.Errorf("RSS after end = %v, want peak", got)
+	}
+}
+
+func TestIOBenchProcess(t *testing.T) {
+	m := machine.MustGet(machine.Titan)
+	small := mustExecute(t, app.IOBench(256<<20, 4<<10, machine.FSLustre), m, Options{})
+	large := mustExecute(t, app.IOBench(256<<20, 16<<20, machine.FSLustre), m, Options{})
+	if small.Duration() <= large.Duration() {
+		t.Errorf("4KB blocks (%v) should be slower than 16MB blocks (%v)",
+			small.Duration(), large.Duration())
+	}
+}
+
+func TestUnknownFilesystemFails(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	w := app.IOBench(1<<20, 4096, "quantum-fs")
+	if _, err := Execute(w, m, Options{}); err == nil {
+		t.Error("unknown filesystem should fail execution")
+	}
+}
+
+func TestInvalidWorkloadFails(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	if _, err := Execute(app.Workload{}, m, Options{}); err == nil {
+		t.Error("invalid workload should fail")
+	}
+}
+
+func TestDoneAndSegments(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.MDSim(10_000), m, Options{})
+	if p.Done(0) {
+		t.Error("process should not be done at start")
+	}
+	if !p.Done(p.Duration()) {
+		t.Error("process should be done at its duration")
+	}
+	if p.SegmentCount() == 0 {
+		t.Error("expected timeline segments")
+	}
+	if p.Machine() != m {
+		t.Error("Machine() mismatch")
+	}
+	if p.Workload().Command != "mdsim" {
+		t.Error("Workload() mismatch")
+	}
+}
+
+// Property: counters at any offset never exceed finals, and cycles are
+// monotone in t.
+func TestCountersBoundedProperty(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	p := mustExecute(t, app.MDSim(200_000), m, Options{})
+	f := p.Final()
+	fn := func(fracRaw, fracRaw2 uint16) bool {
+		f1 := float64(fracRaw) / 65535
+		f2 := float64(fracRaw2) / 65535
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		t1 := time.Duration(float64(p.Duration()) * f1)
+		t2 := time.Duration(float64(p.Duration()) * f2)
+		c1, c2 := p.CountersAt(t1), p.CountersAt(t2)
+		return c1.Cycles <= c2.Cycles+1e-6 &&
+			c2.Cycles <= f.Cycles+1e-6 &&
+			c1.WriteBytes <= c2.WriteBytes+1e-6 &&
+			c2.WriteBytes <= f.WriteBytes+1e-6
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: execution duration is monotone in machine speed for pure-compute
+// workloads (faster clock, never slower run).
+func TestDurationMachineMonotonicityProperty(t *testing.T) {
+	slow := machine.MustGet(machine.Titan)   // 2.2 GHz
+	fast := machine.MustGet(machine.Thinkie) // 2.66 GHz, same app? cycles differ.
+	// Use a pure compute workload with the default app so cycles/unit
+	// comparisons are apples-to-apples only within one machine; here we
+	// only require positive durations and internal monotonicity in units.
+	f := func(uRaw uint16) bool {
+		units := float64(uRaw) + 1
+		w := app.Workload{App: machine.AppMDSim, Command: "c", Workers: 1,
+			Phases: []app.Phase{{Name: "c", ComputeUnits: units, RSSStart: 1, Blend: true}}}
+		p1, err1 := Execute(w, slow, Options{})
+		p2, err2 := Execute(w, fast, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.Duration() > 0 && p2.Duration() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package procfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const statLine = `1234 ((some) prog with space) S 1 1234 1234 0 -1 4194560 12345 0 0 0 250 150 0 0 20 0 7 0 123456 223456789 1500 18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0`
+
+func TestParseStat(t *testing.T) {
+	st, err := parseStat(statLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// utime=250 ticks = 2.5s, stime=150 ticks = 1.5s
+	if st.UTime.Seconds() != 2.5 {
+		t.Errorf("utime = %v, want 2.5s", st.UTime)
+	}
+	if st.STime.Seconds() != 1.5 {
+		t.Errorf("stime = %v, want 1.5s", st.STime)
+	}
+	if st.CPUTime().Seconds() != 4.0 {
+		t.Errorf("cputime = %v, want 4s", st.CPUTime())
+	}
+	if st.NumThreads != 7 {
+		t.Errorf("threads = %d, want 7", st.NumThreads)
+	}
+	if st.RSSPages != 1500 {
+		t.Errorf("rss pages = %d, want 1500", st.RSSPages)
+	}
+}
+
+func TestParseStatMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"1234 (prog",
+		"1234 (prog) S 1 2 3", // too few fields
+		strings.Replace(statLine, " 250 ", " abc ", 1),
+	} {
+		if _, err := parseStat(bad); err == nil {
+			t.Errorf("parseStat(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	status := "Name:\tprog\nVmSize:\t  200000 kB\nVmHWM:\t    6000 kB\nVmRSS:\t    4096 kB\nThreads:\t4\n"
+	st, err := parseStatus(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VmRSS != 4096<<10 {
+		t.Errorf("VmRSS = %d", st.VmRSS)
+	}
+	if st.VmHWM != 6000<<10 {
+		t.Errorf("VmHWM = %d", st.VmHWM)
+	}
+	if st.VmSize != 200000<<10 {
+		t.Errorf("VmSize = %d", st.VmSize)
+	}
+}
+
+func TestParseStatusNoFields(t *testing.T) {
+	if _, err := parseStatus("Name: x\nState: R\n"); err == nil {
+		t.Error("status without Vm fields should fail")
+	}
+}
+
+func TestParseIO(t *testing.T) {
+	raw := "rchar: 100\nwchar: 200\nsyscr: 3\nsyscw: 4\nread_bytes: 500\nwrite_bytes: 600\ncancelled_write_bytes: 0\n"
+	io, err := parseIO(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.RChar != 100 || io.WChar != 200 || io.SyscR != 3 || io.SyscW != 4 {
+		t.Errorf("io = %+v", io)
+	}
+	if io.ReadBytes != 500 || io.WriteBytes != 600 {
+		t.Errorf("io bytes = %+v", io)
+	}
+}
+
+func TestParseIOGarbage(t *testing.T) {
+	if _, err := parseIO("hello world"); err == nil {
+		t.Error("garbage io file should fail")
+	}
+}
+
+// fixture builds a fake /proc tree for ReadStat/ReadStatus/ReadIO.
+func fixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	pidDir := filepath.Join(dir, "42")
+	if err := os.MkdirAll(pidDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"stat":   statLine,
+		"status": "VmRSS:\t1024 kB\nVmHWM:\t2048 kB\n",
+		"io":     "rchar: 10\nwchar: 20\nsyscr: 1\nsyscw: 2\nread_bytes: 30\nwrite_bytes: 40\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(pidDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func withRoot(t *testing.T, root string) {
+	t.Helper()
+	old := Root
+	Root = root
+	t.Cleanup(func() { Root = old })
+}
+
+func TestReadersAgainstFixture(t *testing.T) {
+	withRoot(t, fixture(t))
+
+	st, err := ReadStat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumThreads != 7 {
+		t.Errorf("threads = %d", st.NumThreads)
+	}
+	mem, err := ReadStatus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.VmRSS != 1024<<10 {
+		t.Errorf("VmRSS = %d", mem.VmRSS)
+	}
+	io, err := ReadIO(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.WChar != 20 {
+		t.Errorf("wchar = %d", io.WChar)
+	}
+	if !Alive(42) {
+		t.Error("fixture process should be alive")
+	}
+	if Alive(43) {
+		t.Error("absent pid should not be alive")
+	}
+}
+
+func TestReadersUnavailable(t *testing.T) {
+	withRoot(t, t.TempDir())
+	if _, err := ReadStat(1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("ReadStat = %v, want ErrUnavailable", err)
+	}
+	if _, err := ReadStatus(1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("ReadStatus = %v, want ErrUnavailable", err)
+	}
+	if _, err := ReadIO(1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("ReadIO = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestSnapshotFixture(t *testing.T) {
+	withRoot(t, fixture(t))
+	c, err := Snapshot(42, 2.0e9, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 CPU seconds at 2 GHz.
+	if c.Cycles != 8e9 {
+		t.Errorf("cycles = %v, want 8e9", c.Cycles)
+	}
+	if c.Instructions != 12e9 {
+		t.Errorf("instructions = %v, want 12e9", c.Instructions)
+	}
+	if c.RSS != float64(1024<<10) || c.PeakRSS != float64(2048<<10) {
+		t.Errorf("memory = rss %v peak %v", c.RSS, c.PeakRSS)
+	}
+	if c.ReadBytes != 10 || c.WriteBytes != 20 {
+		t.Errorf("io = %v/%v", c.ReadBytes, c.WriteBytes)
+	}
+	if c.Threads != 7 {
+		t.Errorf("threads = %v", c.Threads)
+	}
+}
+
+func TestSnapshotMissingProcess(t *testing.T) {
+	withRoot(t, t.TempDir())
+	if _, err := Snapshot(12345, 1e9, 1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Snapshot = %v, want ErrUnavailable", err)
+	}
+}
+
+// On Linux the readers must work against the live /proc for our own process.
+func TestLiveSelfProcess(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("live /proc only on linux")
+	}
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		t.Skip("/proc not mounted")
+	}
+	pid := os.Getpid()
+	st, err := ReadStat(pid)
+	if err != nil {
+		t.Fatalf("ReadStat(self): %v", err)
+	}
+	if st.NumThreads < 1 {
+		t.Errorf("threads = %d", st.NumThreads)
+	}
+	mem, err := ReadStatus(pid)
+	if err != nil {
+		t.Fatalf("ReadStatus(self): %v", err)
+	}
+	if mem.VmRSS <= 0 {
+		t.Errorf("VmRSS = %d, want > 0", mem.VmRSS)
+	}
+	c, err := Snapshot(pid, 2.5e9, 2.0)
+	if err != nil {
+		t.Fatalf("Snapshot(self): %v", err)
+	}
+	if c.RSS <= 0 {
+		t.Errorf("snapshot rss = %v", c.RSS)
+	}
+	if !Alive(pid) {
+		t.Error("self should be alive")
+	}
+}

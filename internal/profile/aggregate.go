@@ -1,0 +1,180 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"synapse/internal/stats"
+)
+
+// Set is a collection of profiles of the same command/tags combination,
+// typically gathered by repeated profiling runs. Synapse performs basic
+// statistics across such sets (paper §4).
+type Set []*Profile
+
+// TotalSummary summarises the integrated total of one metric across the set.
+func (s Set) TotalSummary(metric string) stats.Summary {
+	xs := make([]float64, 0, len(s))
+	for _, p := range s {
+		xs = append(xs, p.Total(metric))
+	}
+	return stats.Summarize(xs)
+}
+
+// TxSummary summarises the execution time across the set, in seconds.
+func (s Set) TxSummary() stats.Summary {
+	xs := make([]float64, 0, len(s))
+	for _, p := range s {
+		xs = append(xs, p.Duration.Seconds())
+	}
+	return stats.Summarize(xs)
+}
+
+// Mean returns a synthetic profile whose totals are the per-metric means of
+// the set and whose samples come from the first member (sample-by-sample
+// averaging is ill-defined when sample counts differ across runs, which the
+// paper sidesteps the same way: emulation replays one recorded series while
+// statistics use the aggregated totals).
+func (s Set) Mean() (*Profile, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("profile: empty set")
+	}
+	p := s[0].Clone()
+	metrics := map[string]struct{}{}
+	for _, q := range s {
+		for m := range q.Totals {
+			metrics[m] = struct{}{}
+		}
+	}
+	for m := range metrics {
+		p.Totals[m] = s.TotalSummary(m).Mean
+	}
+	var tx time.Duration
+	for _, q := range s {
+		tx += q.Duration
+	}
+	p.Duration = tx / time.Duration(len(s))
+	return p, nil
+}
+
+// Metrics returns the sorted union of total-metric names across the set.
+func (s Set) Metrics() []string {
+	set := map[string]struct{}{}
+	for _, p := range s {
+		for m := range p.Totals {
+			set[m] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resample rebuilds a profile's sample series at a different sampling rate,
+// conserving counter totals (each new interval receives the time-weighted
+// share of the original deltas) and carrying gauges at interval boundaries.
+// Resampling supports the paper's sampling-effect analysis (§4.4, Fig 2):
+// replaying a coarser series introduces more intra-sample concurrency.
+func Resample(p *Profile, rate float64) (*Profile, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("profile: non-positive resample rate %g", rate)
+	}
+	q := p.Clone()
+	q.SampleRate = rate
+	q.Samples = nil
+	if p.Duration <= 0 || len(p.Samples) == 0 {
+		return q, nil
+	}
+	period := time.Duration(float64(time.Second) / rate)
+	if period <= 0 {
+		return nil, fmt.Errorf("profile: resample rate %g too high", rate)
+	}
+
+	// Build new interval boundaries covering [0, Duration].
+	var bounds []time.Duration
+	for t := period; t < p.Duration; t += period {
+		bounds = append(bounds, t)
+	}
+	bounds = append(bounds, p.Duration)
+
+	newSamples := make([]Sample, len(bounds))
+	for i, b := range bounds {
+		newSamples[i] = Sample{T: b, Values: map[string]float64{}}
+	}
+
+	// Distribute each original sample's counter deltas over the new
+	// intervals it overlaps, assuming uniform consumption within the
+	// original interval (the profiler's own granularity assumption).
+	prevT := time.Duration(0)
+	for _, s := range p.Samples {
+		dur := s.T - prevT
+		for m, v := range s.Values {
+			switch KindOf(m) {
+			case Counter:
+				if dur <= 0 {
+					// Zero-length interval: attribute to the
+					// covering new interval.
+					idx := intervalIndex(bounds, s.T)
+					newSamples[idx].Values[m] += v
+					continue
+				}
+				distribute(newSamples, bounds, prevT, s.T, m, v)
+			case Gauge, Info:
+				idx := intervalIndex(bounds, s.T)
+				// Last writer within the interval wins, matching
+				// gauge semantics.
+				newSamples[idx].Values[m] = v
+			}
+		}
+		prevT = s.T
+	}
+	for _, s := range newSamples {
+		if err := q.Append(s); err != nil {
+			return nil, err
+		}
+	}
+	q.Finalize(p.Duration)
+	return q, nil
+}
+
+// intervalIndex returns the index of the new interval containing offset t.
+func intervalIndex(bounds []time.Duration, t time.Duration) int {
+	i := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= t })
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	return i
+}
+
+// distribute spreads value v uniformly over [from, to) across the new
+// intervals.
+func distribute(samples []Sample, bounds []time.Duration, from, to time.Duration, metric string, v float64) {
+	total := to - from
+	lo := from
+	for i, b := range bounds {
+		start := time.Duration(0)
+		if i > 0 {
+			start = bounds[i-1]
+		}
+		if b <= lo || start >= to {
+			continue
+		}
+		// Overlap of [start,b) with [lo,to).
+		s, e := start, b
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e <= s {
+			continue
+		}
+		frac := float64(e-s) / float64(total)
+		samples[i].Values[metric] += v * frac
+	}
+}

@@ -1,0 +1,50 @@
+package profile
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecode hardens the profile decoder against arbitrary input: it must
+// never panic, and anything it accepts must satisfy the profile invariants
+// and re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real profile.
+	p := New("mdsim", map[string]string{"steps": "1000"})
+	p.Machine = "thinkie"
+	p.SampleRate = 2
+	_ = p.Append(Sample{T: time.Second, Values: map[string]float64{
+		MetricCPUCycles: 1e9, MetricMemRSS: 2e6,
+	}})
+	p.Finalize(time.Second)
+	seed, err := p.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"command":"x","samples":[{"t":-1}]}`))
+	f.Add([]byte(`{"command":"x","samples":[{"t":5,"values":{"cpu.cycles":-2}}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid profile: %v", verr)
+		}
+		round, err := q.Encode()
+		if err != nil {
+			t.Fatalf("accepted profile failed to re-encode: %v", err)
+		}
+		q2, err := Decode(round)
+		if err != nil {
+			t.Fatalf("re-encoded profile failed to decode: %v", err)
+		}
+		if q2.Command != q.Command || len(q2.Samples) != len(q.Samples) {
+			t.Fatal("decode/encode round trip lost data")
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package profile defines Synapse's profile data model: time-stamped samples
+// of resource-consumption metrics, whole-run totals, derived metrics, and
+// statistics across repeated profiling runs. It also carries the metrics
+// registry that reproduces paper Table 1.
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric names. The hierarchical names map onto the rows of paper Table 1;
+// watcher plugins may add further metrics, which flow through profiles and
+// stores untouched (the registry only describes the known ones).
+const (
+	// System information and load.
+	MetricSysCores    = "sys.cores"
+	MetricSysClockHz  = "sys.clock_hz"
+	MetricSysMemTotal = "sys.mem_total"
+	MetricSysRuntime  = "sys.runtime"
+	MetricSysLoadCPU  = "sys.load_cpu"
+	MetricSysLoadDisk = "sys.load_disk"
+	MetricSysLoadMem  = "sys.load_mem"
+
+	// Compute.
+	MetricCPUInstructions = "cpu.instructions"
+	MetricCPUCycles       = "cpu.cycles"
+	MetricCPUStalledBack  = "cpu.stalled_back"
+	MetricCPUStalledFront = "cpu.stalled_front"
+	MetricCPUEfficiency   = "cpu.efficiency"
+	MetricCPUUtilization  = "cpu.utilization"
+	MetricCPUFLOPs        = "cpu.flops"
+	MetricCPUFLOPSRate    = "cpu.flops_rate"
+	MetricCPUThreads      = "cpu.threads"
+	MetricCPUOpenMP       = "cpu.openmp"
+
+	// Storage.
+	MetricIOReadBytes  = "io.read_bytes"
+	MetricIOWriteBytes = "io.write_bytes"
+	MetricIOReadBlock  = "io.block_read"
+	MetricIOWriteBlock = "io.block_write"
+	MetricIOFilesystem = "io.filesystem"
+	MetricIOReadOps    = "io.read_ops"
+	MetricIOWriteOps   = "io.write_ops"
+
+	// Memory.
+	MetricMemPeak       = "mem.peak"
+	MetricMemRSS        = "mem.rss"
+	MetricMemAlloc      = "mem.alloc"
+	MetricMemFree       = "mem.free"
+	MetricMemAllocBlock = "mem.block_alloc"
+	MetricMemFreeBlock  = "mem.block_free"
+
+	// Network.
+	MetricNetEndpoint   = "net.endpoint"
+	MetricNetReadBytes  = "net.read_bytes"
+	MetricNetWriteBytes = "net.write_bytes"
+	MetricNetReadBlock  = "net.block_read"
+	MetricNetWriteBlock = "net.block_write"
+)
+
+// Support is one cell of paper Table 1.
+type Support int
+
+// Support levels, matching the paper's legend: "+" supported, "-" not
+// supported, "(+)" partial, "(-)" planned.
+const (
+	No Support = iota
+	Yes
+	Partial
+	Planned
+)
+
+// String renders the support level with the paper's notation.
+func (s Support) String() string {
+	switch s {
+	case Yes:
+		return "+"
+	case Partial:
+		return "(+)"
+	case Planned:
+		return "(-)"
+	default:
+		return "-"
+	}
+}
+
+// Kind distinguishes how a metric's per-sample values combine over time.
+type Kind int
+
+// Metric kinds. Counter samples carry deltas that sum to the run total;
+// Gauge samples carry instantaneous values (totals take the maximum, e.g.
+// resident memory); Info metrics are constant run metadata.
+const (
+	Counter Kind = iota
+	Gauge
+	Info
+)
+
+// Registration describes one metric: its Table 1 row plus the data-model
+// kind used when integrating samples.
+type Registration struct {
+	Name     string
+	Resource string // Table 1 resource group: System, Compute, Storage, Memory, Network
+	Title    string // human-readable row title as printed in Table 1
+	Kind     Kind
+
+	Total   Support // integrated total over runtime
+	Sampled Support // sampled over time
+	Derived Support // derived from other metrics
+	Emul    Support // used in emulation
+}
+
+// Registry reproduces paper Table 1 row for row. Order matters: it is the
+// order the paper prints.
+var Registry = []Registration{
+	{MetricSysCores, "System", "number of cores", Info, Yes, No, No, No},
+	{MetricSysClockHz, "System", "max CPU frequency", Info, Yes, No, No, No},
+	{MetricSysMemTotal, "System", "total memory", Info, Yes, No, No, No},
+	{MetricSysRuntime, "System", "runtime", Counter, Yes, Yes, No, No},
+	{MetricSysLoadCPU, "System", "system load (CPU)", Gauge, Yes, No, No, Yes},
+	{MetricSysLoadDisk, "System", "system load (disk)", Gauge, No, No, No, Yes},
+	{MetricSysLoadMem, "System", "system load (memory)", Gauge, No, No, No, Yes},
+
+	{MetricCPUInstructions, "Compute", "CPU instructions", Counter, Yes, Yes, No, Yes},
+	{MetricCPUCycles, "Compute", "cycles used", Counter, Yes, Yes, No, Yes},
+	{MetricCPUStalledBack, "Compute", "cycles stalled backend", Counter, Yes, Yes, No, No},
+	{MetricCPUStalledFront, "Compute", "cycles stalled frontend", Counter, Yes, Yes, No, No},
+	{MetricCPUEfficiency, "Compute", "efficiency", Gauge, Yes, Yes, Yes, Partial},
+	{MetricCPUUtilization, "Compute", "utilization", Gauge, Yes, Yes, Yes, No},
+	{MetricCPUFLOPs, "Compute", "FLOPs", Counter, Yes, Yes, Yes, Yes},
+	{MetricCPUFLOPSRate, "Compute", "FLOP/s", Gauge, Yes, Yes, Yes, No},
+	{MetricCPUThreads, "Compute", "number of threads", Gauge, Yes, No, No, Partial},
+	{MetricCPUOpenMP, "Compute", "OpenMP", Info, Partial, No, No, Yes},
+
+	{MetricIOReadBytes, "Storage", "bytes read", Counter, Yes, Yes, No, Yes},
+	{MetricIOWriteBytes, "Storage", "bytes written", Counter, Yes, Yes, No, Yes},
+	{MetricIOReadBlock, "Storage", "block size read", Gauge, No, Partial, No, Yes},
+	{MetricIOWriteBlock, "Storage", "block size write", Gauge, No, Partial, No, Yes},
+	{MetricIOFilesystem, "Storage", "used file system", Info, Yes, No, No, Yes},
+
+	{MetricMemPeak, "Memory", "bytes peak", Gauge, Yes, Yes, No, No},
+	{MetricMemRSS, "Memory", "bytes resident size", Gauge, Yes, Yes, No, No},
+	{MetricMemAlloc, "Memory", "bytes allocated", Counter, Yes, Yes, Yes, Yes},
+	{MetricMemFree, "Memory", "bytes freed", Counter, Yes, Yes, Yes, Yes},
+	{MetricMemAllocBlock, "Memory", "block size alloc", Gauge, No, Planned, No, Planned},
+	{MetricMemFreeBlock, "Memory", "block size free", Gauge, No, Planned, No, Planned},
+
+	{MetricNetEndpoint, "Network", "connection endpoint", Info, Planned, Planned, No, Partial},
+	{MetricNetReadBytes, "Network", "bytes read", Counter, Planned, Planned, No, Partial},
+	{MetricNetWriteBytes, "Network", "bytes written", Counter, Planned, Planned, No, Partial},
+	{MetricNetReadBlock, "Network", "block size read", Gauge, No, Planned, No, Planned},
+	{MetricNetWriteBlock, "Network", "block size write", Gauge, No, Planned, No, Planned},
+}
+
+// Lookup returns the registration for the named metric, if known.
+func Lookup(name string) (Registration, bool) {
+	for _, r := range Registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Registration{}, false
+}
+
+// KindOf returns the kind of the named metric. Unknown metrics are treated
+// as counters, which is the safe default for plugin-defined consumption
+// metrics.
+func KindOf(name string) Kind {
+	if r, ok := Lookup(name); ok {
+		return r.Kind
+	}
+	return Counter
+}
+
+// Table1 renders the registry in the layout of paper Table 1.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-24s %-5s %-6s %-5s %-6s\n", "Resource", "Metric", "Tot.", "Samp.", "Der.", "Emul.")
+	prev := ""
+	for _, r := range Registry {
+		group := r.Resource
+		if group == prev {
+			group = ""
+		} else {
+			prev = group
+		}
+		fmt.Fprintf(&b, "%-8s %-24s %-5s %-6s %-5s %-6s\n",
+			group, r.Title, r.Total, r.Sampled, r.Derived, r.Emul)
+	}
+	return b.String()
+}

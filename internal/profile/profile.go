@@ -1,0 +1,276 @@
+package profile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"synapse/internal/perfcount"
+)
+
+// Sample is one profiling interval. Counter metrics carry the consumption
+// delta within the interval; gauge metrics carry the value observed at the
+// end of the interval.
+type Sample struct {
+	// T is the offset of the end of the interval, relative to process
+	// start.
+	T time.Duration `json:"t"`
+	// Values maps metric name to delta (counters) or level (gauges).
+	Values map[string]float64 `json:"values"`
+}
+
+// Get returns the sample's value for the metric (0 when absent).
+func (s Sample) Get(metric string) float64 { return s.Values[metric] }
+
+// Clone returns a deep copy of the sample.
+func (s Sample) Clone() Sample {
+	vs := make(map[string]float64, len(s.Values))
+	for k, v := range s.Values {
+		vs[k] = v
+	}
+	return Sample{T: s.T, Values: vs}
+}
+
+// Profile is the result of profiling one application execution: the search
+// keys (command and tags), the environment, the sample time series and the
+// integrated totals. Profiles are the unit of storage and the input to
+// emulation.
+type Profile struct {
+	ID      string            `json:"id"`
+	Command string            `json:"command"`
+	Tags    map[string]string `json:"tags,omitempty"`
+
+	// Machine names the resource the profile was taken on; App names the
+	// application model when the run was simulated (empty for real runs).
+	Machine string `json:"machine"`
+	App     string `json:"app,omitempty"`
+
+	SampleRate float64       `json:"sample_rate"` // Hz
+	CreatedAt  time.Time     `json:"created_at"`
+	Duration   time.Duration `json:"duration"` // the application's Tx
+
+	Samples []Sample           `json:"samples"`
+	Totals  map[string]float64 `json:"totals"`
+	System  map[string]float64 `json:"system,omitempty"`
+
+	// Dropped counts samples that could not be recorded (e.g. the storage
+	// backend's document size limit, paper §4.5 "DB limitations").
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// New returns an empty profile with the search keys set and maps initialized.
+func New(command string, tags map[string]string) *Profile {
+	t := make(map[string]string, len(tags))
+	for k, v := range tags {
+		t[k] = v
+	}
+	return &Profile{
+		Command: command,
+		Tags:    t,
+		Totals:  make(map[string]float64),
+		System:  make(map[string]float64),
+	}
+}
+
+// Key returns the store search key for a command/tags combination: the
+// command line plus the sorted tag pairs. Tags distinguish runs with equal
+// command lines but different configured workloads (paper §4, footnote 1).
+func Key(command string, tags map[string]string) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := command
+	for _, k := range keys {
+		s += "\x00" + k + "=" + tags[k]
+	}
+	return s
+}
+
+// Key returns the profile's own search key.
+func (p *Profile) Key() string { return Key(p.Command, p.Tags) }
+
+// Append adds a sample taken at offset t. Samples must be appended in
+// non-decreasing time order; Append returns an error otherwise.
+func (p *Profile) Append(s Sample) error {
+	if n := len(p.Samples); n > 0 && s.T < p.Samples[n-1].T {
+		return fmt.Errorf("profile: sample at %v appended after %v", s.T, p.Samples[n-1].T)
+	}
+	p.Samples = append(p.Samples, s)
+	return nil
+}
+
+// Finalize computes totals from the sample series, sets the duration and
+// assigns the content-derived ID. The wall duration tx is measured by the
+// profiler around the whole process (the paper wraps the process in
+// `time -v` to correct for the sampling start offset).
+func (p *Profile) Finalize(tx time.Duration) {
+	p.Duration = tx
+	if p.Totals == nil {
+		p.Totals = make(map[string]float64)
+	}
+	agg := map[string]float64{}
+	for _, s := range p.Samples {
+		for m, v := range s.Values {
+			switch KindOf(m) {
+			case Counter:
+				agg[m] += v
+			case Gauge, Info:
+				// Totals for gauges keep the maximum observed
+				// value: peak RSS is the canonical case.
+				if cur, ok := agg[m]; !ok || v > cur {
+					agg[m] = v
+				}
+			}
+		}
+	}
+	for m, v := range agg {
+		p.Totals[m] = v
+	}
+	p.Totals[MetricSysRuntime] = tx.Seconds()
+	p.computeDerived()
+	p.ID = p.contentID()
+}
+
+// computeDerived fills in the derived metrics of paper §4.3 from primary
+// totals: efficiency, utilization, FLOP rate.
+func (p *Profile) computeDerived() {
+	c := perfcount.Counters{
+		Cycles:       p.Totals[MetricCPUCycles],
+		Instructions: p.Totals[MetricCPUInstructions],
+		StalledFront: p.Totals[MetricCPUStalledFront],
+		StalledBack:  p.Totals[MetricCPUStalledBack],
+		FLOPs:        p.Totals[MetricCPUFLOPs],
+	}
+	if e := c.Efficiency(); !math.IsNaN(e) {
+		p.Totals[MetricCPUEfficiency] = e
+	}
+	if hz, ok := p.System[MetricSysClockHz]; ok && hz > 0 && p.Duration > 0 {
+		max := hz * p.Duration.Seconds()
+		if u := c.Utilization(max); !math.IsNaN(u) {
+			p.Totals[MetricCPUUtilization] = u
+		}
+	}
+	if p.Duration > 0 && c.FLOPs > 0 {
+		p.Totals[MetricCPUFLOPSRate] = c.FLOPS(p.Duration.Seconds())
+	}
+}
+
+// contentID derives a stable hexadecimal ID from the profile's identity and
+// measurements.
+func (p *Profile) contentID() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%g|%d|%d", p.Key(), p.Machine, p.SampleRate, p.Duration, len(p.Samples))
+	for _, s := range p.Samples {
+		fmt.Fprintf(h, "|%d", s.T)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Total returns the integrated total for a metric (0 when absent).
+func (p *Profile) Total(metric string) float64 { return p.Totals[metric] }
+
+// Series extracts the per-sample values of one metric, in sample order.
+func (p *Profile) Series(metric string) []float64 {
+	out := make([]float64, len(p.Samples))
+	for i, s := range p.Samples {
+		out[i] = s.Get(metric)
+	}
+	return out
+}
+
+// Times returns the sample end offsets, in order.
+func (p *Profile) Times() []time.Duration {
+	out := make([]time.Duration, len(p.Samples))
+	for i, s := range p.Samples {
+		out[i] = s.T
+	}
+	return out
+}
+
+// Validate reports the first structural problem with the profile, or nil.
+func (p *Profile) Validate() error {
+	if p.Command == "" {
+		return errors.New("profile: empty command")
+	}
+	if p.SampleRate < 0 {
+		return fmt.Errorf("profile: negative sample rate %g", p.SampleRate)
+	}
+	var prev time.Duration = -1
+	for i, s := range p.Samples {
+		if s.T < 0 {
+			return fmt.Errorf("profile: sample %d has negative offset", i)
+		}
+		if s.T < prev {
+			return fmt.Errorf("profile: sample %d out of order", i)
+		}
+		prev = s.T
+		for m, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("profile: sample %d metric %s is not finite", i, m)
+			}
+			if KindOf(m) == Counter && v < 0 {
+				return fmt.Errorf("profile: sample %d counter %s is negative", i, m)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	q.Tags = make(map[string]string, len(p.Tags))
+	for k, v := range p.Tags {
+		q.Tags[k] = v
+	}
+	q.Totals = make(map[string]float64, len(p.Totals))
+	for k, v := range p.Totals {
+		q.Totals[k] = v
+	}
+	q.System = make(map[string]float64, len(p.System))
+	for k, v := range p.System {
+		q.System[k] = v
+	}
+	q.Samples = make([]Sample, len(p.Samples))
+	for i, s := range p.Samples {
+		q.Samples[i] = s.Clone()
+	}
+	return &q
+}
+
+// MarshalJSON/UnmarshalJSON use an alias type so time.Duration fields encode
+// as integer nanoseconds (the default), with validation applied on decode.
+func Decode(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Encode serialises the profile to JSON.
+func (p *Profile) Encode() ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// DocSize estimates the profile's size in a BSON-like document encoding:
+// roughly 64 bytes per sample-metric pair plus envelope. The Mongo-like
+// store uses it to enforce the paper's 16 MB document limit (§4.5), which
+// caps documents at ≈250,000 samples.
+func (p *Profile) DocSize() int64 {
+	var n int64 = 512 // envelope: keys, metadata
+	for _, s := range p.Samples {
+		n += 16 // timestamp + sample envelope
+		n += int64(len(s.Values)) * 48
+	}
+	return n
+}

@@ -1,0 +1,384 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkSample(t time.Duration, kv ...interface{}) Sample {
+	s := Sample{T: t, Values: map[string]float64{}}
+	for i := 0; i+1 < len(kv); i += 2 {
+		s.Values[kv[i].(string)] = kv[i+1].(float64)
+	}
+	return s
+}
+
+func TestKeyStableUnderTagOrder(t *testing.T) {
+	a := Key("gmx mdrun", map[string]string{"steps": "1000", "cfg": "a"})
+	b := Key("gmx mdrun", map[string]string{"cfg": "a", "steps": "1000"})
+	if a != b {
+		t.Errorf("Key should be order independent: %q vs %q", a, b)
+	}
+	c := Key("gmx mdrun", map[string]string{"steps": "2000", "cfg": "a"})
+	if a == c {
+		t.Error("different tags should give different keys")
+	}
+	d := Key("other", map[string]string{"steps": "1000", "cfg": "a"})
+	if a == d {
+		t.Error("different commands should give different keys")
+	}
+}
+
+func TestAppendOrdering(t *testing.T) {
+	p := New("cmd", nil)
+	if err := p.Append(mkSample(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(mkSample(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(mkSample(time.Second)); err == nil {
+		t.Error("out-of-order append should fail")
+	}
+	// Equal timestamps are allowed (multiple watchers can land together).
+	if err := p.Append(mkSample(2 * time.Second)); err != nil {
+		t.Errorf("equal timestamp append should succeed: %v", err)
+	}
+}
+
+func TestFinalizeTotalsCountersAndGauges(t *testing.T) {
+	p := New("cmd", nil)
+	_ = p.Append(mkSample(time.Second, MetricCPUCycles, 100.0, MetricMemRSS, 5.0))
+	_ = p.Append(mkSample(2*time.Second, MetricCPUCycles, 50.0, MetricMemRSS, 9.0))
+	_ = p.Append(mkSample(3*time.Second, MetricCPUCycles, 25.0, MetricMemRSS, 7.0))
+	p.Finalize(3 * time.Second)
+
+	if got := p.Total(MetricCPUCycles); got != 175 {
+		t.Errorf("counter total = %v, want 175", got)
+	}
+	if got := p.Total(MetricMemRSS); got != 9 {
+		t.Errorf("gauge total (max) = %v, want 9", got)
+	}
+	if got := p.Total(MetricSysRuntime); got != 3 {
+		t.Errorf("runtime total = %v, want 3", got)
+	}
+	if p.ID == "" {
+		t.Error("Finalize should assign an ID")
+	}
+}
+
+func TestFinalizeDerivedMetrics(t *testing.T) {
+	p := New("cmd", nil)
+	p.System[MetricSysClockHz] = 1e9
+	_ = p.Append(mkSample(time.Second,
+		MetricCPUCycles, 8e8,
+		MetricCPUStalledFront, 1e8,
+		MetricCPUStalledBack, 1e8,
+		MetricCPUInstructions, 16e8,
+		MetricCPUFLOPs, 4e8,
+	))
+	p.Finalize(time.Second)
+
+	if got := p.Total(MetricCPUEfficiency); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("efficiency = %v, want 0.8", got)
+	}
+	if got := p.Total(MetricCPUUtilization); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.8", got)
+	}
+	if got := p.Total(MetricCPUFLOPSRate); math.Abs(got-4e8) > 1 {
+		t.Errorf("flop rate = %v, want 4e8", got)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	p := New("", nil)
+	if p.Validate() == nil {
+		t.Error("empty command should be invalid")
+	}
+	p = New("cmd", nil)
+	p.Samples = []Sample{{T: -time.Second, Values: map[string]float64{}}}
+	if p.Validate() == nil {
+		t.Error("negative offset should be invalid")
+	}
+	p = New("cmd", nil)
+	p.Samples = []Sample{
+		mkSample(2 * time.Second),
+		mkSample(time.Second),
+	}
+	if p.Validate() == nil {
+		t.Error("out-of-order samples should be invalid")
+	}
+	p = New("cmd", nil)
+	p.Samples = []Sample{mkSample(time.Second, MetricCPUCycles, math.NaN())}
+	if p.Validate() == nil {
+		t.Error("NaN value should be invalid")
+	}
+	p = New("cmd", nil)
+	p.Samples = []Sample{mkSample(time.Second, MetricCPUCycles, -1.0)}
+	if p.Validate() == nil {
+		t.Error("negative counter should be invalid")
+	}
+	p = New("cmd", nil)
+	p.SampleRate = -1
+	if p.Validate() == nil {
+		t.Error("negative sample rate should be invalid")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := New("gmx mdrun", map[string]string{"steps": "5000"})
+	p.Machine = "thinkie"
+	p.SampleRate = 10
+	_ = p.Append(mkSample(100*time.Millisecond, MetricCPUCycles, 1e8, MetricIOWriteBytes, 4096.0))
+	_ = p.Append(mkSample(200*time.Millisecond, MetricCPUCycles, 2e8))
+	p.Finalize(250 * time.Millisecond)
+
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != p.ID || q.Command != p.Command || q.Duration != p.Duration {
+		t.Errorf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Samples) != 2 || q.Samples[0].Get(MetricCPUCycles) != 1e8 {
+		t.Errorf("samples did not survive: %+v", q.Samples)
+	}
+	if q.Total(MetricCPUCycles) != 3e8 {
+		t.Errorf("totals did not survive: %v", q.Total(MetricCPUCycles))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("garbage should not decode")
+	}
+	// Valid JSON but invalid profile.
+	if _, err := Decode([]byte(`{"command":""}`)); err == nil {
+		t.Error("invalid profile should not decode")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New("cmd", map[string]string{"a": "1"})
+	_ = p.Append(mkSample(time.Second, MetricCPUCycles, 5.0))
+	p.Finalize(time.Second)
+	q := p.Clone()
+	q.Tags["a"] = "2"
+	q.Samples[0].Values[MetricCPUCycles] = 99
+	q.Totals[MetricCPUCycles] = 99
+	if p.Tags["a"] != "1" || p.Samples[0].Get(MetricCPUCycles) != 5 || p.Totals[MetricCPUCycles] != 5 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestSeriesAndTimes(t *testing.T) {
+	p := New("cmd", nil)
+	_ = p.Append(mkSample(time.Second, MetricCPUCycles, 1.0))
+	_ = p.Append(mkSample(2*time.Second, MetricCPUCycles, 2.0))
+	s := p.Series(MetricCPUCycles)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("Series = %v", s)
+	}
+	ts := p.Times()
+	if len(ts) != 2 || ts[0] != time.Second || ts[1] != 2*time.Second {
+		t.Errorf("Times = %v", ts)
+	}
+}
+
+func TestDocSizeGrowsWithSamples(t *testing.T) {
+	p := New("cmd", nil)
+	small := p.DocSize()
+	for i := 0; i < 100; i++ {
+		_ = p.Append(mkSample(time.Duration(i)*time.Second, MetricCPUCycles, 1.0))
+	}
+	if p.DocSize() <= small {
+		t.Error("DocSize should grow with samples")
+	}
+}
+
+func TestSetSummaries(t *testing.T) {
+	var set Set
+	for i, tx := range []time.Duration{10 * time.Second, 12 * time.Second, 11 * time.Second} {
+		p := New("cmd", nil)
+		_ = p.Append(mkSample(time.Second, MetricCPUCycles, float64(100+i)))
+		p.Finalize(tx)
+		set = append(set, p)
+	}
+	sum := set.TotalSummary(MetricCPUCycles)
+	if sum.N != 3 || math.Abs(sum.Mean-101) > 1e-9 {
+		t.Errorf("TotalSummary = %+v", sum)
+	}
+	tx := set.TxSummary()
+	if math.Abs(tx.Mean-11) > 1e-9 {
+		t.Errorf("TxSummary mean = %v, want 11", tx.Mean)
+	}
+	mean, err := set.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean.Total(MetricCPUCycles)-101) > 1e-9 {
+		t.Errorf("Mean profile total = %v", mean.Total(MetricCPUCycles))
+	}
+	if mean.Duration != 11*time.Second {
+		t.Errorf("Mean duration = %v", mean.Duration)
+	}
+	if len(set.Metrics()) == 0 {
+		t.Error("Metrics() should list totals")
+	}
+}
+
+func TestSetMeanEmpty(t *testing.T) {
+	if _, err := (Set{}).Mean(); err == nil {
+		t.Error("Mean of empty set should error")
+	}
+}
+
+func TestResampleConservesCounters(t *testing.T) {
+	p := New("cmd", nil)
+	p.SampleRate = 1
+	for i := 1; i <= 10; i++ {
+		_ = p.Append(mkSample(time.Duration(i)*time.Second, MetricCPUCycles, 100.0, MetricMemRSS, float64(i)))
+	}
+	p.Finalize(10 * time.Second)
+
+	for _, rate := range []float64{0.5, 2, 3.3} {
+		q, err := Resample(p, rate)
+		if err != nil {
+			t.Fatalf("Resample(%v): %v", rate, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("resampled profile invalid: %v", err)
+		}
+		if got, want := q.Total(MetricCPUCycles), p.Total(MetricCPUCycles); math.Abs(got-want) > 1e-6 {
+			t.Errorf("rate %v: counter total = %v, want %v", rate, got, want)
+		}
+		if q.Duration != p.Duration {
+			t.Errorf("rate %v: duration changed: %v", rate, q.Duration)
+		}
+		// Gauge max must survive (the final RSS is the max here).
+		if got := q.Total(MetricMemRSS); got != 10 {
+			t.Errorf("rate %v: gauge max = %v, want 10", rate, got)
+		}
+	}
+}
+
+func TestResampleBadRate(t *testing.T) {
+	p := New("cmd", nil)
+	if _, err := Resample(p, 0); err == nil {
+		t.Error("rate 0 should error")
+	}
+	if _, err := Resample(p, -1); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestResampleEmptyProfile(t *testing.T) {
+	p := New("cmd", nil)
+	q, err := Resample(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Samples) != 0 {
+		t.Errorf("resampling empty profile should stay empty, got %d samples", len(q.Samples))
+	}
+}
+
+// Property: resampling at any positive rate conserves counter totals.
+func TestResampleConservationProperty(t *testing.T) {
+	f := func(deltas []uint16, rateRaw uint8) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		if len(deltas) > 50 {
+			deltas = deltas[:50]
+		}
+		rate := 0.1 + float64(rateRaw%40)/4 // 0.1 .. 9.85 Hz
+		p := New("cmd", nil)
+		p.SampleRate = 1
+		var total float64
+		for i, d := range deltas {
+			v := float64(d)
+			total += v
+			_ = p.Append(mkSample(time.Duration(i+1)*500*time.Millisecond, MetricCPUCycles, v))
+		}
+		p.Finalize(time.Duration(len(deltas)) * 500 * time.Millisecond)
+		q, err := Resample(p, rate)
+		if err != nil {
+			return false
+		}
+		return math.Abs(q.Total(MetricCPUCycles)-total) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"number of cores", "cycles used", "bytes read", "bytes peak",
+		"connection endpoint", "System", "Compute", "Storage", "Memory", "Network",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	// Row count: header + one line per registry entry.
+	lines := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1
+	if lines != len(Registry)+1 {
+		t.Errorf("Table1 has %d lines, want %d", lines, len(Registry)+1)
+	}
+}
+
+func TestRegistryMatchesPaperTable1(t *testing.T) {
+	// Spot-check cells against the paper.
+	cases := []struct {
+		metric string
+		want   [4]Support // Tot, Sampled, Derived, Emul
+	}{
+		{MetricSysCores, [4]Support{Yes, No, No, No}},
+		{MetricSysLoadDisk, [4]Support{No, No, No, Yes}},
+		{MetricCPUCycles, [4]Support{Yes, Yes, No, Yes}},
+		{MetricCPUEfficiency, [4]Support{Yes, Yes, Yes, Partial}},
+		{MetricCPUFLOPs, [4]Support{Yes, Yes, Yes, Yes}},
+		{MetricIOReadBlock, [4]Support{No, Partial, No, Yes}},
+		{MetricMemAllocBlock, [4]Support{No, Planned, No, Planned}},
+		{MetricNetReadBytes, [4]Support{Planned, Planned, No, Partial}},
+	}
+	for _, c := range cases {
+		r, ok := Lookup(c.metric)
+		if !ok {
+			t.Errorf("metric %s not registered", c.metric)
+			continue
+		}
+		got := [4]Support{r.Total, r.Sampled, r.Derived, r.Emul}
+		if got != c.want {
+			t.Errorf("%s support = %v, want %v", c.metric, got, c.want)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if KindOf(MetricCPUCycles) != Counter {
+		t.Error("cycles should be a counter")
+	}
+	if KindOf(MetricMemRSS) != Gauge {
+		t.Error("rss should be a gauge")
+	}
+	if KindOf("custom.plugin_metric") != Counter {
+		t.Error("unknown metrics default to counter")
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	if Yes.String() != "+" || No.String() != "-" || Partial.String() != "(+)" || Planned.String() != "(-)" {
+		t.Error("Support notation mismatch")
+	}
+}

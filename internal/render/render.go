@@ -1,0 +1,177 @@
+// Package render draws profiles and emulation traces as ASCII/Unicode
+// charts for terminal inspection: per-metric sample series (what the
+// watchers saw over time) and replay Gantt timelines (which atom bounded
+// each sample — the pictures of paper Figs 2 and 3).
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"synapse/internal/emulator"
+	"synapse/internal/profile"
+)
+
+// bars are the vertical resolution of series charts.
+var bars = []rune("▁▂▃▄▅▆▇█")
+
+// Series renders one metric's sampled values as a sparkline with axis
+// labels. Samples are aggregated into at most width buckets (counters sum,
+// gauges take the maximum).
+func Series(p *profile.Profile, metric string, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if len(p.Samples) == 0 {
+		return fmt.Sprintf("%s: no samples\n", metric)
+	}
+	kind := profile.KindOf(metric)
+	dur := p.Duration
+	if dur <= 0 {
+		dur = p.Samples[len(p.Samples)-1].T
+	}
+	if dur <= 0 {
+		dur = time.Second
+	}
+	buckets := make([]float64, width)
+	for _, s := range p.Samples {
+		idx := int(float64(s.T) / float64(dur) * float64(width))
+		if idx >= width {
+			idx = width - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		v := s.Get(metric)
+		if kind == profile.Counter {
+			buckets[idx] += v
+		} else if v > buckets[idx] {
+			buckets[idx] = v
+		}
+	}
+	var max float64
+	for _, v := range buckets {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (max %.4g per bucket, Tx %.2fs)\n", metric, max, dur.Seconds())
+	for _, v := range buckets {
+		if max <= 0 {
+			b.WriteRune(bars[0])
+			continue
+		}
+		idx := int(v / max * float64(len(bars)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		b.WriteRune(bars[idx])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Profile renders the key sampled series plus the totals of a profile.
+func Profile(p *profile.Profile, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %q tags=%v machine=%s rate=%gHz Tx=%.3fs samples=%d\n",
+		p.Command, p.Tags, p.Machine, p.SampleRate, p.Duration.Seconds(), len(p.Samples))
+	for _, m := range []string{
+		profile.MetricCPUCycles,
+		profile.MetricIOReadBytes,
+		profile.MetricIOWriteBytes,
+		profile.MetricMemRSS,
+	} {
+		if hasMetric(p, m) {
+			b.WriteString(Series(p, m, width))
+		}
+	}
+	b.WriteString("totals:\n")
+	var keys []string
+	for m := range p.Totals {
+		keys = append(keys, m)
+	}
+	sort.Strings(keys)
+	for _, m := range keys {
+		fmt.Fprintf(&b, "  %-24s %.6g\n", m, p.Totals[m])
+	}
+	return b.String()
+}
+
+func hasMetric(p *profile.Profile, metric string) bool {
+	for _, s := range p.Samples {
+		if _, ok := s.Values[metric]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Gantt renders an emulation trace as one row per atom: within each sample
+// all atoms run concurrently; the sample ends at the barrier (the '|'
+// marks). Time is compressed into width columns.
+func Gantt(rep *emulator.Report, width int) string {
+	if width < 16 {
+		width = 16
+	}
+	if len(rep.Trace) == 0 {
+		return "empty trace\n"
+	}
+	total := rep.Tx - rep.Startup
+	if total <= 0 {
+		return "no replay time\n"
+	}
+	col := func(t time.Duration) int {
+		c := int(float64(t) / float64(total) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	atoms := []string{"compute", "storage", "memory", "network"}
+	rows := map[string][]rune{}
+	for _, a := range atoms {
+		rows[a] = []rune(strings.Repeat(" ", width))
+	}
+	barriers := []rune(strings.Repeat(" ", width))
+	for _, st := range rep.Trace {
+		for _, sp := range st.Spans {
+			row, ok := rows[sp.Atom]
+			if !ok {
+				continue
+			}
+			from, to := col(st.Start), col(st.Start+sp.Dur)
+			for c := from; c <= to && c < width; c++ {
+				row[c] = '#'
+			}
+		}
+		barriers[col(st.Start+st.Dur)] = '|'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "emulation on %s: Tx=%.3fs (startup %.2fs) samples=%d\n",
+		rep.Machine, rep.Tx.Seconds(), rep.Startup.Seconds(), rep.Samples)
+	used := 0
+	for _, a := range atoms {
+		if rep.BusyTime(a) <= 0 {
+			continue
+		}
+		used++
+		fmt.Fprintf(&b, "%-8s %s\n", a, string(rows[a]))
+	}
+	if used == 0 {
+		b.WriteString("(no atom activity)\n")
+	}
+	fmt.Fprintf(&b, "%-8s %s\n", "barrier", string(barriers))
+	return b.String()
+}

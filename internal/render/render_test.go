@@ -1,0 +1,96 @@
+package render
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/atoms"
+	"synapse/internal/clock"
+	"synapse/internal/emulator"
+	"synapse/internal/machine"
+	"synapse/internal/proc"
+	"synapse/internal/profile"
+	"synapse/internal/watcher"
+)
+
+func testProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	m := machine.MustGet(machine.Thinkie)
+	sp, err := proc.Execute(app.MDSim(100_000), m, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &watcher.Profiler{Rate: 2, Clock: clock.NewAutoSim(time.Unix(0, 0)), Machine: m}
+	p, err := pr.Run(context.Background(), watcher.NewSimTarget(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSeriesRendering(t *testing.T) {
+	p := testProfile(t)
+	out := Series(p, profile.MetricCPUCycles, 40)
+	if !strings.Contains(out, "cpu.cycles") {
+		t.Errorf("series missing metric name: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("series has %d lines", len(lines))
+	}
+	// The chart line should be exactly `width` runes.
+	if n := len([]rune(lines[1])); n != 40 {
+		t.Errorf("chart width = %d, want 40", n)
+	}
+}
+
+func TestSeriesEmptyAndDegenerate(t *testing.T) {
+	p := profile.New("x", nil)
+	if out := Series(p, profile.MetricCPUCycles, 20); !strings.Contains(out, "no samples") {
+		t.Errorf("empty profile: %q", out)
+	}
+	// A metric never sampled renders flat, not panics.
+	p2 := testProfile(t)
+	out := Series(p2, "custom.never", 20)
+	if out == "" {
+		t.Error("unknown metric should still render")
+	}
+	// Tiny width clamps.
+	_ = Series(p2, profile.MetricCPUCycles, 1)
+}
+
+func TestProfileRendering(t *testing.T) {
+	p := testProfile(t)
+	out := Profile(p, 40)
+	for _, want := range []string{"profile \"mdsim\"", "totals:", "cpu.cycles", "io.write_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Profile render missing %q", want)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	p := testProfile(t)
+	rep, err := emulator.Emulate(context.Background(), p, emulator.Options{
+		Atoms: atoms.Config{Machine: machine.MustGet(machine.Thinkie)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(rep, 60)
+	for _, want := range []string{"compute", "barrier", "#", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	rep := &emulator.Report{}
+	if out := Gantt(rep, 40); !strings.Contains(out, "empty trace") {
+		t.Errorf("empty trace render: %q", out)
+	}
+}

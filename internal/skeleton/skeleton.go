@@ -1,0 +1,342 @@
+// Package skeleton implements Application-Skeleton-style workflows built
+// from Synapse proxy tasks.
+//
+// The paper positions Synapse as the per-component configuration mechanism
+// for Application Skeletons (§7, Katz et al. [24]): Skeletons express the
+// logical and data dependencies between application components as a DAG,
+// while Synapse provides each component's resource-consumption behaviour.
+// This package supplies that DAG substrate — stages of tasks with
+// dependencies, a slot-based node scheduler, and execution where every task
+// is one Synapse emulation — which is also exactly what the AIMES and
+// Ensemble-Toolkit use cases of paper §2 require.
+package skeleton
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/emulator"
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// Task is one DAG node: a stored profile identity plus per-task emulation
+// overrides (the Synapse-provided "configuration parameters at the level of
+// individual DAG components").
+type Task struct {
+	// ID is unique within the skeleton.
+	ID string
+	// Command/Tags locate the task's profile in the store.
+	Command string
+	Tags    map[string]string
+	// After lists task IDs that must complete before this task starts.
+	After []string
+	// Slots is how many scheduler slots the task occupies (e.g. MPI
+	// ranks); minimum 1.
+	Slots int
+	// Configure adjusts the emulation options for this task (kernel,
+	// parallelism, I/O granularity, ...). May be nil.
+	Configure func(*core.EmulateOptions)
+}
+
+// Skeleton is a DAG of proxy tasks.
+type Skeleton struct {
+	Name  string
+	Tasks []Task
+}
+
+// Validate reports the first structural problem: duplicate IDs, dangling
+// dependencies, cycles, or non-positive slot demands.
+func (s *Skeleton) Validate() error {
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("skeleton %s: no tasks", s.Name)
+	}
+	byID := map[string]*Task{}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.ID == "" {
+			return fmt.Errorf("skeleton %s: task %d has no ID", s.Name, i)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return fmt.Errorf("skeleton %s: duplicate task ID %q", s.Name, t.ID)
+		}
+		if t.Slots < 0 {
+			return fmt.Errorf("skeleton %s: task %q has negative slots", s.Name, t.ID)
+		}
+		byID[t.ID] = t
+	}
+	for _, t := range s.Tasks {
+		for _, dep := range t.After {
+			if _, ok := byID[dep]; !ok {
+				return fmt.Errorf("skeleton %s: task %q depends on unknown %q", s.Name, t.ID, dep)
+			}
+		}
+	}
+	if _, err := s.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns the task IDs in a dependency-respecting order, failing
+// on cycles. Ready tasks are ordered by ID for determinism.
+func (s *Skeleton) topoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	succ := map[string][]string{}
+	for _, t := range s.Tasks {
+		indeg[t.ID] += 0
+		for _, dep := range t.After {
+			indeg[t.ID]++
+			succ[dep] = append(succ[dep], t.ID)
+		}
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, next := range succ[id] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = insertSorted(ready, next)
+			}
+		}
+	}
+	if len(order) != len(s.Tasks) {
+		return nil, fmt.Errorf("skeleton %s: dependency cycle", s.Name)
+	}
+	return order, nil
+}
+
+func insertSorted(xs []string, x string) []string {
+	i := sort.SearchStrings(xs, x)
+	xs = append(xs, "")
+	copy(xs[i+1:], xs[i:])
+	xs[i] = x
+	return xs
+}
+
+// TaskResult is one task's outcome.
+type TaskResult struct {
+	ID     string
+	Start  time.Duration // when the task started, relative to workflow start
+	End    time.Duration
+	Report *emulator.Report
+}
+
+// Result is the workflow outcome.
+type Result struct {
+	Makespan time.Duration
+	Tasks    []TaskResult // in completion order
+}
+
+// CriticalPathLength returns the longest chain of task durations through
+// the DAG (a lower bound on any schedule's makespan with these durations).
+func (r *Result) CriticalPathLength(s *Skeleton) time.Duration {
+	durs := map[string]time.Duration{}
+	for _, tr := range r.Tasks {
+		durs[tr.ID] = tr.End - tr.Start
+	}
+	memo := map[string]time.Duration{}
+	var chain func(id string) time.Duration
+	byID := map[string]*Task{}
+	for i := range s.Tasks {
+		byID[s.Tasks[i].ID] = &s.Tasks[i]
+	}
+	chain = func(id string) time.Duration {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		var best time.Duration
+		for _, dep := range byID[id].After {
+			if c := chain(dep); c > best {
+				best = c
+			}
+		}
+		memo[id] = best + durs[id]
+		return memo[id]
+	}
+	var best time.Duration
+	for id := range byID {
+		if c := chain(id); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Runner executes skeletons against a profile store on a virtual node with
+// a fixed number of scheduler slots. Task durations come from Synapse
+// emulation; the schedule is list scheduling in topological order.
+type Runner struct {
+	Store store.Store
+	// Machine names the emulation resource for every task.
+	Machine string
+	// Slots is the node's concurrent capacity (defaults to 1).
+	Slots int
+	// Base is applied to every task's emulation options before the
+	// task's own Configure hook. May be nil.
+	Base func(*core.EmulateOptions)
+}
+
+// Run executes the skeleton and returns its schedule.
+func (r *Runner) Run(ctx context.Context, s *Skeleton) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Store == nil {
+		return nil, fmt.Errorf("skeleton: runner needs a store")
+	}
+	slots := r.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	order, err := s.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	byID := map[string]*Task{}
+	for i := range s.Tasks {
+		byID[s.Tasks[i].ID] = &s.Tasks[i]
+	}
+
+	// Emulate each task once to learn its duration.
+	reports := map[string]*emulator.Report{}
+	for _, id := range order {
+		t := byID[id]
+		opts := core.EmulateOptions{Machine: r.Machine}
+		if r.Base != nil {
+			r.Base(&opts)
+		}
+		if t.Configure != nil {
+			t.Configure(&opts)
+		}
+		rep, err := core.Emulate(ctx, r.Store, t.Command, t.Tags, opts)
+		if err != nil {
+			return nil, fmt.Errorf("skeleton %s: task %q: %w", s.Name, id, err)
+		}
+		reports[id] = rep
+	}
+
+	// List-schedule in topological order onto slot timelines.
+	slotFree := make([]time.Duration, slots)
+	finish := map[string]time.Duration{}
+	var results []TaskResult
+	for _, id := range order {
+		t := byID[id]
+		need := t.Slots
+		if need < 1 {
+			need = 1
+		}
+		if need > slots {
+			return nil, fmt.Errorf("skeleton %s: task %q needs %d slots, node has %d",
+				s.Name, id, need, slots)
+		}
+		// Earliest time dependencies are satisfied.
+		var ready time.Duration
+		for _, dep := range t.After {
+			if finish[dep] > ready {
+				ready = finish[dep]
+			}
+		}
+		// Claim the `need` earliest-free slots.
+		idx := make([]int, slots)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return slotFree[idx[a]] < slotFree[idx[b]] })
+		start := ready
+		for _, i := range idx[:need] {
+			if slotFree[i] > start {
+				start = slotFree[i]
+			}
+		}
+		dur := reports[id].Tx
+		end := start + dur
+		for _, i := range idx[:need] {
+			slotFree[i] = end
+		}
+		finish[id] = end
+		results = append(results, TaskResult{ID: id, Start: start, End: end, Report: reports[id]})
+	}
+
+	sort.Slice(results, func(a, b int) bool { return results[a].End < results[b].End })
+	res := &Result{Tasks: results}
+	for _, tr := range results {
+		if tr.End > res.Makespan {
+			res.Makespan = tr.End
+		}
+	}
+	return res, nil
+}
+
+// Pipeline builds a linear skeleton: each stage has width identical tasks
+// that all depend on every task of the previous stage (the Ensemble Toolkit
+// stage-barrier pattern of paper §2.3).
+func Pipeline(name string, stages []Stage) *Skeleton {
+	s := &Skeleton{Name: name}
+	var prev []string
+	for si, st := range stages {
+		var cur []string
+		for i := 0; i < st.Width; i++ {
+			id := fmt.Sprintf("%s-%d-%d", st.Name, si, i)
+			s.Tasks = append(s.Tasks, Task{
+				ID:        id,
+				Command:   st.Command,
+				Tags:      st.Tags,
+				After:     prev,
+				Slots:     st.Slots,
+				Configure: st.Configure,
+			})
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	return s
+}
+
+// Stage describes one pipeline stage.
+type Stage struct {
+	Name      string
+	Width     int // number of identical tasks
+	Command   string
+	Tags      map[string]string
+	Slots     int
+	Configure func(*core.EmulateOptions)
+}
+
+// Profiles ensures every distinct command/tags combination used by the
+// skeleton has at least one profile in the store, profiling missing ones on
+// the named machine (a convenience for setting up workflows).
+func (r *Runner) Profiles(ctx context.Context, s *Skeleton, profilingMachine string, rate float64) error {
+	seen := map[string]bool{}
+	for _, t := range s.Tasks {
+		key := profile.Key(t.Command, t.Tags)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, err := r.Store.Find(t.Command, t.Tags); err == nil {
+			continue
+		}
+		_, err := core.ProfileCommandString(ctx, t.Command, t.Tags, core.ProfileOptions{
+			Machine:    profilingMachine,
+			SampleRate: rate,
+			Store:      r.Store,
+		})
+		if err != nil {
+			return fmt.Errorf("skeleton: profiling %q: %w", t.Command, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package skeleton
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/machine"
+	"synapse/internal/store"
+)
+
+// testStore profiles the commands the tests use.
+func testStore(t *testing.T) store.Store {
+	t.Helper()
+	st := store.NewMem()
+	ctx := context.Background()
+	for _, steps := range []string{"50000", "100000"} {
+		_, err := core.ProfileCommandString(ctx, "mdsim", map[string]string{"steps": steps},
+			core.ProfileOptions{Machine: machine.Thinkie, SampleRate: 1, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func simpleTask(id string, after ...string) Task {
+	return Task{ID: id, Command: "mdsim", Tags: map[string]string{"steps": "50000"}, After: after}
+}
+
+func TestValidate(t *testing.T) {
+	s := &Skeleton{Name: "ok", Tasks: []Task{simpleTask("a"), simpleTask("b", "a")}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Skeleton{Name: "empty"}
+	if bad.Validate() == nil {
+		t.Error("empty skeleton should be invalid")
+	}
+	bad = &Skeleton{Name: "dup", Tasks: []Task{simpleTask("a"), simpleTask("a")}}
+	if bad.Validate() == nil {
+		t.Error("duplicate IDs should be invalid")
+	}
+	bad = &Skeleton{Name: "dangling", Tasks: []Task{simpleTask("a", "ghost")}}
+	if bad.Validate() == nil {
+		t.Error("dangling dependency should be invalid")
+	}
+	bad = &Skeleton{Name: "cycle", Tasks: []Task{simpleTask("a", "b"), simpleTask("b", "a")}}
+	if bad.Validate() == nil {
+		t.Error("cycle should be invalid")
+	}
+	bad = &Skeleton{Name: "noid", Tasks: []Task{{Command: "mdsim"}}}
+	if bad.Validate() == nil {
+		t.Error("missing ID should be invalid")
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	s := &Skeleton{Name: "diamond", Tasks: []Task{
+		simpleTask("d", "b", "c"),
+		simpleTask("b", "a"),
+		simpleTask("c", "a"),
+		simpleTask("a"),
+	}}
+	order, err := s.topoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["a"] < pos["c"] && pos["b"] < pos["d"] && pos["c"] < pos["d"]) {
+		t.Errorf("order %v violates dependencies", order)
+	}
+}
+
+func TestRunSerialChain(t *testing.T) {
+	st := testStore(t)
+	s := &Skeleton{Name: "chain", Tasks: []Task{
+		simpleTask("a"),
+		simpleTask("b", "a"),
+		simpleTask("c", "b"),
+	}}
+	r := &Runner{Store: st, Machine: machine.Thinkie, Slots: 4}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain cannot overlap: makespan = sum of durations.
+	var sum time.Duration
+	for _, tr := range res.Tasks {
+		sum += tr.End - tr.Start
+	}
+	if res.Makespan != sum {
+		t.Errorf("chain makespan %v != sum of durations %v", res.Makespan, sum)
+	}
+	// Tasks start only after their dependency finished.
+	ends := map[string]time.Duration{}
+	for _, tr := range res.Tasks {
+		ends[tr.ID] = tr.End
+	}
+	for _, tr := range res.Tasks {
+		for _, dep := range map[string][]string{"b": {"a"}, "c": {"b"}}[tr.ID] {
+			if tr.Start < ends[dep] {
+				t.Errorf("task %s started before %s finished", tr.ID, dep)
+			}
+		}
+	}
+}
+
+func TestRunParallelBag(t *testing.T) {
+	st := testStore(t)
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, simpleTask(fmt.Sprintf("t%d", i)))
+	}
+	s := &Skeleton{Name: "bag", Tasks: tasks}
+
+	serial := &Runner{Store: st, Machine: machine.Thinkie, Slots: 1}
+	parallel := &Runner{Store: st, Machine: machine.Thinkie, Slots: 8}
+	rs, err := serial.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Makespan >= rs.Makespan {
+		t.Errorf("8 slots (%v) should beat 1 slot (%v)", rp.Makespan, rs.Makespan)
+	}
+	// With 8 independent equal tasks on 8 slots, makespan ≈ one task.
+	oneTask := rp.Tasks[0].End - rp.Tasks[0].Start
+	if rp.Makespan > oneTask*3/2 {
+		t.Errorf("bag on 8 slots should be ≈1 task long: %v vs %v", rp.Makespan, oneTask)
+	}
+}
+
+func TestRunMultiSlotTasks(t *testing.T) {
+	st := testStore(t)
+	s := &Skeleton{Name: "wide", Tasks: []Task{
+		{ID: "mpi4", Command: "mdsim", Tags: map[string]string{"steps": "50000"}, Slots: 4,
+			Configure: func(o *core.EmulateOptions) {
+				o.Workers = 4
+				o.Mode = machine.ModeMPI
+			}},
+		simpleTask("small"),
+	}}
+	r := &Runner{Store: st, Machine: machine.Supermic, Slots: 4}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 2 {
+		t.Fatalf("ran %d tasks", len(res.Tasks))
+	}
+	// Over-wide task rejected.
+	s2 := &Skeleton{Name: "toowide", Tasks: []Task{
+		{ID: "x", Command: "mdsim", Tags: map[string]string{"steps": "50000"}, Slots: 64},
+	}}
+	if _, err := r.Run(context.Background(), s2); err == nil {
+		t.Error("task wider than the node should fail")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	st := testStore(t)
+	s := &Skeleton{Name: "diamond", Tasks: []Task{
+		simpleTask("a"),
+		simpleTask("b", "a"),
+		simpleTask("c", "a"),
+		simpleTask("d", "b", "c"),
+	}}
+	r := &Runner{Store: st, Machine: machine.Thinkie, Slots: 2}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.CriticalPathLength(s)
+	if cp <= 0 {
+		t.Fatal("critical path should be positive")
+	}
+	if res.Makespan < cp {
+		t.Errorf("makespan %v below critical path %v", res.Makespan, cp)
+	}
+	// With 2 slots the diamond should achieve the critical path exactly
+	// (b and c run concurrently).
+	if res.Makespan != cp {
+		t.Errorf("diamond on 2 slots: makespan %v != critical path %v", res.Makespan, cp)
+	}
+}
+
+func TestPipelineBuilder(t *testing.T) {
+	s := Pipeline("ensemble", []Stage{
+		{Name: "sim", Width: 4, Command: "mdsim", Tags: map[string]string{"steps": "50000"}},
+		{Name: "analysis", Width: 1, Command: "mdsim", Tags: map[string]string{"steps": "100000"}},
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tasks) != 5 {
+		t.Fatalf("pipeline has %d tasks", len(s.Tasks))
+	}
+	// The analysis task depends on all four sim tasks.
+	last := s.Tasks[len(s.Tasks)-1]
+	if len(last.After) != 4 {
+		t.Errorf("analysis depends on %d tasks, want 4", len(last.After))
+	}
+	// Executable end to end.
+	st := testStore(t)
+	r := &Runner{Store: st, Machine: machine.Thinkie, Slots: 4}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage barrier: analysis starts only after the slowest sim task.
+	var simEnd time.Duration
+	for _, tr := range res.Tasks[:4] {
+		if tr.End > simEnd {
+			simEnd = tr.End
+		}
+	}
+	analysis := res.Tasks[4]
+	if analysis.Start < simEnd {
+		t.Errorf("analysis started at %v before sim stage ended at %v", analysis.Start, simEnd)
+	}
+}
+
+func TestProfilesConvenience(t *testing.T) {
+	st := store.NewMem()
+	s := Pipeline("p", []Stage{
+		{Name: "s", Width: 2, Command: "mdsim", Tags: map[string]string{"steps": "50000"}},
+	})
+	r := &Runner{Store: st, Machine: machine.Thinkie, Slots: 2}
+	if err := r.Profiles(context.Background(), s, machine.Thinkie, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Profiles exist now; a second call is a no-op.
+	if err := r.Profiles(context.Background(), s, machine.Thinkie, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	s := &Skeleton{Name: "x", Tasks: []Task{simpleTask("a")}}
+	r := &Runner{Machine: machine.Thinkie}
+	if _, err := r.Run(context.Background(), s); err == nil {
+		t.Error("runner without store should fail")
+	}
+	r = &Runner{Store: store.NewMem(), Machine: machine.Thinkie}
+	if _, err := r.Run(context.Background(), s); err == nil {
+		t.Error("unprofiled task should fail")
+	}
+}
+
+// Property: random DAGs built by layering always validate and schedule, and
+// the makespan never beats the critical path.
+func TestRandomDAGScheduleProperty(t *testing.T) {
+	st := testStore(t)
+	r := &Runner{Store: st, Machine: machine.Thinkie, Slots: 3}
+	f := func(widthsRaw [3]uint8, edges uint8) bool {
+		var tasks []Task
+		var prevLayer []string
+		id := 0
+		for layer, wRaw := range widthsRaw {
+			w := int(wRaw%3) + 1
+			var cur []string
+			for i := 0; i < w; i++ {
+				tid := fmt.Sprintf("L%dT%d", layer, id)
+				id++
+				task := simpleTask(tid)
+				// Depend on a subset of the previous layer.
+				for j, dep := range prevLayer {
+					if (int(edges)>>(uint(j)%7))&1 == 1 || j == 0 {
+						task.After = append(task.After, dep)
+					}
+				}
+				tasks = append(tasks, task)
+				cur = append(cur, tid)
+			}
+			prevLayer = cur
+		}
+		s := &Skeleton{Name: "rand", Tasks: tasks}
+		if s.Validate() != nil {
+			return false
+		}
+		res, err := r.Run(context.Background(), s)
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= res.CriticalPathLength(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

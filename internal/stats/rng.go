@@ -1,0 +1,62 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random number generator (SplitMix64)
+// used to inject reproducible measurement noise into simulated runs. The
+// paper's figures carry error bars from system background noise; simulated
+// experiments reproduce that with seeded noise so results are stable across
+// hosts and runs.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns x perturbed by multiplicative Gaussian noise with relative
+// standard deviation relStd, clamped to stay positive.
+func (r *RNG) Jitter(x, relStd float64) float64 {
+	if relStd <= 0 {
+		return x
+	}
+	v := x * (1 + r.Normal(0, relStd))
+	if v <= 0 {
+		v = x * 1e-3
+	}
+	return v
+}

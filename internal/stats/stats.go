@@ -1,0 +1,232 @@
+// Package stats provides the descriptive statistics used across the
+// repository: means, standard deviations, confidence intervals (the paper
+// reports 99 % CIs in experiment E.3), percentiles, and simple aggregation
+// over repeated profiling runs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reducers that require at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 for fewer than two observations.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// tTable99 holds two-sided 99 % critical values of Student's t distribution
+// for small degrees of freedom; beyond the table the normal approximation
+// (z = 2.576) is used. Values from standard t tables.
+var tTable99 = []float64{
+	// df: 1      2      3      4      5      6      7      8      9     10
+	63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+	// df: 11     12     13     14     15     16     17     18     19    20
+	3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+	// df: 21     22     23     24     25     26     27     28     29    30
+	2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+}
+
+// TCrit99 returns the two-sided 99 % critical value of Student's t for the
+// given degrees of freedom (df >= 1). For df > 30 the normal approximation
+// is used.
+func TCrit99(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tTable99) {
+		return tTable99[df-1]
+	}
+	return 2.576
+}
+
+// CI99 returns the half-width of the two-sided 99 % confidence interval of
+// the mean of xs (mean ± CI99). It returns 0 for fewer than two samples.
+func CI99(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCrit99(n-1) * StdErr(xs)
+}
+
+// Summary condenses repeated observations of one quantity, mirroring the
+// "basic statistics analysis" Synapse performs across profiles of the same
+// command/tag combination (paper §4).
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	StdErr float64 `json:"stderr"`
+	CI99   float64 `json:"ci99"` // half-width of the 99 % CI
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		StdErr: StdErr(xs),
+		CI99:   CI99(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+// RelErr returns the relative error |got-want| / |want| as a fraction.
+// It returns +Inf when want == 0 and got != 0, and 0 when both are 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// PctDiff returns the signed percentage difference of got relative to want:
+// 100 * (got - want) / want. The paper's figures 5 and 7 plot this as
+// "Tx diff (%)".
+func PctDiff(got, want float64) float64 {
+	if want == 0 {
+		return math.Inf(1)
+	}
+	return 100 * (got - want) / want
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns an error for empty input.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// LinearFit fits y = a + b*x by least squares and returns the intercept a,
+// slope b and the coefficient of determination r². It returns an error when
+// fewer than two points are given or when all x are identical.
+func LinearFit(x, y []float64) (a, b, r2 float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, errors.New("stats: x and y length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, 0, 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, errors.New("stats: degenerate x (all equal)")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		// y is constant; the fit is exact.
+		return a, b, 1, nil
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return a, b, r2, nil
+}

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"synapse/internal/profile"
+)
+
+// File is a directory-backed profile store: one JSON file per profile,
+// grouped by a hash of the search key. Unlike the Mongo-like backend it
+// imposes no per-document size limit (paper §4.5: "File-based storage of
+// profiles is available, which poses no limit on the number of samples").
+type File struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFile opens (creating if needed) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+// keyHash gives the filesystem-safe prefix for a search key.
+func keyHash(key string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+type fileEnvelope struct {
+	Key     string           `json:"key"`
+	Profile *profile.Profile `json:"profile"`
+}
+
+// Put implements Store.
+func (f *File) Put(p *profile.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := p.Key()
+	// Sequence number keeps insertion order among profiles with one key.
+	n, err := f.countLocked(key)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%06d-%s.json", keyHash(key), n, idOr(p))
+	data, err := json.MarshalIndent(fileEnvelope{Key: key, Profile: p}, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	tmp := filepath.Join(f.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(f.dir, name))
+}
+
+func idOr(p *profile.Profile) string {
+	if p.ID != "" {
+		return p.ID
+	}
+	return "unfinalized"
+}
+
+// countLocked counts stored profiles for key. Caller holds f.mu.
+func (f *File) countLocked(key string) (int, error) {
+	names, err := f.filesFor(key)
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// filesFor lists this key's files, sorted by sequence.
+func (f *File) filesFor(key string) ([]string, error) {
+	prefix := keyHash(key) + "-"
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Find implements Store.
+func (f *File) Find(command string, tags map[string]string) (profile.Set, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := profile.Key(command, tags)
+	names, err := f.filesFor(key)
+	if err != nil {
+		return nil, err
+	}
+	var out profile.Set
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(f.dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("store: read %s: %w", n, err)
+		}
+		var env fileEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, fmt.Errorf("store: decode %s: %w", n, err)
+		}
+		// Hash collisions are possible in principle; verify the key.
+		if env.Key != key {
+			continue
+		}
+		if err := env.Profile.Validate(); err != nil {
+			return nil, fmt.Errorf("store: profile in %s invalid: %w", n, err)
+		}
+		out = append(out, env.Profile)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: command %q tags %v", ErrNotFound, command, tags)
+	}
+	return out, nil
+}
+
+// Keys implements Store.
+func (f *File) Keys() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read dir: %w", err)
+	}
+	seen := map[string]struct{}{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(f.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var env fileEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			continue // skip foreign files
+		}
+		seen[env.Key] = struct{}{}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (f *File) Delete(command string, tags map[string]string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names, err := f.filesFor(profile.Key(command, tags))
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := os.Remove(filepath.Join(f.dir, n)); err != nil {
+			return fmt.Errorf("store: remove %s: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (f *File) Close() error { return nil }
+
+// Compile-time interface checks.
+var (
+	_ Store = (*Mem)(nil)
+	_ Store = (*File)(nil)
+)

@@ -1,0 +1,176 @@
+// Package store persists profiles and serves the (command, tags) queries the
+// emulator uses to locate them.
+//
+// Two backends mirror the paper's options (§4): Mem is a MongoDB-like
+// document store — profiles of one command/tags combination share one
+// document, and documents are capped at 16 MB, which limits them to roughly
+// 250,000 samples (paper §4.5 "DB limitations"); File stores one JSON file
+// per profile and imposes no sample limit.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"synapse/internal/profile"
+)
+
+// MaxDocSize is the Mongo-like per-document size limit.
+const MaxDocSize int64 = 16 << 20
+
+// ErrNotFound is returned when no profile matches a query.
+var ErrNotFound = errors.New("store: no matching profile")
+
+// ErrDocTooLarge is returned by strict puts when a document would exceed
+// MaxDocSize.
+var ErrDocTooLarge = errors.New("store: document would exceed 16MB limit")
+
+// Store is the profile persistence interface shared by backends.
+type Store interface {
+	// Put stores a profile, failing if the backend's limits would be
+	// exceeded.
+	Put(p *profile.Profile) error
+	// Find returns all profiles recorded for the command/tags key, in
+	// insertion order.
+	Find(command string, tags map[string]string) (profile.Set, error)
+	// Keys lists the distinct command/tags keys present, sorted.
+	Keys() ([]string, error)
+	// Delete removes all profiles for the key. Deleting an absent key is
+	// not an error.
+	Delete(command string, tags map[string]string) error
+	// Close releases backend resources.
+	Close() error
+}
+
+// document is one Mongo-like document: every profile stored under the same
+// search key.
+type document struct {
+	profiles profile.Set
+	size     int64
+}
+
+// Mem is the in-memory Mongo-like backend. The zero value is not usable;
+// construct with NewMem.
+type Mem struct {
+	mu   sync.RWMutex
+	docs map[string]*document
+	// maxDoc is the per-document size cap (MaxDocSize unless overridden
+	// for tests).
+	maxDoc int64
+}
+
+// NewMem returns an empty in-memory store with the standard 16 MB document
+// limit.
+func NewMem() *Mem { return &Mem{docs: map[string]*document{}, maxDoc: MaxDocSize} }
+
+// NewMemWithLimit returns an in-memory store with a custom document size
+// limit (used by tests and overflow experiments).
+func NewMemWithLimit(limit int64) *Mem {
+	return &Mem{docs: map[string]*document{}, maxDoc: limit}
+}
+
+// Put implements Store. It fails with ErrDocTooLarge when the profile would
+// push its document over the size limit and the profile cannot be truncated
+// to fit (fewer than one sample would remain).
+func (m *Mem) Put(p *profile.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := p.Key()
+	doc := m.docs[key]
+	if doc == nil {
+		doc = &document{}
+		m.docs[key] = doc
+	}
+	size := p.DocSize()
+	if doc.size+size > m.maxDoc {
+		return fmt.Errorf("%w: document %q at %d bytes, profile adds %d",
+			ErrDocTooLarge, p.Command, doc.size, size)
+	}
+	doc.profiles = append(doc.profiles, p.Clone())
+	doc.size += size
+	return nil
+}
+
+// PutTruncated stores the profile, dropping trailing samples as needed to
+// respect the document limit. It returns the number of samples dropped.
+// This reproduces the paper's Fig 4 artifact: the largest profiling
+// configuration loses data to the database backend's document limit.
+func (m *Mem) PutTruncated(p *profile.Profile) (dropped int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := p.Key()
+	doc := m.docs[key]
+	if doc == nil {
+		doc = &document{}
+		m.docs[key] = doc
+	}
+	q := p.Clone()
+	for q.DocSize()+doc.size > m.maxDoc && len(q.Samples) > 0 {
+		q.Samples = q.Samples[:len(q.Samples)-1]
+		dropped++
+	}
+	if q.DocSize()+doc.size > m.maxDoc {
+		return dropped, fmt.Errorf("%w: empty profile still exceeds limit", ErrDocTooLarge)
+	}
+	q.Dropped += dropped
+	doc.profiles = append(doc.profiles, q)
+	doc.size += q.DocSize()
+	return dropped, nil
+}
+
+// Find implements Store.
+func (m *Mem) Find(command string, tags map[string]string) (profile.Set, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	doc := m.docs[profile.Key(command, tags)]
+	if doc == nil || len(doc.profiles) == 0 {
+		return nil, fmt.Errorf("%w: command %q tags %v", ErrNotFound, command, tags)
+	}
+	out := make(profile.Set, len(doc.profiles))
+	for i, p := range doc.profiles {
+		out[i] = p.Clone()
+	}
+	return out, nil
+}
+
+// Keys implements Store.
+func (m *Mem) Keys() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := make([]string, 0, len(m.docs))
+	for k := range m.docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(command string, tags map[string]string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.docs, profile.Key(command, tags))
+	return nil
+}
+
+// DocBytes returns the current size of the document holding the key, for
+// observability and tests.
+func (m *Mem) DocBytes(command string, tags map[string]string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if doc := m.docs[profile.Key(command, tags)]; doc != nil {
+		return doc.size
+	}
+	return 0
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,340 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"synapse/internal/profile"
+)
+
+func mkProfile(cmd string, tags map[string]string, samples int) *profile.Profile {
+	p := profile.New(cmd, tags)
+	p.Machine = "thinkie"
+	p.SampleRate = 1
+	for i := 0; i < samples; i++ {
+		s := profile.Sample{
+			T: time.Duration(i+1) * time.Second,
+			Values: map[string]float64{
+				profile.MetricCPUCycles:    1e8,
+				profile.MetricIOWriteBytes: 4096,
+			},
+		}
+		if err := p.Append(s); err != nil {
+			panic(err)
+		}
+	}
+	p.Finalize(time.Duration(samples) * time.Second)
+	return p
+}
+
+// storeFactories lets every conformance test run against both backends.
+func storeFactories(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"mem": func() Store { return NewMem() },
+		"file": func() Store {
+			f, err := NewFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+}
+
+func TestPutFindRoundTrip(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			tags := map[string]string{"steps": "1000"}
+			p := mkProfile("gmx mdrun", tags, 5)
+			if err := s.Put(p); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Find("gmx mdrun", tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("Find returned %d profiles, want 1", len(got))
+			}
+			if got[0].ID != p.ID || len(got[0].Samples) != 5 {
+				t.Errorf("profile did not round trip: %+v", got[0])
+			}
+			if got[0].Total(profile.MetricCPUCycles) != 5e8 {
+				t.Errorf("totals lost: %v", got[0].Total(profile.MetricCPUCycles))
+			}
+		})
+	}
+}
+
+func TestFindNotFound(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if _, err := s.Find("missing", nil); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Find on empty store = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestMultipleProfilesSameKeyKeepOrder(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			for i := 1; i <= 4; i++ {
+				if err := s.Put(mkProfile("cmd", nil, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := s.Find("cmd", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 4 {
+				t.Fatalf("want 4 profiles, got %d", len(got))
+			}
+			for i, p := range got {
+				if len(p.Samples) != i+1 {
+					t.Errorf("profile %d has %d samples, want %d (insertion order lost)", i, len(p.Samples), i+1)
+				}
+			}
+		})
+	}
+}
+
+func TestTagsDistinguishProfiles(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if err := s.Put(mkProfile("cmd", map[string]string{"steps": "1"}, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(mkProfile("cmd", map[string]string{"steps": "2"}, 2)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Find("cmd", map[string]string{"steps": "2"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 || len(got[0].Samples) != 2 {
+				t.Errorf("tag query returned wrong profile: %+v", got)
+			}
+			if _, err := s.Find("cmd", nil); !errors.Is(err, ErrNotFound) {
+				t.Error("untagged query should not match tagged profiles")
+			}
+		})
+	}
+}
+
+func TestKeysAndDelete(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			_ = s.Put(mkProfile("a", nil, 1))
+			_ = s.Put(mkProfile("b", nil, 1))
+			keys, err := s.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 2 {
+				t.Fatalf("Keys = %v, want 2 entries", keys)
+			}
+			if err := s.Delete("a", nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Find("a", nil); !errors.Is(err, ErrNotFound) {
+				t.Error("deleted key should not be found")
+			}
+			if _, err := s.Find("b", nil); err != nil {
+				t.Error("unrelated key should survive delete")
+			}
+			// Deleting an absent key is not an error.
+			if err := s.Delete("never", nil); err != nil {
+				t.Errorf("delete of absent key errored: %v", err)
+			}
+		})
+	}
+}
+
+func TestPutRejectsInvalidProfile(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			bad := profile.New("", nil)
+			if err := s.Put(bad); err == nil {
+				t.Error("invalid profile should not be stored")
+			}
+		})
+	}
+}
+
+func TestMemDocLimitStrict(t *testing.T) {
+	s := NewMemWithLimit(4096)
+	p := mkProfile("big", nil, 100) // ~100 * 2 metrics * 48 + overhead > 4096
+	err := s.Put(p)
+	if !errors.Is(err, ErrDocTooLarge) {
+		t.Fatalf("Put over limit = %v, want ErrDocTooLarge", err)
+	}
+}
+
+func TestMemDocLimitTruncates(t *testing.T) {
+	s := NewMemWithLimit(4096)
+	p := mkProfile("big", nil, 100)
+	dropped, err := s.PutTruncated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("expected samples to be dropped")
+	}
+	got, err := s.Find("big", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dropped != dropped {
+		t.Errorf("Dropped field = %d, want %d", got[0].Dropped, dropped)
+	}
+	if len(got[0].Samples)+dropped != 100 {
+		t.Errorf("samples %d + dropped %d != 100", len(got[0].Samples), dropped)
+	}
+	if s.DocBytes("big", nil) > 4096 {
+		t.Errorf("document size %d exceeds limit", s.DocBytes("big", nil))
+	}
+}
+
+func TestMemDocLimitAccumulatesAcrossProfiles(t *testing.T) {
+	s := NewMemWithLimit(8192)
+	// Fill the document with several small profiles until overflow.
+	var strictErr error
+	puts := 0
+	for i := 0; i < 100; i++ {
+		if err := s.Put(mkProfile("fill", nil, 10)); err != nil {
+			strictErr = err
+			break
+		}
+		puts++
+	}
+	if strictErr == nil {
+		t.Fatal("document never overflowed")
+	}
+	if puts == 0 {
+		t.Fatal("first put should have fit")
+	}
+	if !errors.Is(strictErr, ErrDocTooLarge) {
+		t.Fatalf("overflow error = %v", strictErr)
+	}
+}
+
+func TestMemStandardLimitIs16MB(t *testing.T) {
+	if MaxDocSize != 16<<20 {
+		t.Fatalf("MaxDocSize = %d, want 16MB", MaxDocSize)
+	}
+	m := NewMem()
+	if m.maxDoc != MaxDocSize {
+		t.Fatalf("NewMem limit = %d", m.maxDoc)
+	}
+}
+
+// The paper derives ~250k samples from the 16 MB limit; our DocSize encoding
+// should be in that ballpark for single-metric samples.
+func TestDocLimitSampleCapMagnitude(t *testing.T) {
+	p := profile.New("cap", nil)
+	for i := 0; i < 1000; i++ {
+		_ = p.Append(profile.Sample{
+			T:      time.Duration(i) * time.Second,
+			Values: map[string]float64{profile.MetricCPUCycles: 1},
+		})
+	}
+	perSample := float64(p.DocSize()) / 1000
+	cap := float64(MaxDocSize) / perSample
+	if cap < 100_000 || cap > 1_000_000 {
+		t.Errorf("implied sample cap %.0f not within order of magnitude of 250k", cap)
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	f1, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Put(mkProfile("persist", nil, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_ = f1.Close()
+
+	f2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f2.Find("persist", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Samples) != 3 {
+		t.Errorf("profile did not persist across reopen: %+v", got)
+	}
+}
+
+func TestFileStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Put(mkProfile("x", nil, 1))
+	// Drop junk into the directory.
+	if err := writeJunk(dir); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := f.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Errorf("Keys = %v, want 1 entry", keys)
+	}
+}
+
+func writeJunk(dir string) error {
+	return os.WriteFile(filepath.Join(dir, "junk.json"), []byte("not a profile"), 0o644)
+}
+
+// Property: any sequence of puts under distinct keys is fully retrievable.
+func TestStoreRetrievalProperty(t *testing.T) {
+	f := func(nsRaw []uint8) bool {
+		if len(nsRaw) > 20 {
+			nsRaw = nsRaw[:20]
+		}
+		s := NewMem()
+		for i, n := range nsRaw {
+			p := mkProfile(fmt.Sprintf("cmd-%d", i), nil, int(n%10)+1)
+			if err := s.Put(p); err != nil {
+				return false
+			}
+		}
+		for i, n := range nsRaw {
+			got, err := s.Find(fmt.Sprintf("cmd-%d", i), nil)
+			if err != nil || len(got) != 1 || len(got[0].Samples) != int(n%10)+1 {
+				return false
+			}
+		}
+		keys, _ := s.Keys()
+		return len(keys) == len(nsRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package watcher
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"synapse/internal/clock"
+	"synapse/internal/perfcount"
+	"synapse/internal/profile"
+)
+
+// RunConcurrent profiles the target with one goroutine per watcher — the
+// paper's threading model (§4.1: "Each watcher plugin runs in its own
+// thread", and "the timestamps of the different watchers are not
+// synchronized, and can drift relative to each other"). Each watcher samples
+// on its own schedule against its own previous snapshot; the per-watcher
+// time series are merged into one profile, ordered by timestamp, during
+// post-processing — mirroring the paper's "individual time series are
+// combined during postprocessing".
+//
+// RunConcurrent is meant for real-clock runs (real targets, or simulated
+// targets replayed in real time); with an auto-advancing simulated clock the
+// goroutines would race the timeline, so Run is the right entry point for
+// simulation.
+func (pr *Profiler) RunConcurrent(ctx context.Context, tgt Target) (*profile.Profile, error) {
+	if pr.Machine == nil {
+		return nil, fmt.Errorf("watcher: profiler needs a machine model")
+	}
+	watchers := pr.Watchers
+	if watchers == nil {
+		watchers = Default()
+	}
+	rate := clampRate(pr.Rate)
+	clk := pr.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	startDelay := pr.StartupDelay
+	if startDelay <= 0 {
+		startDelay = DefaultStartupDelay
+	}
+
+	cfg := &Config{Machine: pr.Machine, Rate: rate}
+	for _, w := range watchers {
+		if err := w.Pre(cfg); err != nil {
+			return nil, fmt.Errorf("watcher %s: pre: %w", w.Name(), err)
+		}
+	}
+
+	p := profile.New(tgt.Command(), tgt.Tags())
+	p.Machine = pr.Machine.Name
+	p.App = tgt.AppName()
+	p.SampleRate = rate
+	p.CreatedAt = clk.Now()
+
+	start := clk.Now()
+	period := time.Duration(float64(time.Second) / rate)
+
+	type series struct {
+		samples []profile.Sample
+		last    perfcount.Counters
+		err     error
+	}
+	results := make([]series, len(watchers))
+
+	var wg sync.WaitGroup
+	for i, w := range watchers {
+		wg.Add(1)
+		go func(i int, w Watcher) {
+			defer wg.Done()
+			var prev perfcount.Counters
+			// Stagger start-up so watcher timestamps drift apart,
+			// as on the real system.
+			clk.Sleep(startDelay + time.Duration(i)*period/time.Duration(len(watchers)*4+1))
+			for {
+				select {
+				case <-ctx.Done():
+					results[i].err = ctx.Err()
+					return
+				default:
+				}
+				at := clk.Now().Sub(start)
+				if tgt.Exited(at) {
+					return
+				}
+				c, ok := tgt.Counters(at)
+				if ok {
+					d := c.Sub(prev)
+					prev = c
+					values := make(map[string]float64, 8)
+					w.Collect(d, c, values)
+					results[i].samples = append(results[i].samples,
+						profile.Sample{T: at, Values: values})
+					results[i].last = c
+				}
+				clk.Sleep(period)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("watcher %s: %w", watchers[i].Name(), r.err)
+		}
+	}
+
+	// Merge the unsynchronized series by timestamp.
+	var all []profile.Sample
+	for _, r := range results {
+		all = append(all, r.samples...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
+	for _, s := range all {
+		if err := p.Append(s); err != nil {
+			return nil, err
+		}
+	}
+
+	elapsed := clk.Now().Sub(start)
+	tx, ok := tgt.Tx(elapsed)
+	if !ok {
+		tx = elapsed
+	}
+
+	// End-of-run correction from exit totals, against each watcher's own
+	// last snapshot.
+	if final, ok := tgt.Final(elapsed); ok {
+		values := make(map[string]float64, 16)
+		for i, w := range watchers {
+			if !w.CorrectsAtExit() {
+				continue
+			}
+			d := final.Sub(results[i].last)
+			w.Collect(d, final, values)
+		}
+		if len(values) > 0 {
+			at := tx
+			if n := len(p.Samples); n > 0 && p.Samples[n-1].T > at {
+				at = p.Samples[n-1].T
+			}
+			if err := p.Append(profile.Sample{T: at, Values: values}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, w := range watchers {
+		if err := w.Post(); err != nil {
+			return nil, fmt.Errorf("watcher %s: post: %w", w.Name(), err)
+		}
+	}
+	p.Finalize(tx)
+	final, hasFinal := tgt.Final(clk.Now().Sub(start))
+	for _, w := range watchers {
+		if err := w.Finalize(p, final, hasFinal); err != nil {
+			return nil, fmt.Errorf("watcher %s: finalize: %w", w.Name(), err)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,77 @@
+package watcher
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/clock"
+	"synapse/internal/machine"
+	"synapse/internal/proc"
+	"synapse/internal/profile"
+)
+
+// TestConcurrentProfilingRealClock replays a short simulated process in real
+// time with one goroutine per watcher — the paper's threading model.
+func TestConcurrentProfilingRealClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock test (~1s)")
+	}
+	m := machine.MustGet(machine.Thinkie)
+	sp, err := proc.Execute(app.MDSim(10_000), m, proc.Options{}) // Tx ≈ 0.85s
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &Profiler{
+		Rate:    10,
+		Clock:   clock.NewReal(),
+		Machine: m,
+	}
+	p, err := pr.RunConcurrent(context.Background(), NewSimTarget(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("concurrent profile invalid: %v", err)
+	}
+	// CPU totals remain exact through the exit correction.
+	want := sp.Final().Cycles
+	if got := p.Total(profile.MetricCPUCycles); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("cycles = %v, want %v", got, want)
+	}
+	// Multiple watchers produced interleaved samples with drifting
+	// timestamps: sample count should exceed a single-loop run's.
+	if len(p.Samples) < 8 {
+		t.Errorf("expected interleaved samples from concurrent watchers, got %d", len(p.Samples))
+	}
+	// Timestamps must be non-decreasing after the merge.
+	var prev time.Duration = -1
+	for i, s := range p.Samples {
+		if s.T < prev {
+			t.Fatalf("sample %d out of order after merge", i)
+		}
+		prev = s.T
+	}
+}
+
+func TestConcurrentProfilingCancellation(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(10_000_000), m, proc.Options{}) // long
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pr := &Profiler{Rate: 10, Clock: clock.NewReal(), Machine: m}
+	if _, err := pr.RunConcurrent(ctx, NewSimTarget(sp)); err == nil {
+		t.Error("cancelled context should abort concurrent profiling")
+	}
+}
+
+func TestConcurrentProfilingRequiresMachine(t *testing.T) {
+	pr := &Profiler{Rate: 1}
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(10), m, proc.Options{})
+	if _, err := pr.RunConcurrent(context.Background(), NewSimTarget(sp)); err == nil {
+		t.Error("missing machine should fail")
+	}
+}

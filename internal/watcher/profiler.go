@@ -1,0 +1,194 @@
+package watcher
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"synapse/internal/clock"
+	"synapse/internal/machine"
+	"synapse/internal/perfcount"
+	"synapse/internal/profile"
+)
+
+// Profiler drives a set of watchers over a target at a sampling rate and
+// assembles the resulting profile. It is the paper's "main Synapse profiling
+// loop" (§4.1).
+type Profiler struct {
+	// Watchers to run; Default() when nil.
+	Watchers []Watcher
+	// Rate is the sampling rate in Hz, clamped to MaxRate. Zero selects
+	// 1 Hz.
+	Rate float64
+	// Schedule optionally overrides Rate per elapsed time, enabling the
+	// adaptive scheme of paper §6 (high rate during startup, lower
+	// after). The returned rate is clamped like Rate.
+	Schedule func(elapsed time.Duration) float64
+	// Clock paces the loop; a clock.AutoSim makes simulated profiling
+	// instantaneous. Defaults to the real clock.
+	Clock clock.Clock
+	// Machine describes the profiled resource (required).
+	Machine *machine.Model
+	// StartupDelay is when the first sample is taken.
+	StartupDelay time.Duration
+}
+
+// AdaptiveSchedule returns a Schedule implementing paper §6's proposal:
+// sample at high Hz until switchAfter has elapsed (capturing application
+// startup), then at low Hz.
+func AdaptiveSchedule(high, low float64, switchAfter time.Duration) func(time.Duration) float64 {
+	return func(elapsed time.Duration) float64 {
+		if elapsed < switchAfter {
+			return high
+		}
+		return low
+	}
+}
+
+// clampRate enforces the profiler's rate bounds.
+func clampRate(r float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if r > MaxRate {
+		return MaxRate
+	}
+	return r
+}
+
+// Run profiles the target until it exits (or ctx is cancelled) and returns
+// the finished profile.
+func (pr *Profiler) Run(ctx context.Context, tgt Target) (*profile.Profile, error) {
+	if pr.Machine == nil {
+		return nil, fmt.Errorf("watcher: profiler needs a machine model")
+	}
+	watchers := pr.Watchers
+	if watchers == nil {
+		watchers = Default()
+	}
+	rate := clampRate(pr.Rate)
+	clk := pr.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	startDelay := pr.StartupDelay
+	if startDelay <= 0 {
+		startDelay = DefaultStartupDelay
+	}
+
+	cfg := &Config{Machine: pr.Machine, Rate: rate}
+	for _, w := range watchers {
+		if err := w.Pre(cfg); err != nil {
+			return nil, fmt.Errorf("watcher %s: pre: %w", w.Name(), err)
+		}
+	}
+
+	p := profile.New(tgt.Command(), tgt.Tags())
+	p.Machine = pr.Machine.Name
+	p.App = tgt.AppName()
+	p.SampleRate = rate
+	p.CreatedAt = clk.Now()
+
+	start := clk.Now()
+	elapsed := func() time.Duration { return clk.Now().Sub(start) }
+
+	var prev, cur perfcount.Counters
+	sample := func(at time.Duration) error {
+		c, ok := tgt.Counters(at)
+		if !ok {
+			return nil
+		}
+		cur = c
+		d := cur.Sub(prev)
+		values := make(map[string]float64, 16)
+		for _, w := range watchers {
+			w.Collect(d, cur, values)
+		}
+		prev = cur
+		return p.Append(profile.Sample{T: at, Values: values})
+	}
+
+	// First sample shortly after spawn (paper: ≈0.005 s).
+	clk.Sleep(startDelay)
+	if !tgt.Exited(elapsed()) {
+		if err := sample(elapsed()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Periodic samples on period boundaries. The sampling rate may change
+	// between samples under an adaptive schedule, never exceeding MaxRate.
+	next := start.Add(periodAt(pr.Schedule, rate, elapsed()))
+	for !tgt.Exited(elapsed()) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if wait := next.Sub(clk.Now()); wait > 0 {
+			clk.Sleep(wait)
+		}
+		at := elapsed()
+		if tgt.Exited(at) {
+			break
+		}
+		if err := sample(at); err != nil {
+			return nil, err
+		}
+		next = next.Add(periodAt(pr.Schedule, rate, at))
+	}
+
+	// The process has exited. Tx comes from the wrapper around the whole
+	// process (the paper uses time -v), not from sampling granularity.
+	tx, ok := tgt.Tx(elapsed())
+	if !ok {
+		tx = elapsed()
+	}
+
+	// End-of-run correction: sources with exit totals (perf-stat, rusage)
+	// contribute the residual consumption since the last sample.
+	if final, ok := tgt.Final(elapsed()); ok {
+		d := final.Sub(prev)
+		values := make(map[string]float64, 16)
+		for _, w := range watchers {
+			if w.CorrectsAtExit() {
+				w.Collect(d, final, values)
+			}
+		}
+		if len(values) > 0 {
+			at := tx
+			if n := len(p.Samples); n > 0 && p.Samples[n-1].T > at {
+				at = p.Samples[n-1].T
+			}
+			if err := p.Append(profile.Sample{T: at, Values: values}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, w := range watchers {
+		if err := w.Post(); err != nil {
+			return nil, fmt.Errorf("watcher %s: post: %w", w.Name(), err)
+		}
+	}
+
+	p.Finalize(tx)
+
+	final, hasFinal := tgt.Final(elapsed())
+	for _, w := range watchers {
+		if err := w.Finalize(p, final, hasFinal); err != nil {
+			return nil, fmt.Errorf("watcher %s: finalize: %w", w.Name(), err)
+		}
+	}
+	return p, nil
+}
+
+// periodAt evaluates the effective sampling period at the given elapsed
+// time.
+func periodAt(schedule func(time.Duration) float64, base float64, elapsed time.Duration) time.Duration {
+	r := base
+	if schedule != nil {
+		r = clampRate(schedule(elapsed))
+	}
+	return time.Duration(float64(time.Second) / r)
+}

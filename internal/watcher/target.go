@@ -1,0 +1,58 @@
+package watcher
+
+import (
+	"time"
+
+	"synapse/internal/perfcount"
+	"synapse/internal/proc"
+)
+
+// SimTarget adapts a simulated process (internal/proc) to the Target
+// interface, with the visibility semantics of a real OS process: counters
+// are readable only while the process runs; exit-time totals are readable
+// afterwards.
+type SimTarget struct {
+	p *proc.SimProcess
+}
+
+// NewSimTarget wraps a simulated process.
+func NewSimTarget(p *proc.SimProcess) *SimTarget { return &SimTarget{p: p} }
+
+// Command implements Target.
+func (s *SimTarget) Command() string { return s.p.Workload().Command }
+
+// Tags implements Target.
+func (s *SimTarget) Tags() map[string]string { return s.p.Workload().Tags }
+
+// AppName implements Target.
+func (s *SimTarget) AppName() string { return s.p.Workload().App }
+
+// Counters implements Target: a process that has exited has no /proc entry
+// left to sample.
+func (s *SimTarget) Counters(t time.Duration) (perfcount.Counters, bool) {
+	if s.p.Done(t) {
+		return perfcount.Counters{}, false
+	}
+	return s.p.CountersAt(t), true
+}
+
+// Exited implements Target.
+func (s *SimTarget) Exited(t time.Duration) bool { return s.p.Done(t) }
+
+// Final implements Target.
+func (s *SimTarget) Final(t time.Duration) (perfcount.Counters, bool) {
+	if !s.p.Done(t) {
+		return perfcount.Counters{}, false
+	}
+	return s.p.Final(), true
+}
+
+// Tx implements Target.
+func (s *SimTarget) Tx(t time.Duration) (time.Duration, bool) {
+	if !s.p.Done(t) {
+		return 0, false
+	}
+	return s.p.Duration(), true
+}
+
+var _ Target = (*SimTarget)(nil)

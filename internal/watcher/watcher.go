@@ -1,0 +1,256 @@
+// Package watcher implements Synapse's profiling module: pluggable watchers
+// that observe one resource type each, and the sampling loop that drives
+// them (paper §3.3, §4.1).
+//
+// A Watcher mirrors the paper's plugin structure (pre_process, sample,
+// post_process, finalize). Watchers are driven at a uniform, configurable
+// sampling rate with an upper bound of 10 Hz — the paper's perf-stat limit —
+// and receive cumulative counter snapshots from a Target, which is either a
+// simulated process (internal/proc) or a real one (/proc via
+// internal/procfs).
+package watcher
+
+import (
+	"fmt"
+	"time"
+
+	"synapse/internal/machine"
+	"synapse/internal/perfcount"
+	"synapse/internal/profile"
+)
+
+// MaxRate is the highest supported sampling rate in Hz; it coincides with
+// the sampling limit of perf-stat (paper §4.1). There is no lower bound.
+const MaxRate = 10.0
+
+// DefaultStartupDelay is when the first watcher sample is collected after
+// process spawn; the paper reports ≈0.005 s.
+const DefaultStartupDelay = 5 * time.Millisecond
+
+// Config is handed to every watcher's Pre hook.
+type Config struct {
+	// Machine describes the resource the profiled process runs on.
+	Machine *machine.Model
+	// Rate is the configured sampling rate in Hz (after clamping).
+	Rate float64
+}
+
+// Target is the process being profiled, viewed as a source of cumulative
+// resource counters.
+type Target interface {
+	// Command and Tags identify the profile in the store.
+	Command() string
+	Tags() map[string]string
+	// AppName hints which application model produced the process ("" for
+	// real processes).
+	AppName() string
+
+	// Counters returns the cumulative counters at offset t since spawn.
+	// ok is false once the process has exited (its /proc entry is gone).
+	Counters(t time.Duration) (c perfcount.Counters, ok bool)
+	// Exited reports whether the process has exited by offset t.
+	Exited(t time.Duration) bool
+	// Final returns the exit-time totals (perf-stat / rusage semantics)
+	// once the process has exited.
+	Final(t time.Duration) (c perfcount.Counters, ok bool)
+	// Tx returns the process' exact execution time once exited.
+	Tx(t time.Duration) (time.Duration, bool)
+}
+
+// Watcher is one profiling plugin. Implementations own a disjoint set of
+// metrics; Collect writes those metrics for one sampling interval.
+type Watcher interface {
+	// Name identifies the plugin ("cpu", "mem", ...).
+	Name() string
+	// Pre sets up the watcher before sampling starts.
+	Pre(cfg *Config) error
+	// Collect writes the watcher's metrics into out, given the counter
+	// delta d over the interval and the cumulative counters c at its end.
+	Collect(d, c perfcount.Counters, out map[string]float64)
+	// CorrectsAtExit reports whether the watcher's source provides exit
+	// totals that should flow into the end-of-run correction sample.
+	// perf-stat and rusage do; /proc gauges (memory) do not — the /proc
+	// entry disappears with the process, which is exactly why low
+	// sampling rates underestimate resident memory (paper Fig 6 bottom).
+	CorrectsAtExit() bool
+	// Post tears down after sampling stops.
+	Post() error
+	// Finalize adjusts the finished profile using exit-time information
+	// (e.g. rusage peak RSS).
+	Finalize(p *profile.Profile, final perfcount.Counters, hasFinal bool) error
+}
+
+// CPU watches the compute counters (the paper's perf-stat watcher).
+type CPU struct{}
+
+// Name implements Watcher.
+func (CPU) Name() string { return "cpu" }
+
+// Pre implements Watcher.
+func (CPU) Pre(*Config) error { return nil }
+
+// Collect implements Watcher.
+func (CPU) Collect(d, c perfcount.Counters, out map[string]float64) {
+	out[profile.MetricCPUCycles] = d.Cycles
+	out[profile.MetricCPUInstructions] = d.Instructions
+	out[profile.MetricCPUStalledFront] = d.StalledFront
+	out[profile.MetricCPUStalledBack] = d.StalledBack
+	out[profile.MetricCPUFLOPs] = d.FLOPs
+	out[profile.MetricCPUThreads] = c.Threads
+}
+
+// CorrectsAtExit implements Watcher: perf-stat reports totals at exit.
+func (CPU) CorrectsAtExit() bool { return true }
+
+// Post implements Watcher.
+func (CPU) Post() error { return nil }
+
+// Finalize implements Watcher.
+func (CPU) Finalize(p *profile.Profile, final perfcount.Counters, hasFinal bool) error {
+	if hasFinal {
+		// Thread count is a whole-run property.
+		p.Totals[profile.MetricCPUThreads] = final.Threads
+	}
+	return nil
+}
+
+// Mem watches resident memory through /proc (gauge) and memory traffic
+// (alloc/free counters).
+type Mem struct{}
+
+// Name implements Watcher.
+func (Mem) Name() string { return "mem" }
+
+// Pre implements Watcher.
+func (Mem) Pre(*Config) error { return nil }
+
+// Collect implements Watcher.
+func (Mem) Collect(d, c perfcount.Counters, out map[string]float64) {
+	out[profile.MetricMemRSS] = c.RSS
+	out[profile.MetricMemAlloc] = d.AllocBytes
+	out[profile.MetricMemFree] = d.FreeBytes
+}
+
+// CorrectsAtExit implements Watcher: /proc is gone once the process exits,
+// so no correction sample is possible for the RSS gauge. Allocation counters
+// are corrected through rusage-equivalent totals in Finalize instead.
+func (Mem) CorrectsAtExit() bool { return false }
+
+// Post implements Watcher.
+func (Mem) Post() error { return nil }
+
+// Finalize implements Watcher: rusage's high-water mark gives the exact peak
+// even when sampling missed it.
+func (Mem) Finalize(p *profile.Profile, final perfcount.Counters, hasFinal bool) error {
+	if hasFinal {
+		p.Totals[profile.MetricMemPeak] = final.PeakRSS
+	} else if rss := p.Totals[profile.MetricMemRSS]; rss > 0 {
+		p.Totals[profile.MetricMemPeak] = rss
+	}
+	return nil
+}
+
+// IO watches storage traffic (the paper's /proc + rusage watcher).
+type IO struct{}
+
+// Name implements Watcher.
+func (IO) Name() string { return "io" }
+
+// Pre implements Watcher.
+func (IO) Pre(*Config) error { return nil }
+
+// Collect implements Watcher.
+func (IO) Collect(d, c perfcount.Counters, out map[string]float64) {
+	out[profile.MetricIOReadBytes] = d.ReadBytes
+	out[profile.MetricIOWriteBytes] = d.WriteBytes
+	out[profile.MetricIOReadOps] = d.ReadOps
+	out[profile.MetricIOWriteOps] = d.WriteOps
+}
+
+// CorrectsAtExit implements Watcher: rusage block counts exist at exit.
+func (IO) CorrectsAtExit() bool { return true }
+
+// Post implements Watcher.
+func (IO) Post() error { return nil }
+
+// Finalize implements Watcher: derive average observed block sizes — the
+// blktrace-inspired extension of paper §6 (experimental watcher plugin).
+func (IO) Finalize(p *profile.Profile, final perfcount.Counters, hasFinal bool) error {
+	rb, ro := p.Totals[profile.MetricIOReadBytes], p.Totals[profile.MetricIOReadOps]
+	if ro > 0 {
+		p.Totals[profile.MetricIOReadBlock] = rb / ro
+	}
+	wb, wo := p.Totals[profile.MetricIOWriteBytes], p.Totals[profile.MetricIOWriteOps]
+	if wo > 0 {
+		p.Totals[profile.MetricIOWriteBlock] = wb / wo
+	}
+	return nil
+}
+
+// Net watches network traffic. Profiling support is "planned" in the paper
+// (Table 1); the simulated substrate provides the counters, so this plugin
+// exists and degrades to zeros on real processes.
+type Net struct{}
+
+// Name implements Watcher.
+func (Net) Name() string { return "net" }
+
+// Pre implements Watcher.
+func (Net) Pre(*Config) error { return nil }
+
+// Collect implements Watcher.
+func (Net) Collect(d, c perfcount.Counters, out map[string]float64) {
+	out[profile.MetricNetReadBytes] = d.NetReadBytes
+	out[profile.MetricNetWriteBytes] = d.NetWriteBytes
+}
+
+// CorrectsAtExit implements Watcher.
+func (Net) CorrectsAtExit() bool { return true }
+
+// Post implements Watcher.
+func (Net) Post() error { return nil }
+
+// Finalize implements Watcher.
+func (Net) Finalize(*profile.Profile, perfcount.Counters, bool) error { return nil }
+
+// Sys records system information (paper Table 1, System rows). It samples
+// nothing; its work happens in Pre/Finalize.
+type Sys struct {
+	cfg *Config
+}
+
+// Name implements Watcher.
+func (s *Sys) Name() string { return "sys" }
+
+// Pre implements Watcher.
+func (s *Sys) Pre(cfg *Config) error {
+	if cfg == nil || cfg.Machine == nil {
+		return fmt.Errorf("watcher: sys requires a machine model")
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// Collect implements Watcher.
+func (s *Sys) Collect(d, c perfcount.Counters, out map[string]float64) {}
+
+// CorrectsAtExit implements Watcher.
+func (s *Sys) CorrectsAtExit() bool { return false }
+
+// Post implements Watcher.
+func (s *Sys) Post() error { return nil }
+
+// Finalize implements Watcher.
+func (s *Sys) Finalize(p *profile.Profile, final perfcount.Counters, hasFinal bool) error {
+	m := s.cfg.Machine
+	p.System[profile.MetricSysCores] = float64(m.Cores)
+	p.System[profile.MetricSysClockHz] = m.ClockHz
+	p.System[profile.MetricSysMemTotal] = float64(m.MemBytes)
+	return nil
+}
+
+// Default returns the standard watcher set: system info, CPU, memory,
+// storage and network.
+func Default() []Watcher {
+	return []Watcher{&Sys{}, CPU{}, Mem{}, IO{}, Net{}}
+}

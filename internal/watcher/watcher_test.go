@@ -1,0 +1,285 @@
+package watcher
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"synapse/internal/app"
+	"synapse/internal/clock"
+	"synapse/internal/machine"
+	"synapse/internal/proc"
+	"synapse/internal/profile"
+)
+
+var t0 = time.Date(2016, 5, 23, 0, 0, 0, 0, time.UTC)
+
+// profileSim profiles an MDSim run on the named machine at the given rate,
+// entirely in simulation.
+func profileSim(t *testing.T, steps int, machineName string, rate float64, opts proc.Options) *profile.Profile {
+	t.Helper()
+	m := machine.MustGet(machineName)
+	sp, err := proc.Execute(app.MDSim(steps), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &Profiler{
+		Rate:    rate,
+		Clock:   clock.NewAutoSim(t0),
+		Machine: m,
+	}
+	p, err := pr.Run(context.Background(), NewSimTarget(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v", err)
+	}
+	return p
+}
+
+func TestProfileCapturesTotalsExactly(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	w := app.MDSim(100_000)
+	sp, _ := proc.Execute(w, m, proc.Options{})
+	want := sp.Final()
+
+	for _, rate := range []float64{0.1, 1, 10} {
+		p := profileSim(t, 100_000, machine.Thinkie, rate, proc.Options{})
+		// CPU totals are exact at every sampling rate thanks to the
+		// end-of-run correction (perf-stat semantics) — paper Fig 6 top.
+		if got := p.Total(profile.MetricCPUCycles); math.Abs(got-want.Cycles) > 1e-6*want.Cycles {
+			t.Errorf("rate %v: cycles = %v, want %v", rate, got, want.Cycles)
+		}
+		if got := p.Total(profile.MetricIOWriteBytes); math.Abs(got-want.WriteBytes) > 1e-6 {
+			t.Errorf("rate %v: write bytes = %v, want %v", rate, got, want.WriteBytes)
+		}
+		if got := p.Total(profile.MetricIOReadBytes); math.Abs(got-want.ReadBytes) > 1e-6 {
+			t.Errorf("rate %v: read bytes = %v, want %v", rate, got, want.ReadBytes)
+		}
+	}
+}
+
+func TestProfileTxMatchesProcess(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(50_000), m, proc.Options{})
+	p := profileSim(t, 50_000, machine.Thinkie, 2, proc.Options{})
+	if p.Duration != sp.Duration() {
+		t.Errorf("profile Tx = %v, process Tx = %v", p.Duration, sp.Duration())
+	}
+}
+
+func TestSampleCountTracksRate(t *testing.T) {
+	p1 := profileSim(t, 200_000, machine.Thinkie, 1, proc.Options{})
+	p10 := profileSim(t, 200_000, machine.Thinkie, 10, proc.Options{})
+	// Tx ≈ 11 s → about 11 samples at 1 Hz, 110 at 10 Hz (plus startup
+	// and correction samples).
+	if len(p10.Samples) < 5*len(p1.Samples) {
+		t.Errorf("10 Hz should give ~10x samples: %d vs %d", len(p10.Samples), len(p1.Samples))
+	}
+	tx := p1.Duration.Seconds()
+	want1 := tx * 1
+	if math.Abs(float64(len(p1.Samples))-want1) > want1/2+3 {
+		t.Errorf("1 Hz sample count = %d for Tx %.1fs", len(p1.Samples), tx)
+	}
+}
+
+// Fig 6 bottom: at rates that allow only one sample during the run, the
+// sampled resident memory underestimates; at high rates it approaches the
+// true peak.
+func TestMemoryUnderestimatedAtLowRates(t *testing.T) {
+	const steps = 10_000 // Tx ≈ 0.85s on thinkie
+	low := profileSim(t, steps, machine.Thinkie, 0.1, proc.Options{})
+	high := profileSim(t, steps, machine.Thinkie, 10, proc.Options{})
+
+	lowRSS := low.Total(profile.MetricMemRSS)
+	highRSS := high.Total(profile.MetricMemRSS)
+	if lowRSS >= highRSS {
+		t.Errorf("low-rate RSS (%v) should underestimate high-rate RSS (%v)", lowRSS, highRSS)
+	}
+	if lowRSS > app.MDSimRSSBase*1.5 {
+		t.Errorf("low-rate RSS = %v, want near base %v", lowRSS, app.MDSimRSSBase)
+	}
+	// The rusage-derived peak is exact regardless of rate.
+	if got := low.Total(profile.MetricMemPeak); math.Abs(got-app.MDSimRSSPeak) > 1 {
+		t.Errorf("mem.peak = %v, want exact %v even at 0.1 Hz", got, app.MDSimRSSPeak)
+	}
+}
+
+func TestSystemInfoRecorded(t *testing.T) {
+	p := profileSim(t, 10_000, machine.Supermic, 1, proc.Options{})
+	m := machine.MustGet(machine.Supermic)
+	if got := p.System[profile.MetricSysCores]; got != float64(m.Cores) {
+		t.Errorf("sys.cores = %v, want %v", got, m.Cores)
+	}
+	if got := p.System[profile.MetricSysClockHz]; got != m.ClockHz {
+		t.Errorf("sys.clock_hz = %v, want %v", got, m.ClockHz)
+	}
+	if got := p.System[profile.MetricSysMemTotal]; got != float64(m.MemBytes) {
+		t.Errorf("sys.mem_total = %v", got)
+	}
+}
+
+func TestDerivedBlockSizes(t *testing.T) {
+	p := profileSim(t, 100_000, machine.Thinkie, 1, proc.Options{})
+	// MDSim writes 4096-byte trajectory frames.
+	if got := p.Total(profile.MetricIOWriteBlock); math.Abs(got-app.MDSimWriteBlock) > 64 {
+		t.Errorf("derived write block = %v, want ≈%v", got, app.MDSimWriteBlock)
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	// 100 Hz must clamp to 10 Hz (perf-stat limit).
+	p := profileSim(t, 100_000, machine.Thinkie, 100, proc.Options{})
+	if p.SampleRate != MaxRate {
+		t.Errorf("rate = %v, want clamped to %v", p.SampleRate, MaxRate)
+	}
+	// Zero rate defaults to 1 Hz.
+	p = profileSim(t, 100_000, machine.Thinkie, 0, proc.Options{})
+	if p.SampleRate != 1 {
+		t.Errorf("zero rate = %v, want 1", p.SampleRate)
+	}
+}
+
+func TestAdaptiveSchedule(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(200_000), m, proc.Options{}) // Tx ≈ 11 s
+	pr := &Profiler{
+		Rate:     10,
+		Schedule: AdaptiveSchedule(10, 0.5, 2*time.Second),
+		Clock:    clock.NewAutoSim(t0),
+		Machine:  m,
+	}
+	p, err := pr.Run(context.Background(), NewSimTarget(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early interval (first 2 s) should carry ~20 samples; the remaining
+	// ~9 s only ~5.
+	early, late := 0, 0
+	for _, s := range p.Samples {
+		if s.T <= 2*time.Second {
+			early++
+		} else {
+			late++
+		}
+	}
+	if early < 15 {
+		t.Errorf("adaptive: early samples = %d, want ≈20", early)
+	}
+	if late > early {
+		t.Errorf("adaptive: late samples = %d should be sparse (early %d)", late, early)
+	}
+	// Totals must still be exact.
+	if got, want := p.Total(profile.MetricCPUCycles), sp.Final().Cycles; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("adaptive: cycles = %v, want %v", got, want)
+	}
+}
+
+func TestShortRunStillProfiled(t *testing.T) {
+	// A run shorter than the sampling period must still produce a valid
+	// profile with exact CPU totals (startup sample + correction).
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(1000), m, proc.Options{}) // Tx ≈ 0.4 s
+	pr := &Profiler{Rate: 0.1, Clock: clock.NewAutoSim(t0), Machine: m}
+	p, err := pr.Run(context.Background(), NewSimTarget(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("no samples for short run")
+	}
+	if got, want := p.Total(profile.MetricCPUCycles), sp.Final().Cycles; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestProfilerRequiresMachine(t *testing.T) {
+	pr := &Profiler{Rate: 1, Clock: clock.NewAutoSim(t0)}
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(10), m, proc.Options{})
+	if _, err := pr.Run(context.Background(), NewSimTarget(sp)); err == nil {
+		t.Error("profiler without machine should fail")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(10_000_000), m, proc.Options{}) // long run
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pr := &Profiler{Rate: 10, Clock: clock.NewAutoSim(t0), Machine: m}
+	if _, err := pr.Run(ctx, NewSimTarget(sp)); err == nil {
+		t.Error("cancelled context should abort profiling")
+	}
+}
+
+func TestProfileKeyIdentity(t *testing.T) {
+	p := profileSim(t, 5000, machine.Thinkie, 1, proc.Options{})
+	if p.Command != "mdsim" || p.Tags["steps"] != "5000" {
+		t.Errorf("identity = %q %v", p.Command, p.Tags)
+	}
+	if p.App != machine.AppMDSim {
+		t.Errorf("app = %q", p.App)
+	}
+	if p.Machine != machine.Thinkie {
+		t.Errorf("machine = %q", p.Machine)
+	}
+}
+
+func TestSimTargetVisibilitySemantics(t *testing.T) {
+	m := machine.MustGet(machine.Thinkie)
+	sp, _ := proc.Execute(app.MDSim(10_000), m, proc.Options{})
+	tgt := NewSimTarget(sp)
+
+	if _, ok := tgt.Counters(0); !ok {
+		t.Error("counters should be readable while running")
+	}
+	if _, ok := tgt.Final(0); ok {
+		t.Error("finals should not be readable while running")
+	}
+	end := sp.Duration()
+	if _, ok := tgt.Counters(end); ok {
+		t.Error("counters should be unreadable after exit")
+	}
+	if _, ok := tgt.Final(end); !ok {
+		t.Error("finals should be readable after exit")
+	}
+	if tx, ok := tgt.Tx(end); !ok || tx != sp.Duration() {
+		t.Errorf("Tx = %v,%v", tx, ok)
+	}
+}
+
+func TestWatcherNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range Default() {
+		names[w.Name()] = true
+	}
+	for _, want := range []string{"sys", "cpu", "mem", "io", "net"} {
+		if !names[want] {
+			t.Errorf("default watcher set missing %q", want)
+		}
+	}
+}
+
+// Profiling with jittered processes: totals vary across seeds but stay
+// consistent (paper Fig 6 top: error bars exist but are small).
+func TestProfilingConsistencyUnderNoise(t *testing.T) {
+	var cycles []float64
+	for seed := uint64(0); seed < 5; seed++ {
+		p := profileSim(t, 100_000, machine.Thinkie, 1,
+			proc.Options{Seed: seed, Jitter: true, CounterNoise: 0.001})
+		cycles = append(cycles, p.Total(profile.MetricCPUCycles))
+	}
+	mean := 0.0
+	for _, c := range cycles {
+		mean += c
+	}
+	mean /= float64(len(cycles))
+	for _, c := range cycles {
+		if math.Abs(c-mean)/mean > 0.02 {
+			t.Errorf("cycles %v deviates more than 2%% from mean %v", c, mean)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package synapse
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicProfileEmulateRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	st := NewMemStore()
+	tags := map[string]string{"steps": "300000"}
+
+	p, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(2), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration <= 0 {
+		t.Fatal("profile has no duration")
+	}
+
+	rep, err := Emulate(ctx, "mdsim", tags, OnMachine(Thinkie), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(rep.Tx.Seconds()-p.Duration.Seconds()) / p.Duration.Seconds()
+	if diff > 0.25 {
+		t.Errorf("same-machine round trip diff = %.0f%%", diff*100)
+	}
+}
+
+func TestDefaultStoreFlow(t *testing.T) {
+	// Swap in a fresh default store to isolate the test.
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+
+	ctx := context.Background()
+	tags := map[string]string{"steps": "50000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Comet), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emulate(ctx, "mdsim", tags, OnMachine(Comet)); err != nil {
+		t.Fatal(err)
+	}
+	set, err := Profiles("mdsim", tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Errorf("default store holds %d profiles", len(set))
+	}
+}
+
+func TestCrossMachineEmulationPublic(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	ctx := context.Background()
+	tags := map[string]string{"steps": "2000000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	repS, err := Emulate(ctx, "mdsim", tags, OnMachine(Stampede))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := Emulate(ctx, "mdsim", tags, OnMachine(Archer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.Machine != Stampede || repA.Machine != Archer {
+		t.Error("reports carry wrong machine names")
+	}
+	// Same cycles replayed, different clocks and biases → different Tx.
+	if repS.Tx == repA.Tx {
+		t.Error("cross-machine emulations should differ")
+	}
+}
+
+func TestParallelOptionsPublic(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	ctx := context.Background()
+	tags := map[string]string{"steps": "1000000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Emulate(ctx, "mdsim", tags, OnMachine(Titan), WithoutAtoms("storage", "memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Emulate(ctx, "mdsim", tags, OnMachine(Titan),
+		WithWorkers(16, OpenMP), WithoutAtoms("storage", "memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Tx >= serial.Tx {
+		t.Errorf("parallel emulation (%v) should beat serial (%v)", par.Tx, serial.Tx)
+	}
+}
+
+func TestMachinesAndTable(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 6 {
+		t.Errorf("Machines() = %v", ms)
+	}
+	tbl := MetricsTable()
+	if !strings.Contains(tbl, "cycles used") || !strings.Contains(tbl, "Emul.") {
+		t.Error("MetricsTable missing expected content")
+	}
+}
+
+func TestEmulateUnprofiledFails(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	if _, err := Emulate(context.Background(), "mdsim", map[string]string{"steps": "7"}, OnMachine(Thinkie)); err == nil {
+		t.Error("emulating an unknown profile should fail")
+	}
+}
+
+func TestFileStorePublic(t *testing.T) {
+	st, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tags := map[string]string{"steps": "10000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(5), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emulate(ctx, "mdsim", tags, OnMachine(Thinkie), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOKnobsPublic(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	ctx := context.Background()
+	tags := map[string]string{"bytes": "268435456", "block": "1048576", "fs": "lustre"}
+	if _, err := Profile(ctx, "synapse-iobench", tags, OnMachine(Titan), AtRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	smallBlocks, err := Emulate(ctx, "synapse-iobench", tags, OnMachine(Titan),
+		WithIOBlocks(4096, 4096), WithFilesystem("lustre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigBlocks, err := Emulate(ctx, "synapse-iobench", tags, OnMachine(Titan),
+		WithIOBlocks(16<<20, 16<<20), WithFilesystem("lustre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallBlocks.Tx <= bigBlocks.Tx {
+		t.Errorf("small blocks (%v) should be slower than big blocks (%v)", smallBlocks.Tx, bigBlocks.Tx)
+	}
+}
+
+func TestPublicWorkflow(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+	ctx := context.Background()
+	wf := NewPipeline("test", []WorkflowStage{
+		{Name: "sim", Width: 3, Command: "mdsim", Tags: map[string]string{"steps": "50000"}},
+		{Name: "post", Width: 1, Command: "mdsim", Tags: map[string]string{"steps": "20000"}},
+	})
+	res, err := RunWorkflow(ctx, wf, Titan, 3, Thinkie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 4 {
+		t.Fatalf("ran %d tasks", len(res.Tasks))
+	}
+	if res.Makespan <= 0 || res.Makespan < res.CriticalPathLength(wf) {
+		t.Errorf("makespan %v vs critical path %v", res.Makespan, res.CriticalPathLength(wf))
+	}
+	// Per-task Configure hooks work through the public alias.
+	wf2 := &Workflow{Name: "cfg", Tasks: []WorkflowTask{{
+		ID: "t", Command: "mdsim", Tags: map[string]string{"steps": "50000"},
+		Configure: func(o *EmulateConfig) { o.Kernel = "c" },
+	}}}
+	res2, err := RunWorkflow(ctx, wf2, Comet, 1, Thinkie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tasks[0].Report.Kernel != "c" {
+		t.Errorf("configure hook ignored: kernel = %q", res2.Tasks[0].Report.Kernel)
+	}
+}

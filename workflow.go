@@ -1,0 +1,50 @@
+package synapse
+
+import (
+	"context"
+
+	"synapse/internal/core"
+	"synapse/internal/skeleton"
+)
+
+// Workflow re-exports the Application-Skeleton-style DAG layer: workflows of
+// proxy tasks whose resource behaviour comes from Synapse profiles (paper
+// §7's integration with Application Skeletons, and the substrate behind the
+// AIMES and Ensemble-Toolkit use cases of §2).
+type Workflow = skeleton.Skeleton
+
+// WorkflowTask is one DAG node; its Configure hook adjusts the task's
+// emulation (kernel, parallelism, I/O) via an EmulateConfig.
+type WorkflowTask = skeleton.Task
+
+// WorkflowStage describes one stage of NewPipeline.
+type WorkflowStage = skeleton.Stage
+
+// WorkflowResult is a workflow's schedule and makespan.
+type WorkflowResult = skeleton.Result
+
+// EmulateConfig is the per-task emulation configuration handed to
+// WorkflowTask.Configure hooks.
+type EmulateConfig = core.EmulateOptions
+
+// NewPipeline builds a stage-barrier workflow: every task of one stage
+// depends on every task of the previous stage.
+func NewPipeline(name string, stages []WorkflowStage) *Workflow {
+	return skeleton.Pipeline(name, stages)
+}
+
+// RunWorkflow profiles any missing task profiles on profileMachine (at
+// 1 Hz), then executes the workflow on machineName with the given number of
+// scheduler slots, using the store configured through opts.
+func RunWorkflow(ctx context.Context, w *Workflow, machineName string, slots int, profileMachine string, opts ...Option) (*WorkflowResult, error) {
+	o := buildOptions(opts)
+	r := &skeleton.Runner{
+		Store:   o.st,
+		Machine: machineName,
+		Slots:   slots,
+	}
+	if err := r.Profiles(ctx, w, profileMachine, 1); err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, w)
+}
