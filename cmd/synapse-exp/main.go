@@ -4,6 +4,11 @@
 // used by the test suite; the default runs the full problem sizes (the 10M
 // step configurations take a few seconds of wall time — simulated time runs
 // at many orders of magnitude faster than real time).
+//
+// Figure cells run concurrently across -workers goroutines (all cores by
+// default); the emitted tables are byte-identical at any worker count. The
+// -cpuprofile/-memprofile/-blockprofile flags write pprof profiles of the
+// run (see docs/profiling.md).
 package main
 
 import (
@@ -11,16 +16,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"synapse/internal/exp"
 )
 
 func main() {
+	// The body lives in run so its defers — which flush the pprof
+	// profiles — execute on error paths too; os.Exit happens only here,
+	// after everything is written.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synapse-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
 	out := flag.String("out", "", "directory for .txt/.csv exports (optional)")
 	reps := flag.Int("reps", 0, "repetitions for error bars (0 = default)")
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. fig7)")
+	workers := flag.Int("workers", 0, "parallel figure-cell workers (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	blockprofile := flag.String("blockprofile", "", "write a pprof block profile to this file")
 	flag.Parse()
 
 	cfg := exp.DefaultConfig()
@@ -30,12 +51,48 @@ func main() {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+	cfg.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			f, err := os.Create(*blockprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synapse-exp: block profile:", err)
+				return
+			}
+			defer f.Close()
+			_ = pprof.Lookup("block").WriteTo(f, 0)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synapse-exp: mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.WriteHeapProfile(f)
+		}()
+	}
 
 	start := time.Now()
 	tables, err := exp.All(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "synapse-exp:", err)
-		os.Exit(1)
+		return err
 	}
 
 	for _, t := range tables {
@@ -45,12 +102,12 @@ func main() {
 		fmt.Println(t.String())
 		if *out != "" {
 			if err := export(*out, t); err != nil {
-				fmt.Fprintln(os.Stderr, "synapse-exp:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 	fmt.Printf("regenerated %d artifacts in %.1fs wall time\n", len(tables), time.Since(start).Seconds())
+	return nil
 }
 
 func export(dir string, t *exp.Table) error {

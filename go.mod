@@ -1,0 +1,3 @@
+module synapse
+
+go 1.24

@@ -185,14 +185,32 @@ func (a *SimCompute) Consume(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	return a.consume(req), nil
+}
+
+// ConsumeBatch implements BatchConsumer: the whole run of requests is modeled
+// with one context check and no per-sample interface dispatch.
+func (a *SimCompute) ConsumeBatch(ctx context.Context, reqs []Request, out []Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		out[i] = a.consume(reqs[i])
+	}
+	return nil
+}
+
+// consume is the atom's model, shared by the per-sample and batched paths so
+// both produce bit-identical results.
+func (a *SimCompute) consume(req Request) Result {
 	if req.Cycles <= 0 && req.FLOPs <= 0 {
-		return Result{}, nil
+		return Result{}
 	}
 	// Discount work already performed beyond earlier targets.
 	target := req.Cycles - a.surplus
 	if target <= 0 {
 		a.surplus -= req.Cycles
-		return Result{Consumed: perfcount.Counters{FLOPs: req.FLOPs}}, nil
+		return Result{Consumed: perfcount.Counters{FLOPs: req.FLOPs}}
 	}
 	chunk := a.kp.Chunk()
 	chunks := math.Ceil(target / chunk)
@@ -215,7 +233,7 @@ func (a *SimCompute) Consume(ctx context.Context, req Request) (Result, error) {
 		Instructions: consumed * a.kp.IPC,
 		FLOPs:        req.FLOPs,
 	}
-	return Result{Dur: dur, Consumed: c}, nil
+	return Result{Dur: dur, Consumed: c}
 }
 
 // SimStorage models the storage atom: block-granular reads and writes
@@ -250,8 +268,24 @@ func (a *SimStorage) Consume(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	return a.consume(req), nil
+}
+
+// ConsumeBatch implements BatchConsumer.
+func (a *SimStorage) ConsumeBatch(ctx context.Context, reqs []Request, out []Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		out[i] = a.consume(reqs[i])
+	}
+	return nil
+}
+
+// consume is the atom's model, shared by the per-sample and batched paths.
+func (a *SimStorage) consume(req Request) Result {
 	if req.ReadBytes <= 0 && req.WriteBytes <= 0 {
-		return Result{}, nil
+		return Result{}
 	}
 	rb := a.blockFor(req.ReadBytes, req.ReadOps, a.cfg.readBlock())
 	wb := a.blockFor(req.WriteBytes, req.WriteOps, a.cfg.writeBlock())
@@ -269,7 +303,7 @@ func (a *SimStorage) Consume(ctx context.Context, req Request) (Result, error) {
 	if req.WriteBytes > 0 && wb > 0 {
 		c.WriteOps = math.Ceil(req.WriteBytes / float64(wb))
 	}
-	return Result{Dur: dur, Consumed: c}, nil
+	return Result{Dur: dur, Consumed: c}
 }
 
 // SimMemory models the memory atom (malloc/free traffic).
@@ -288,9 +322,25 @@ func (a *SimMemory) Consume(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	return a.consume(req), nil
+}
+
+// ConsumeBatch implements BatchConsumer.
+func (a *SimMemory) ConsumeBatch(ctx context.Context, reqs []Request, out []Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		out[i] = a.consume(reqs[i])
+	}
+	return nil
+}
+
+// consume is the atom's model, shared by the per-sample and batched paths.
+func (a *SimMemory) consume(req Request) Result {
 	total := req.AllocBytes + req.FreeBytes
 	if total <= 0 {
-		return Result{}, nil
+		return Result{}
 	}
 	dur := a.cfg.Machine.MemTime(int64(total))
 	if a.cfg.MemLoad > 0 {
@@ -299,7 +349,7 @@ func (a *SimMemory) Consume(ctx context.Context, req Request) (Result, error) {
 	return Result{
 		Dur:      dur,
 		Consumed: perfcount.Counters{AllocBytes: req.AllocBytes, FreeBytes: req.FreeBytes},
-	}, nil
+	}
 }
 
 // SimNetwork models the network atom.
@@ -318,15 +368,31 @@ func (a *SimNetwork) Consume(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	return a.consume(req), nil
+}
+
+// ConsumeBatch implements BatchConsumer.
+func (a *SimNetwork) ConsumeBatch(ctx context.Context, reqs []Request, out []Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		out[i] = a.consume(reqs[i])
+	}
+	return nil
+}
+
+// consume is the atom's model, shared by the per-sample and batched paths.
+func (a *SimNetwork) consume(req Request) Result {
 	total := req.NetReadBytes + req.NetWriteBytes
 	if total <= 0 {
-		return Result{}, nil
+		return Result{}
 	}
 	dur := a.cfg.Machine.NetTime(int64(total), a.cfg.NetBlock)
 	return Result{
 		Dur:      dur,
 		Consumed: perfcount.Counters{NetReadBytes: req.NetReadBytes, NetWriteBytes: req.NetWriteBytes},
-	}, nil
+	}
 }
 
 // NewSimSet builds the full simulated atom set for a configuration.

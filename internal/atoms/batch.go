@@ -1,0 +1,39 @@
+package atoms
+
+import (
+	"context"
+	"fmt"
+)
+
+// BatchConsumer is the optional fast path of Atom: process a run of requests
+// with a single call, writing each request's result into the matching index
+// of out. Requests are consumed strictly in order — stateful atoms (the
+// compute atom's chunk surplus) must evolve exactly as they would under
+// equivalent sequential Consume calls, so the batched and per-sample replay
+// paths produce bit-identical reports.
+//
+// All simulated atoms implement BatchConsumer; real atoms do not (their
+// consumption is paced by the host, one sample at a time).
+type BatchConsumer interface {
+	ConsumeBatch(ctx context.Context, reqs []Request, out []Result) error
+}
+
+// ConsumeBatch feeds reqs through the atom, using its batch fast path when
+// implemented and degrading to per-request Consume calls otherwise. out must
+// be at least as long as reqs.
+func ConsumeBatch(ctx context.Context, a Atom, reqs []Request, out []Result) error {
+	if len(out) < len(reqs) {
+		return fmt.Errorf("atoms: batch output %d shorter than input %d", len(out), len(reqs))
+	}
+	if b, ok := a.(BatchConsumer); ok {
+		return b.ConsumeBatch(ctx, reqs, out)
+	}
+	for i := range reqs {
+		res, err := a.Consume(ctx, reqs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package atoms
+
+import (
+	"context"
+	"testing"
+
+	"synapse/internal/machine"
+)
+
+// batchRequests builds a mixed demand series exercising every atom.
+func batchRequests(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		switch i % 4 {
+		case 0:
+			reqs[i] = Request{Cycles: 1e8 + float64(i)*1e5, FLOPs: 1e6}
+		case 1:
+			reqs[i] = Request{ReadBytes: 1 << 20, WriteBytes: 2 << 20, ReadOps: 4, WriteOps: 8}
+		case 2:
+			reqs[i] = Request{AllocBytes: 1 << 18, FreeBytes: 1 << 17}
+		case 3:
+			reqs[i] = Request{NetReadBytes: 1 << 12, NetWriteBytes: 1 << 13, Cycles: 5e7}
+		}
+	}
+	return reqs
+}
+
+// The batch fast path must match per-request Consume calls bit-for-bit,
+// including the compute atom's cross-sample surplus state.
+func TestBatchMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	mk := func() []Atom {
+		cfg := &Config{Machine: machine.MustGet(machine.Thinkie)}
+		set, err := NewSimSet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	reqs := batchRequests(64)
+
+	seqSet, batchSet := mk(), mk()
+	for ai := range seqSet {
+		var seq []Result
+		for _, req := range reqs {
+			r, err := seqSet[ai].Consume(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq = append(seq, r)
+		}
+		out := make([]Result, len(reqs))
+		if err := ConsumeBatch(ctx, batchSet[ai], reqs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if out[i] != seq[i] {
+				t.Fatalf("%s: batch result %d = %+v, sequential %+v",
+					seqSet[ai].Name(), i, out[i], seq[i])
+			}
+		}
+	}
+}
+
+// plainAtom implements only Atom, to exercise the fallback adapter.
+type plainAtom struct{ calls int }
+
+func (p *plainAtom) Name() string { return "plain" }
+func (p *plainAtom) Consume(ctx context.Context, req Request) (Result, error) {
+	p.calls++
+	return Result{}, nil
+}
+
+func TestBatchFallbackAdapter(t *testing.T) {
+	a := &plainAtom{}
+	reqs := make([]Request, 5)
+	out := make([]Result, 5)
+	if err := ConsumeBatch(context.Background(), a, reqs, out); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls != 5 {
+		t.Errorf("fallback made %d Consume calls, want 5", a.calls)
+	}
+	if err := ConsumeBatch(context.Background(), a, reqs, out[:2]); err == nil {
+		t.Error("short output slice should be rejected")
+	}
+}
+
+func TestBatchHonorsCancellation(t *testing.T) {
+	cfg := &Config{Machine: machine.MustGet(machine.Thinkie)}
+	set, err := NewSimSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := batchRequests(4)
+	out := make([]Result, len(reqs))
+	for _, a := range set {
+		if err := ConsumeBatch(ctx, a, reqs, out); err == nil {
+			t.Errorf("%s: cancelled batch should fail", a.Name())
+		}
+	}
+}

@@ -88,6 +88,10 @@ type EmulateOptions struct {
 	SampleOverhead time.Duration
 	// Disable switches (paper E.3/E.4 disable memory and storage).
 	DisableStorage, DisableMemory, DisableNetwork bool
+	// TraceLevel tunes how much per-sample detail the report keeps
+	// (emulator.TraceFull default; experiments that only read aggregates
+	// use emulator.TraceNone to keep the replay loop allocation-free).
+	TraceLevel emulator.TraceLevel
 	// Clock override (tests).
 	Clock clock.Clock
 }
@@ -239,6 +243,7 @@ func EmulateProfile(ctx context.Context, p *profile.Profile, opts EmulateOptions
 		DisableStorage: opts.DisableStorage,
 		DisableMemory:  opts.DisableMemory,
 		DisableNetwork: opts.DisableNetwork,
+		TraceLevel:     opts.TraceLevel,
 	}
 	return emulator.Emulate(ctx, p, eopts)
 }

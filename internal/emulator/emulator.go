@@ -38,6 +38,23 @@ const DefaultStartupDelay = time.Second
 // ("a tight loop that feeds into the Synapse atoms", paper §4.5).
 const DefaultSampleOverhead = 200 * time.Microsecond
 
+// TraceLevel selects how much per-sample detail Emulate records. Most
+// experiments only need the aggregate report (Tx, Consumed, BusyTime), and
+// skipping trace collection keeps the replay loop allocation-free.
+type TraceLevel int
+
+const (
+	// TraceFull records the complete per-sample, per-atom timeline
+	// (Report.Trace). The zero value, for compatibility with callers that
+	// predate the knob.
+	TraceFull TraceLevel = iota
+	// TraceDurations records only each sample's barrier duration
+	// (Report.SampleDurations), not the per-atom spans.
+	TraceDurations
+	// TraceNone records aggregates only.
+	TraceNone
+)
+
 // Options configure one emulation run.
 type Options struct {
 	// Atoms carries the tunables: machine, kernel choice, I/O blocks,
@@ -59,6 +76,15 @@ type Options struct {
 	DisableStorage bool
 	DisableMemory  bool
 	DisableNetwork bool
+	// TraceLevel tunes per-sample detail retention (TraceFull default).
+	TraceLevel TraceLevel
+	// Serial forces the legacy per-sample replay loop in simulated mode.
+	// The default batched path reads the profile's columnar view and
+	// feeds runs of samples through the atoms' ConsumeBatch fast path;
+	// both produce bit-identical reports (see the equivalence tests).
+	// Serial is kept as the reference implementation and the benchmark
+	// baseline.
+	Serial bool
 }
 
 // AtomSpan is one atom's activity within one replayed sample.
@@ -90,19 +116,47 @@ type Report struct {
 	Samples int
 	// Consumed aggregates what the atoms consumed.
 	Consumed perfcount.Counters
-	// SampleDurations holds each sample's replay duration, in order.
-	SampleDurations []time.Duration
 	// Trace holds the per-sample, per-atom replay timeline (paper Fig 2:
 	// within a sample all atoms run concurrently; samples are ordered).
+	// Populated only at TraceFull.
 	Trace []SampleTrace
 	// Machine is the emulation resource's name.
 	Machine string
 	// Kernel is the compute kernel used.
 	Kernel string
+
+	// durations holds each sample's replay duration when the full trace
+	// is not kept (TraceDurations), or caches the durations derived from
+	// Trace on first SampleDurations call; Trace[i].Dur is the canonical
+	// source at TraceFull, so the two are never stored redundantly.
+	durations []time.Duration
+	// busy is the per-atom busy time, accumulated in a single pass while
+	// the samples replay (it used to be rescanned from the trace on every
+	// BusyTime call, O(samples × atoms) per query).
+	busy map[string]time.Duration
+}
+
+// SampleDurations returns each sample's replay duration, in order. At
+// TraceFull the slice is derived lazily from the trace and cached; at
+// TraceNone it is nil.
+func (r *Report) SampleDurations() []time.Duration {
+	if r.durations == nil && len(r.Trace) > 0 {
+		ds := make([]time.Duration, len(r.Trace))
+		for i := range r.Trace {
+			ds[i] = r.Trace[i].Dur
+		}
+		r.durations = ds
+	}
+	return r.durations
 }
 
 // BusyTime returns the total time the named atom was active across samples.
+// The per-atom totals are precomputed during the replay; reports assembled
+// by hand fall back to scanning the trace.
 func (r *Report) BusyTime(atom string) time.Duration {
+	if r.busy != nil {
+		return r.busy[atom]
+	}
 	var total time.Duration
 	for _, st := range r.Trace {
 		for _, sp := range st.Spans {
@@ -150,14 +204,20 @@ func RequestFromSample(s profile.Sample) atoms.Request {
 	}
 }
 
-// splitRequest hands each atom its slice of the sample's demand, applying
-// the MPI duplication rule: multi-processing duplicates non-compute resource
-// usage across ranks, multi-threading shares it (paper §5 E.4).
-func splitRequest(req atoms.Request, name string, cfg *atoms.Config) atoms.Request {
-	dup := 1.0
+// dupFactor is the MPI duplication rule shared by the serial and batched
+// request builders: multi-processing duplicates non-compute resource usage
+// across ranks, multi-threading shares it (paper §5 E.4).
+func dupFactor(cfg *atoms.Config) float64 {
 	if cfg.Mode == machine.ModeMPI && cfg.Workers > 1 {
-		dup = float64(cfg.Workers)
+		return float64(cfg.Workers)
 	}
+	return 1.0
+}
+
+// splitRequest hands each atom its slice of the sample's demand, applying
+// the MPI duplication rule.
+func splitRequest(req atoms.Request, name string, cfg *atoms.Config) atoms.Request {
+	dup := dupFactor(cfg)
 	switch name {
 	case "compute":
 		return atoms.Request{Cycles: req.Cycles, FLOPs: req.FLOPs}
@@ -242,101 +302,247 @@ func Emulate(ctx context.Context, p *profile.Profile, opts Options) (*Report, er
 		Machine: cfg.Machine.Name,
 		Kernel:  cfg.Kernel,
 		Startup: startup,
+		busy:    make(map[string]time.Duration, len(set)),
 	}
 	if rep.Kernel == "" {
 		rep.Kernel = machine.KernelASM
 	}
 
-	var cursor time.Duration
-	for i, s := range p.Samples {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		default:
-		}
-		req := RequestFromSample(s)
-		spans, dur, consumed, err := replaySample(ctx, set, req, &cfg, opts.Real)
-		if err != nil {
-			return nil, err
-		}
-		dur += overhead
-		rep.SampleDurations = append(rep.SampleDurations, dur)
-		rep.Trace = append(rep.Trace, SampleTrace{
-			Index: i, Start: cursor, Spans: spans, Dur: dur, Consumed: consumed,
-		})
-		cursor += dur
-		rep.Consumed = rep.Consumed.Add(consumed)
-		rep.Samples++
-		if !opts.Real {
-			clk.Sleep(dur)
-		}
+	var total time.Duration
+	switch {
+	case opts.Real:
+		total, err = replayReal(ctx, set, p, &cfg, opts.TraceLevel, overhead, rep)
+	case opts.Serial:
+		total, err = replaySerial(ctx, set, p, &cfg, opts.TraceLevel, overhead, clk, rep)
+	default:
+		total, err = replayBatched(ctx, set, p, &cfg, opts.TraceLevel, overhead, clk, rep)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	rep.Tx = clk.Now().Sub(start)
 	if !opts.Real {
 		// Simulated clocks advance exactly by slept time; assemble Tx
 		// from parts to avoid clock granularity concerns.
-		rep.Tx = startup
-		for _, d := range rep.SampleDurations {
-			rep.Tx += d
-		}
+		rep.Tx = startup + total
 	}
 	return rep, nil
 }
 
-// replaySample runs one sample through all atoms concurrently and waits for
-// the slowest one (the paper's per-sample barrier). In simulated mode the
-// atoms return modeled durations instantly and the barrier is the max; in
-// real mode the consumption happens in parallel goroutines and the barrier
-// is the actual wait.
-func replaySample(ctx context.Context, set []atoms.Atom, req atoms.Request, cfg *atoms.Config, real bool) ([]AtomSpan, time.Duration, perfcount.Counters, error) {
-	type outcome struct {
-		res atoms.Result
-		err error
+// record books one replayed sample into the report: busy times always, the
+// timeline or the bare duration according to the trace level.
+func (r *Report) record(level TraceLevel, i int, start time.Duration, spans []AtomSpan, dur time.Duration, consumed perfcount.Counters) {
+	for _, sp := range spans {
+		r.busy[sp.Atom] += sp.Dur
 	}
-	results := make([]outcome, len(set))
+	switch level {
+	case TraceFull:
+		r.Trace = append(r.Trace, SampleTrace{
+			Index: i, Start: start, Spans: spans, Dur: dur, Consumed: consumed,
+		})
+	case TraceDurations:
+		r.durations = append(r.durations, dur)
+	}
+	r.Consumed = r.Consumed.Add(consumed)
+	r.Samples++
+}
 
-	if real {
+// replaySerial is the legacy per-sample loop: four interface-dispatched
+// Consume calls and a fresh span slice per sample. It is retained as the
+// reference implementation the batched path must match bit-for-bit, and as
+// the baseline for the replay benchmarks.
+func replaySerial(ctx context.Context, set []atoms.Atom, p *profile.Profile, cfg *atoms.Config, level TraceLevel, overhead time.Duration, clk clock.Clock, rep *Report) (time.Duration, error) {
+	var cursor time.Duration
+	for i, s := range p.Samples {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+		req := RequestFromSample(s)
+		spans, dur, consumed, err := replaySample(ctx, set, req, cfg)
+		if err != nil {
+			return 0, err
+		}
+		dur += overhead
+		rep.record(level, i, cursor, spans, dur, consumed)
+		cursor += dur
+		clk.Sleep(dur)
+	}
+	return cursor, nil
+}
+
+// replayBatchSize bounds the working set of the batched replay: requests and
+// results are staged in fixed buffers of this many samples, so memory stays
+// flat no matter how long the profile is while per-sample dispatch overhead
+// is amortized away.
+const replayBatchSize = 1024
+
+// replayBatched is the simulated fast path: it reads the profile's columnar
+// view, materializes atom requests batch-by-batch, and feeds each atom a
+// whole run of samples through its ConsumeBatch fast path. All buffers are
+// preallocated; per sample it performs no map lookups, no interface
+// dispatch, and (at TraceNone/TraceDurations) no allocations. The produced
+// report is bit-identical to replaySerial's.
+func replayBatched(ctx context.Context, set []atoms.Atom, p *profile.Profile, cfg *atoms.Config, level TraceLevel, overhead time.Duration, clk clock.Clock, rep *Report) (time.Duration, error) {
+	cols := p.Columns()
+	n := cols.N
+	if n == 0 {
+		return 0, nil
+	}
+	// The MPI duplication rule of splitRequest, applied once while
+	// materializing requests.
+	dup := dupFactor(cfg)
+
+	bs := replayBatchSize
+	if n < bs {
+		bs = n
+	}
+	reqs := make([]atoms.Request, bs)
+	results := make([]atoms.Result, len(set)*bs)
+	busy := make([]time.Duration, len(set))
+	names := make([]string, len(set))
+	for ai, a := range set {
+		names[ai] = a.Name()
+	}
+
+	// Span storage for the full trace is carved out of one growing arena;
+	// most samples exercise one or two atoms, so 2N is a generous start.
+	var spanArena []AtomSpan
+	switch level {
+	case TraceFull:
+		rep.Trace = make([]SampleTrace, 0, n)
+		spanArena = make([]AtomSpan, 0, 2*n)
+	case TraceDurations:
+		rep.durations = make([]time.Duration, 0, n)
+	}
+
+	var cursor time.Duration
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		m := hi - lo
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		// Gather: contiguous column reads into request structs.
+		for i := 0; i < m; i++ {
+			j := lo + i
+			reqs[i] = atoms.Request{
+				Cycles:        cols.Cycles[j],
+				FLOPs:         cols.FLOPs[j],
+				ReadBytes:     cols.ReadBytes[j] * dup,
+				WriteBytes:    cols.WriteBytes[j] * dup,
+				ReadOps:       cols.ReadOps[j] * dup,
+				WriteOps:      cols.WriteOps[j] * dup,
+				AllocBytes:    cols.AllocBytes[j] * dup,
+				FreeBytes:     cols.FreeBytes[j] * dup,
+				NetReadBytes:  cols.NetReadBytes[j] * dup,
+				NetWriteBytes: cols.NetWriteBytes[j] * dup,
+			}
+		}
+		// Consume: one batch call per atom. Every atom reads only its own
+		// resource's fields, so the same request slice serves all of them
+		// (splitRequest's field selection, without the copies).
+		for ai, a := range set {
+			if err := atoms.ConsumeBatch(ctx, a, reqs[:m], results[ai*bs:ai*bs+m]); err != nil {
+				return 0, err
+			}
+		}
+		// Fold: per-sample barrier (max over atoms) and consumption, in
+		// the same atom order as the serial loop so float sums match.
+		for i := 0; i < m; i++ {
+			var max time.Duration
+			var consumed perfcount.Counters
+			spanLo := len(spanArena)
+			for ai := range set {
+				res := &results[ai*bs+i]
+				if res.Dur > max {
+					max = res.Dur
+				}
+				if res.Dur > 0 {
+					busy[ai] += res.Dur
+					if level == TraceFull {
+						spanArena = append(spanArena, AtomSpan{Atom: names[ai], Dur: res.Dur})
+					}
+				}
+				consumed.Accumulate(&res.Consumed)
+			}
+			dur := max + overhead
+			switch level {
+			case TraceFull:
+				var spans []AtomSpan
+				if spanHi := len(spanArena); spanHi > spanLo {
+					spans = spanArena[spanLo:spanHi:spanHi]
+				}
+				rep.Trace = append(rep.Trace, SampleTrace{
+					Index: lo + i, Start: cursor, Spans: spans, Dur: dur, Consumed: consumed,
+				})
+			case TraceDurations:
+				rep.durations = append(rep.durations, dur)
+			}
+			cursor += dur
+			rep.Consumed.Accumulate(&consumed)
+			rep.Samples++
+		}
+	}
+	for ai := range set {
+		if busy[ai] > 0 {
+			rep.busy[names[ai]] += busy[ai]
+		}
+	}
+	// One sleep for the whole replay: the simulated clock lands on the
+	// same instant as the serial loop's per-sample sleeps.
+	clk.Sleep(cursor)
+	return cursor, nil
+}
+
+// replayReal replays samples against the host through a persistent worker
+// pool: one goroutine per atom for the whole run, instead of spawning four
+// goroutines per sample.
+func replayReal(ctx context.Context, set []atoms.Atom, p *profile.Profile, cfg *atoms.Config, level TraceLevel, overhead time.Duration, rep *Report) (time.Duration, error) {
+	pool := newAtomPool(ctx, set, cfg)
+	defer pool.close()
+	var cursor time.Duration
+	for i, s := range p.Samples {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+		req := RequestFromSample(s)
 		wallStart := time.Now()
-		done := make(chan int, len(set))
-		for i, a := range set {
-			go func(i int, a atoms.Atom) {
-				res, err := a.Consume(ctx, splitRequest(req, a.Name(), cfg))
-				results[i] = outcome{res, err}
-				done <- i
-			}(i, a)
+		spans, consumed, err := pool.replay(req)
+		if err != nil {
+			return 0, err
 		}
-		for range set {
-			<-done
-		}
-		var consumed perfcount.Counters
-		var spans []AtomSpan
-		for i, o := range results {
-			if o.err != nil {
-				return nil, 0, consumed, o.err
-			}
-			consumed = consumed.Add(o.res.Consumed)
-			if o.res.Dur > 0 {
-				spans = append(spans, AtomSpan{Atom: set[i].Name(), Dur: o.res.Dur})
-			}
-		}
-		return spans, time.Since(wallStart), consumed, nil
+		dur := time.Since(wallStart) + overhead
+		rep.record(level, i, cursor, spans, dur, consumed)
+		cursor += dur
 	}
+	return cursor, nil
+}
 
+// replaySample runs one sample through all simulated atoms and returns the
+// barrier duration (the slowest atom — within a sample all consumption is
+// concurrent, paper §4.4).
+func replaySample(ctx context.Context, set []atoms.Atom, req atoms.Request, cfg *atoms.Config) ([]AtomSpan, time.Duration, perfcount.Counters, error) {
 	var max time.Duration
 	var consumed perfcount.Counters
 	var spans []AtomSpan
-	for i, a := range set {
+	for _, a := range set {
 		res, err := a.Consume(ctx, splitRequest(req, a.Name(), cfg))
 		if err != nil {
 			return nil, 0, consumed, err
 		}
-		results[i] = outcome{res, nil}
 		if res.Dur > max {
 			max = res.Dur
 		}
 		if res.Dur > 0 {
-			spans = append(spans, AtomSpan{Atom: set[i].Name(), Dur: res.Dur})
+			spans = append(spans, AtomSpan{Atom: a.Name(), Dur: res.Dur})
 		}
 		consumed = consumed.Add(res.Consumed)
 	}

@@ -100,7 +100,7 @@ func TestAllSamplesReplayed(t *testing.T) {
 	if rep.Samples != len(p.Samples) {
 		t.Errorf("replayed %d samples, profile has %d", rep.Samples, len(p.Samples))
 	}
-	if len(rep.SampleDurations) != rep.Samples {
+	if len(rep.SampleDurations()) != rep.Samples {
 		t.Error("per-sample durations incomplete")
 	}
 }
@@ -263,7 +263,7 @@ func TestBarrierSemantics(t *testing.T) {
 	if ioDur > want {
 		want = ioDur
 	}
-	if d := rep.SampleDurations[0]; d != want {
+	if d := rep.SampleDurations()[0]; d != want {
 		t.Errorf("sample duration = %v, want max(compute %v, io %v)", d, computeDur, ioDur)
 	}
 }

@@ -1,0 +1,90 @@
+package emulator
+
+import (
+	"context"
+
+	"synapse/internal/atoms"
+	"synapse/internal/perfcount"
+)
+
+// poolResult is one atom's outcome for one sample.
+type poolResult struct {
+	res atoms.Result
+	err error
+}
+
+// atomWorker is one persistent goroutine driving one atom. Channels have
+// capacity 1 so the driver can post every atom's request before collecting
+// any result — within a sample all atoms run concurrently (paper §4.4).
+type atomWorker struct {
+	atom atoms.Atom
+	req  chan atoms.Request
+	res  chan poolResult
+}
+
+// atomPool runs real-mode consumption through persistent per-atom workers.
+// The paper's emulator "spawns the atom threads" once at start-up (the ≈1 s
+// startup cost, Fig 5); spawning goroutines per sample, as the replay loop
+// used to, pays scheduler latency on every barrier instead.
+type atomPool struct {
+	cfg     *atoms.Config
+	workers []atomWorker
+}
+
+// newAtomPool starts one worker per atom. The workers exit when close is
+// called (or leak-free on context cancellation, since a cancelled Consume
+// returns immediately).
+func newAtomPool(ctx context.Context, set []atoms.Atom, cfg *atoms.Config) *atomPool {
+	p := &atomPool{cfg: cfg, workers: make([]atomWorker, len(set))}
+	for i, a := range set {
+		w := atomWorker{
+			atom: a,
+			req:  make(chan atoms.Request, 1),
+			res:  make(chan poolResult, 1),
+		}
+		p.workers[i] = w
+		go func(w atomWorker) {
+			for req := range w.req {
+				res, err := w.atom.Consume(ctx, req)
+				w.res <- poolResult{res, err}
+			}
+		}(w)
+	}
+	return p
+}
+
+// replay feeds one sample's demand to every atom concurrently and waits for
+// the barrier (the last atom to finish). Results are collected from every
+// worker even on error, keeping the pool consistent for the next sample.
+func (p *atomPool) replay(req atoms.Request) ([]AtomSpan, perfcount.Counters, error) {
+	for _, w := range p.workers {
+		w.req <- splitRequest(req, w.atom.Name(), p.cfg)
+	}
+	var consumed perfcount.Counters
+	var spans []AtomSpan
+	var firstErr error
+	for _, w := range p.workers {
+		out := <-w.res
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		consumed = consumed.Add(out.res.Consumed)
+		if out.res.Dur > 0 {
+			spans = append(spans, AtomSpan{Atom: w.atom.Name(), Dur: out.res.Dur})
+		}
+	}
+	if firstErr != nil {
+		return nil, consumed, firstErr
+	}
+	return spans, consumed, nil
+}
+
+// close shuts the workers down.
+func (p *atomPool) close() {
+	for _, w := range p.workers {
+		close(w.req)
+	}
+}

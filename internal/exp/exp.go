@@ -12,7 +12,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"synapse/internal/clock"
@@ -26,6 +28,16 @@ type Config struct {
 	Reps int
 	// Seed bases the deterministic noise.
 	Seed uint64
+	// Workers bounds the parallel runner fanning figure cells
+	// (machine × size × kernel) across goroutines: 0 uses GOMAXPROCS,
+	// 1 forces the serial schedule. Results are deterministic — byte
+	// identical tables — at any worker count.
+	Workers int
+
+	// budget, when set by All, is the suite-wide concurrency budget:
+	// every executing cell holds one token, so nested fan-outs (figures
+	// inside the suite) cannot multiply concurrency beyond Workers.
+	budget chan struct{}
 }
 
 // DefaultConfig returns the full-scale configuration used by the experiment
@@ -40,6 +52,14 @@ func (c Config) reps() int {
 		return 1
 	}
 	return c.Reps
+}
+
+// workers resolves the parallel runner's worker count.
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Table is one reproduced artifact: an ID tying it to the paper, column
@@ -183,13 +203,33 @@ func All(cfg Config) ([]*Table, error) {
 		{"fig14", Fig14},
 		{"fig15", Fig15},
 	}
-	var out []*Table
-	for _, m := range makers {
-		t, err := m.fn(cfg)
+	// All the artifacts regenerate concurrently. The makers themselves are
+	// cheap orchestrators — they fan their own cells through runCells — so
+	// they run as plain goroutines holding no budget tokens, while the
+	// shared budget bounds actual cell execution across the whole suite to
+	// cfg.Workers.
+	if cfg.budget == nil {
+		cfg.budget = make(chan struct{}, cfg.workers())
+	}
+	out := make([]*Table, len(makers))
+	errs := make([]error, len(makers))
+	var wg sync.WaitGroup
+	for i := range makers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t, err := makers[i].fn(cfg)
+			if err != nil {
+				err = fmt.Errorf("exp %s: %w", makers[i].name, err)
+			}
+			out[i], errs[i] = t, err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp %s: %w", m.name, err)
+			return nil, err
 		}
-		out = append(out, t)
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"synapse/internal/core"
 	"synapse/internal/machine"
 	"synapse/internal/proc"
+	"synapse/internal/profile"
 	"synapse/internal/stats"
 )
 
@@ -40,7 +41,11 @@ func workerCounts(cores int) []int {
 // vice versa on Supermic; both show diminishing returns near the full node.
 func Fig12(cfg Config) (*Table, error) {
 	w := app.MDSim(fig12Steps(cfg))
-	p, err := profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
+	// The shared profile is built under the suite budget (it is real leaf
+	// work, outside the cell fan-out below).
+	p, err := leafCell(cfg, func() (*profile.Profile, error) {
+		return profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -54,29 +59,50 @@ func Fig12(cfg Config) (*Table, error) {
 	}
 
 	machines := []string{machine.Titan, machine.Supermic}
-	results := map[string]map[int]map[machine.Mode]float64{}
+	// Cells (machine × workers × mode) replay the shared profile
+	// concurrently; the fold rebuilds the nested result maps in order.
+	type f12Cell struct {
+		mn   string
+		n    int
+		mode machine.Mode
+	}
+	var cells []f12Cell
 	union := map[int]bool{}
 	for _, mn := range machines {
 		m := machine.MustGet(mn)
-		results[mn] = map[int]map[machine.Mode]float64{}
 		for _, n := range workerCounts(m.Cores) {
 			union[n] = true
-			results[mn][n] = map[machine.Mode]float64{}
 			for _, mode := range []machine.Mode{machine.ModeOpenMP, machine.ModeMPI} {
-				n, mode := n, mode
-				rep, err := emulate(p, mn, func(o *core.EmulateOptions) {
-					o.Workers = n
-					o.Mode = mode
-					o.DisableStorage = true
-					o.DisableMemory = true
-					o.DisableNetwork = true
-				})
-				if err != nil {
-					return nil, err
-				}
-				results[mn][n][mode] = rep.Tx.Seconds()
+				cells = append(cells, f12Cell{mn, n, mode})
 			}
 		}
+	}
+	txs, err := runCells(cfg, len(cells), func(i int) (float64, error) {
+		cell := cells[i]
+		rep, err := emulate(p, cell.mn, func(o *core.EmulateOptions) {
+			o.Workers = cell.n
+			o.Mode = cell.mode
+			o.DisableStorage = true
+			o.DisableMemory = true
+			o.DisableNetwork = true
+		})
+		if err != nil {
+			return 0, err
+		}
+		return rep.Tx.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]map[int]map[machine.Mode]float64{}
+	for i, cell := range cells {
+		if results[cell.mn] == nil {
+			results[cell.mn] = map[int]map[machine.Mode]float64{}
+		}
+		if results[cell.mn][cell.n] == nil {
+			results[cell.mn][cell.n] = map[machine.Mode]float64{}
+		}
+		results[cell.mn][cell.n][cell.mode] = txs[i]
 	}
 
 	var ns []int
@@ -114,15 +140,22 @@ func figAppScaling(cfg Config, mode machine.Mode, id, title string) (*Table, err
 		Columns: []string{"workers", "Tx (s)", "speedup"},
 	}
 	m := machine.MustGet(machine.Titan)
-	var serial float64
-	var speeds []float64
-	for _, n := range workerCounts(m.Cores) {
-		w := app.MDSimParallel(fig12Steps(cfg), n, mode)
+	counts := workerCounts(m.Cores)
+	txs, err := runCells(cfg, len(counts), func(i int) (float64, error) {
+		w := app.MDSimParallel(fig12Steps(cfg), counts[i], mode)
 		sp, err := proc.Execute(w, m, proc.Options{Seed: cfg.Seed, Jitter: true})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		tx := sp.Duration().Seconds()
+		return sp.Duration().Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var serial float64
+	var speeds []float64
+	for i, n := range counts {
+		tx := txs[i]
 		if n == 1 {
 			serial = tx
 		}

@@ -56,6 +56,12 @@ func Fig15(cfg Config) (*Table, error) {
 	type key struct{ mn, fs string }
 	writeAtMB := map[key]float64{} // write seconds at the 1MB block, for notes
 
+	// Cells (machine × filesystem × block) replay concurrently.
+	type f15Cell struct {
+		mn, fs string
+		block  int64
+	}
+	var cells []f15Cell
 	for _, mn := range []string{machine.Titan, machine.Supermic} {
 		m := machine.MustGet(mn)
 		for _, fs := range []string{machine.FSLustre, machine.FSLocal} {
@@ -63,32 +69,42 @@ func Fig15(cfg Config) (*Table, error) {
 				continue
 			}
 			for _, block := range fig15Blocks(cfg) {
-				var secs [2]float64 // write, read
-				for i, write := range []bool{true, false} {
-					p := ioProfile(write, total)
-					fs, block := fs, block
-					rep, err := emulate(p, mn, func(o *core.EmulateOptions) {
-						o.Filesystem = fs
-						o.ReadBlock = block
-						o.WriteBlock = block
-						o.StartupDelay = -1
-						o.SampleOverhead = -1
-						o.DisableMemory = true
-						o.DisableNetwork = true
-					})
-					if err != nil {
-						return nil, err
-					}
-					secs[i] = rep.Tx.Seconds()
-				}
-				mb := float64(total) / (1 << 20)
-				t.Add(mn, fs, blockLabel(block),
-					fmtSec(secs[0]), fmt.Sprintf("%.1f", mb/secs[0]),
-					fmtSec(secs[1]), fmt.Sprintf("%.1f", mb/secs[1]))
-				if block == 1<<20 {
-					writeAtMB[key{mn, fs}] = secs[0]
-				}
+				cells = append(cells, f15Cell{mn, fs, block})
 			}
+		}
+	}
+	secsOut, err := runCells(cfg, len(cells), func(i int) ([2]float64, error) {
+		cell := cells[i]
+		var secs [2]float64 // write, read
+		for j, write := range []bool{true, false} {
+			p := ioProfile(write, total)
+			rep, err := emulate(p, cell.mn, func(o *core.EmulateOptions) {
+				o.Filesystem = cell.fs
+				o.ReadBlock = cell.block
+				o.WriteBlock = cell.block
+				o.StartupDelay = -1
+				o.SampleOverhead = -1
+				o.DisableMemory = true
+				o.DisableNetwork = true
+			})
+			if err != nil {
+				return secs, err
+			}
+			secs[j] = rep.Tx.Seconds()
+		}
+		return secs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		secs := secsOut[i]
+		mb := float64(total) / (1 << 20)
+		t.Add(cell.mn, cell.fs, blockLabel(cell.block),
+			fmtSec(secs[0]), fmt.Sprintf("%.1f", mb/secs[0]),
+			fmtSec(secs[1]), fmt.Sprintf("%.1f", mb/secs[1]))
+		if cell.block == 1<<20 {
+			writeAtMB[key{cell.mn, cell.fs}] = secs[0]
 		}
 	}
 

@@ -51,13 +51,15 @@ func fig2Profile(rate float64) *profile.Profile {
 }
 
 // emulateFig2 replays a Fig 2 profile without driver costs, so the timeline
-// reflects pure sampling semantics.
+// reflects pure sampling semantics. These two figures read the per-sample
+// timeline (DominantAtom), so they keep the full trace.
 func emulateFig2(p *profile.Profile, machineName string) (*emulator.Report, error) {
 	return emulate(p, machineName, func(o *core.EmulateOptions) {
 		o.StartupDelay = -1
 		o.SampleOverhead = -1
 		o.DisableMemory = true
 		o.DisableNetwork = true
+		o.TraceLevel = emulator.TraceFull
 	})
 }
 
@@ -83,7 +85,9 @@ func Fig2(cfg Config) (*Table, error) {
 				return nil, err
 			}
 		}
-		rep, err := emulateFig2(p, machine.Thinkie)
+		rep, err := leafCell(cfg, func() (*emulator.Report, error) {
+			return emulateFig2(p, machine.Thinkie)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +132,9 @@ func Fig3(cfg Config) (*Table, error) {
 	// CPU, much slower (shared) writes — the paper's "CPU is 25% faster,
 	// disk is 50% slower" scenario, amplified.
 	for _, mn := range []string{machine.Thinkie, machine.Supermic} {
-		rep, err := emulateFig2(p, mn)
+		rep, err := leafCell(cfg, func() (*emulator.Report, error) {
+			return emulateFig2(p, mn)
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"synapse/internal/app"
-	"synapse/internal/core"
 	"synapse/internal/machine"
 	"synapse/internal/stats"
 	"synapse/internal/store"
@@ -29,50 +28,64 @@ func Fig4(cfg Config) (*Table, error) {
 	}
 	t.Columns = append(t.Columns, "max diff")
 
-	// One Mongo-like document per command/tags key accumulates every
-	// profile of that configuration (repetitions x rates).
-	st := store.NewMem()
-	var maxDiff float64
-	var droppedTotal int
-
-	for _, steps := range mdsimSizes(cfg) {
+	// Problem sizes run concurrently. The Mongo-like document limit is
+	// enforced per command/tags key — one document per size — so each cell
+	// accounts its own store and the drop totals fold deterministically.
+	type f4Cell struct {
+		row     []string
+		worst   float64
+		dropped int
+	}
+	sizes := mdsimSizes(cfg)
+	cellsOut, err := runCells(cfg, len(sizes), func(i int) (f4Cell, error) {
+		steps := sizes[i]
+		st := store.NewMem()
 		w := app.MDSim(steps)
+		var out f4Cell
 		var execTx []float64
 		for rep := 0; rep < cfg.reps(); rep++ {
 			tx, err := nativeTx(machine.Thinkie, w, cfg.Seed+uint64(rep))
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			execTx = append(execTx, tx.Seconds())
 		}
 		exec := stats.Mean(execTx)
 
-		row := []string{stepsLabel(steps), fmtSec(exec)}
-		worst := 0.0
+		out.row = []string{stepsLabel(steps), fmtSec(exec)}
 		for _, rate := range rates {
 			var profTx []float64
 			for rep := 0; rep < cfg.reps(); rep++ {
 				p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed+uint64(rep))
 				if err != nil {
-					return nil, err
+					return out, err
 				}
 				profTx = append(profTx, p.Duration.Seconds())
 				d, err := st.PutTruncated(p)
 				if err != nil {
-					return nil, err
+					return out, err
 				}
-				droppedTotal += d
+				out.dropped += d
 			}
 			m := stats.Mean(profTx)
-			row = append(row, fmtSec(m))
-			if d := math.Abs(stats.PctDiff(m, exec)); d > worst {
-				worst = d
+			out.row = append(out.row, fmtSec(m))
+			if d := math.Abs(stats.PctDiff(m, exec)); d > out.worst {
+				out.worst = d
 			}
 		}
-		row = append(row, fmt.Sprintf("%.1f%%", worst))
-		t.Add(row...)
-		if worst > maxDiff {
-			maxDiff = worst
+		out.row = append(out.row, fmt.Sprintf("%.1f%%", out.worst))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maxDiff float64
+	var droppedTotal int
+	for _, cell := range cellsOut {
+		t.Add(cell.row...)
+		droppedTotal += cell.dropped
+		if cell.worst > maxDiff {
+			maxDiff = cell.worst
 		}
 	}
 	t.Note("profiling overhead is negligible: max |Tx diff| across all sizes and rates = %.1f%% (noise)", maxDiff)
@@ -93,20 +106,34 @@ func Fig5(cfg Config) (*Table, error) {
 		Title:   "Emulation vs execution on the profiling resource (Thinkie)",
 		Columns: []string{"steps", "execution Tx (s)", "emulation Tx (s)", "diff"},
 	}
-	var longDiff float64
-	for _, steps := range mdsimSizes(cfg) {
-		w := app.MDSim(steps)
+	type f5Cell struct {
+		row  []string
+		diff float64
+	}
+	sizes := mdsimSizes(cfg)
+	cells, err := runCells(cfg, len(sizes), func(i int) (f5Cell, error) {
+		w := app.MDSim(sizes[i])
 		p, err := profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return f5Cell{}, err
 		}
 		rep, err := emulate(p, machine.Thinkie, nil)
 		if err != nil {
-			return nil, err
+			return f5Cell{}, err
 		}
 		diff := stats.PctDiff(rep.Tx.Seconds(), p.Duration.Seconds())
-		t.Add(stepsLabel(steps), fmtSec(p.Duration.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff))
-		longDiff = diff
+		return f5Cell{
+			row:  []string{stepsLabel(sizes[i]), fmtSec(p.Duration.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff)},
+			diff: diff,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var longDiff float64
+	for _, cell := range cells {
+		t.Add(cell.row...)
+		longDiff = cell.diff
 	}
 	t.Note("diff converges to ≈%+.0f%% for long runs; short runs are dominated by the ≈1s emulator startup", longDiff)
 	return t, nil
@@ -126,17 +153,21 @@ func Fig6Top(cfg Config) (*Table, error) {
 	}
 	t.Columns = append(t.Columns, "spread")
 
-	var worstSpread float64
-	for _, steps := range mdsimSizes(cfg) {
-		w := app.MDSim(steps)
-		row := []string{stepsLabel(steps)}
+	type f6Cell struct {
+		row    []string
+		spread float64
+	}
+	sizes := mdsimSizes(cfg)
+	cells, err := runCells(cfg, len(sizes), func(i int) (f6Cell, error) {
+		w := app.MDSim(sizes[i])
+		row := []string{stepsLabel(sizes[i])}
 		var means []float64
 		for _, rate := range rates {
 			var ops []float64
 			for rep := 0; rep < cfg.reps(); rep++ {
 				p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed+uint64(rep))
 				if err != nil {
-					return nil, err
+					return f6Cell{}, err
 				}
 				ops = append(ops, p.Total("cpu.instructions"))
 			}
@@ -146,9 +177,16 @@ func Fig6Top(cfg Config) (*Table, error) {
 		}
 		spread := (stats.Max(means) - stats.Min(means)) / stats.Mean(means) * 100
 		row = append(row, fmt.Sprintf("%.2f%%", spread))
-		t.Add(row...)
-		if spread > worstSpread {
-			worstSpread = spread
+		return f6Cell{row: row, spread: spread}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var worstSpread float64
+	for _, cell := range cells {
+		t.Add(cell.row...)
+		if cell.spread > worstSpread {
+			worstSpread = cell.spread
 		}
 	}
 	t.Note("consumed CPU operations are consistent across sampling rates: worst spread %.2f%%", worstSpread)
@@ -169,27 +207,40 @@ func Fig6Bottom(cfg Config) (*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("%.1fHz", r))
 	}
 
-	var lowSmall, highSmall float64
-	for _, steps := range mdsimSizes(cfg) {
-		w := app.MDSim(steps)
-		row := []string{stepsLabel(steps)}
-		for i, rate := range rates {
+	type f6bCell struct {
+		row       []string
+		low, high float64
+	}
+	sizes := mdsimSizes(cfg)
+	cells, err := runCells(cfg, len(sizes), func(i int) (f6bCell, error) {
+		w := app.MDSim(sizes[i])
+		var out f6bCell
+		out.row = []string{stepsLabel(sizes[i])}
+		for j, rate := range rates {
 			p, err := profileWorkload(machine.Thinkie, w, rate, cfg.Seed)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			rss := p.Total("mem.rss")
-			row = append(row, fmtSci(rss))
-			if steps == mdsimSizes(cfg)[0] {
-				if i == 0 {
-					lowSmall = rss
-				}
-				if i == len(rates)-1 {
-					highSmall = rss
-				}
+			out.row = append(out.row, fmtSci(rss))
+			if j == 0 {
+				out.low = rss
+			}
+			if j == len(rates)-1 {
+				out.high = rss
 			}
 		}
-		t.Add(row...)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lowSmall, highSmall float64
+	for i, cell := range cells {
+		t.Add(cell.row...)
+		if i == 0 {
+			lowSmall, highSmall = cell.low, cell.high
+		}
 	}
 	t.Note("for the smallest size, 0.1Hz sampling reports %.2g bytes vs %.2g at 10Hz: single-sample profiles underestimate the resident size", lowSmall, highSmall)
 	t.Note("the rusage-based mem.peak total remains exact at every rate (see watcher tests)")
@@ -207,32 +258,45 @@ func Fig7(cfg Config) (*Table, error) {
 			"stampede exec (s)", "stampede emul (s)", "diff",
 			"archer exec (s)", "archer emul (s)", "diff"},
 	}
-	var lastStampede, lastArcher float64
-	for _, steps := range mdsimSizes(cfg) {
-		w := app.MDSim(steps)
+	type f7Cell struct {
+		row              []string
+		stampede, archer float64
+	}
+	sizes := mdsimSizes(cfg)
+	cells, err := runCells(cfg, len(sizes), func(i int) (f7Cell, error) {
+		w := app.MDSim(sizes[i])
+		var out f7Cell
 		p, err := profileWorkload(machine.Thinkie, w, 1, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		row := []string{stepsLabel(steps)}
+		out.row = []string{stepsLabel(sizes[i])}
 		for _, target := range []string{machine.Stampede, machine.Archer} {
 			exec, err := nativeTx(target, w, cfg.Seed)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			rep, err := emulate(p, target, func(o *core.EmulateOptions) {})
+			rep, err := emulate(p, target, nil)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			diff := stats.PctDiff(rep.Tx.Seconds(), exec.Seconds())
-			row = append(row, fmtSec(exec.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff))
+			out.row = append(out.row, fmtSec(exec.Seconds()), fmtSec(rep.Tx.Seconds()), fmtPct(diff))
 			if target == machine.Stampede {
-				lastStampede = diff
+				out.stampede = diff
 			} else {
-				lastArcher = diff
+				out.archer = diff
 			}
 		}
-		t.Add(row...)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lastStampede, lastArcher float64
+	for _, cell := range cells {
+		t.Add(cell.row...)
+		lastStampede, lastArcher = cell.stampede, cell.archer
 	}
 	t.Note("converged diffs: Stampede %+.1f%% (paper ≈-40%%), Archer %+.1f%% (paper ≈+33%%)", lastStampede, lastArcher)
 	return t, nil

@@ -142,22 +142,36 @@ func Fig8to11(cfg Config, metric Metric) (*Table, error) {
 	conv := map[string]converged{}
 	var maxCI float64
 
+	// Cells (machine × size) run concurrently — each cell profiles and
+	// emulates with both kernels over the configured repetitions — and the
+	// deterministic fold below walks them in the serial order.
+	type e3Cell struct {
+		mn    string
+		steps int
+	}
+	var cells []e3Cell
 	for _, mn := range []string{machine.Comet, machine.Supermic} {
 		for _, steps := range e3Sizes(cfg) {
-			run, err := runE3(cfg, mn, steps, metric)
-			if err != nil {
-				return nil, err
-			}
-			cErr := stats.PctDiff(run.emul[machine.KernelC].Mean, run.app.Mean)
-			aErr := stats.PctDiff(run.emul[machine.KernelASM].Mean, run.app.Mean)
-			t.Add(mn, stepsLabel(steps),
-				fmtVal(run.app.Mean),
-				fmtVal(run.emul[machine.KernelC].Mean), fmtPct(cErr),
-				fmtVal(run.emul[machine.KernelASM].Mean), fmtPct(aErr))
-			conv[mn] = converged{cErr, aErr}
-			if run.app.Mean > 0 && run.app.CI99/run.app.Mean > maxCI {
-				maxCI = run.app.CI99 / run.app.Mean
-			}
+			cells = append(cells, e3Cell{mn, steps})
+		}
+	}
+	runs, err := runCells(cfg, len(cells), func(i int) (e3Run, error) {
+		return runE3(cfg, cells[i].mn, cells[i].steps, metric)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		run := runs[i]
+		cErr := stats.PctDiff(run.emul[machine.KernelC].Mean, run.app.Mean)
+		aErr := stats.PctDiff(run.emul[machine.KernelASM].Mean, run.app.Mean)
+		t.Add(cell.mn, stepsLabel(cell.steps),
+			fmtVal(run.app.Mean),
+			fmtVal(run.emul[machine.KernelC].Mean), fmtPct(cErr),
+			fmtVal(run.emul[machine.KernelASM].Mean), fmtPct(aErr))
+		conv[cell.mn] = converged{cErr, aErr}
+		if run.app.Mean > 0 && run.app.CI99/run.app.Mean > maxCI {
+			maxCI = run.app.CI99 / run.app.Mean
 		}
 	}
 	if metric == MetricIPC {

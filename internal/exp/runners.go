@@ -2,6 +2,8 @@ package exp
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"synapse/internal/app"
@@ -11,6 +13,87 @@ import (
 	"synapse/internal/proc"
 	"synapse/internal/profile"
 )
+
+// runCells fans fn over a dense index space [0, n) across the configured
+// worker count, collecting results in input order. Workers pull the next
+// index from a shared atomic cursor (work stealing): a worker that drew a
+// cheap cell immediately steals the next one instead of idling behind a
+// slow sibling, so the wall clock tracks total work / workers rather than
+// the slowest static partition.
+//
+// When the Config carries a suite-wide budget (set by All), each cell
+// additionally holds one budget token while it executes, so the total
+// number of concurrently-executing cells across every figure is bounded by
+// Config.Workers no matter how many figures fan out at once. Cell
+// functions must therefore never call runCells or leafCell themselves —
+// holding a token while waiting for more tokens would deadlock the suite.
+//
+// Every experiment cell is deterministic given (Config, cell index), and
+// results land at their own index, so the output — and therefore every
+// figure table — is identical to a serial run regardless of scheduling.
+// The first error by index wins, which is also the error a serial run
+// would have returned.
+func runCells[R any](cfg Config, n int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 && cfg.budget == nil {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if cfg.budget != nil {
+					cfg.budget <- struct{}{}
+				}
+				out[i], errs[i] = fn(i)
+				if cfg.budget != nil {
+					<-cfg.budget
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// leafCell runs one unit of leaf compute under the suite's concurrency
+// budget, for figure work that happens outside a runCells fan-out (e.g. a
+// shared profile built before the cells replay it). Like runCells cells,
+// fn must not fan out further.
+func leafCell[R any](cfg Config, fn func() (R, error)) (R, error) {
+	if cfg.budget != nil {
+		cfg.budget <- struct{}{}
+		defer func() { <-cfg.budget }()
+	}
+	return fn()
+}
 
 // nativeTx executes the workload natively (simulated) and returns its Tx.
 func nativeTx(machineName string, w app.Workload, seed uint64) (time.Duration, error) {
@@ -38,8 +121,14 @@ func profileWorkload(machineName string, w app.Workload, rate float64, seed uint
 }
 
 // emulate replays a profile on the named machine with optional overrides.
+// Experiments read aggregates (Tx, Consumed, BusyTime) unless the override
+// asks for more, so the per-sample trace is skipped by default.
 func emulate(p *profile.Profile, machineName string, mod func(*core.EmulateOptions)) (*emulator.Report, error) {
-	opts := core.EmulateOptions{Machine: machineName, Clock: simClock()}
+	opts := core.EmulateOptions{
+		Machine:    machineName,
+		Clock:      simClock(),
+		TraceLevel: emulator.TraceNone,
+	}
 	if mod != nil {
 		mod(&opts)
 	}

@@ -1,0 +1,94 @@
+package profile
+
+// Columns is a struct-of-arrays (columnar) view of a profile's
+// emulation-relevant sample metrics. The emulator's replay loop is the
+// hottest path in the repository: reading per-sample metric maps costs a
+// hash lookup per metric per sample, while the columnar view lays every
+// metric out as one contiguous float64 slice, so a replay reads straight
+// through memory. Index i of every column corresponds to Samples[i];
+// metrics absent from a sample read as 0, matching Sample.Get.
+type Columns struct {
+	// N is the number of samples the view covers.
+	N int
+
+	// Compute demand.
+	Cycles []float64
+	FLOPs  []float64
+
+	// Storage demand.
+	ReadBytes  []float64
+	WriteBytes []float64
+	ReadOps    []float64
+	WriteOps   []float64
+
+	// Memory demand.
+	AllocBytes []float64
+	FreeBytes  []float64
+
+	// Network demand.
+	NetReadBytes  []float64
+	NetWriteBytes []float64
+}
+
+// BuildColumns extracts the columnar view from a sample series. All ten
+// columns share one backing array (a single allocation); each sample's
+// value map is walked exactly once.
+func BuildColumns(samples []Sample) *Columns {
+	n := len(samples)
+	buf := make([]float64, 10*n)
+	col := func(k int) []float64 { return buf[k*n : (k+1)*n : (k+1)*n] }
+	c := &Columns{
+		N:             n,
+		Cycles:        col(0),
+		FLOPs:         col(1),
+		ReadBytes:     col(2),
+		WriteBytes:    col(3),
+		ReadOps:       col(4),
+		WriteOps:      col(5),
+		AllocBytes:    col(6),
+		FreeBytes:     col(7),
+		NetReadBytes:  col(8),
+		NetWriteBytes: col(9),
+	}
+	for i := range samples {
+		for m, v := range samples[i].Values {
+			switch m {
+			case MetricCPUCycles:
+				c.Cycles[i] = v
+			case MetricCPUFLOPs:
+				c.FLOPs[i] = v
+			case MetricIOReadBytes:
+				c.ReadBytes[i] = v
+			case MetricIOWriteBytes:
+				c.WriteBytes[i] = v
+			case MetricIOReadOps:
+				c.ReadOps[i] = v
+			case MetricIOWriteOps:
+				c.WriteOps[i] = v
+			case MetricMemAlloc:
+				c.AllocBytes[i] = v
+			case MetricMemFree:
+				c.FreeBytes[i] = v
+			case MetricNetReadBytes:
+				c.NetReadBytes[i] = v
+			case MetricNetWriteBytes:
+				c.NetWriteBytes[i] = v
+			}
+		}
+	}
+	return c
+}
+
+// Columns returns the profile's columnar view, building it on first use and
+// caching it for subsequent replays (the emulator replays the same profile
+// many times; paper §5 regenerates every figure from repeated replays).
+// Append invalidates the cache; mutating Samples in place does not, so
+// callers editing samples directly must not hold stale views.
+func (p *Profile) Columns() *Columns {
+	if c := p.cols.Load(); c != nil && c.N == len(p.Samples) {
+		return c
+	}
+	c := BuildColumns(p.Samples)
+	p.cols.Store(c)
+	return c
+}

@@ -1,0 +1,106 @@
+package profile
+
+import (
+	"testing"
+	"time"
+)
+
+func columnarFixture() *Profile {
+	p := New("columnar", nil)
+	p.SampleRate = 1
+	_ = p.Append(Sample{T: time.Second, Values: map[string]float64{
+		MetricCPUCycles:    1e9,
+		MetricCPUFLOPs:     2e8,
+		MetricIOReadBytes:  4096,
+		MetricIOWriteBytes: 8192,
+		MetricIOReadOps:    4,
+		MetricIOWriteOps:   8,
+	}})
+	_ = p.Append(Sample{T: 2 * time.Second, Values: map[string]float64{
+		MetricMemAlloc:      1 << 20,
+		MetricMemFree:       1 << 19,
+		MetricNetReadBytes:  100,
+		MetricNetWriteBytes: 200,
+		// A metric the emulator does not replay must not disturb columns.
+		MetricMemRSS: 5 << 20,
+	}})
+	_ = p.Append(Sample{T: 3 * time.Second, Values: nil})
+	return p
+}
+
+// Every column must agree with the per-sample map lookups it replaces.
+func TestColumnsMatchSamples(t *testing.T) {
+	p := columnarFixture()
+	c := p.Columns()
+	if c.N != len(p.Samples) {
+		t.Fatalf("columns cover %d of %d samples", c.N, len(p.Samples))
+	}
+	checks := []struct {
+		metric string
+		col    []float64
+	}{
+		{MetricCPUCycles, c.Cycles},
+		{MetricCPUFLOPs, c.FLOPs},
+		{MetricIOReadBytes, c.ReadBytes},
+		{MetricIOWriteBytes, c.WriteBytes},
+		{MetricIOReadOps, c.ReadOps},
+		{MetricIOWriteOps, c.WriteOps},
+		{MetricMemAlloc, c.AllocBytes},
+		{MetricMemFree, c.FreeBytes},
+		{MetricNetReadBytes, c.NetReadBytes},
+		{MetricNetWriteBytes, c.NetWriteBytes},
+	}
+	for _, chk := range checks {
+		for i, s := range p.Samples {
+			if got, want := chk.col[i], s.Get(chk.metric); got != want {
+				t.Errorf("%s[%d] = %v, want %v", chk.metric, i, got, want)
+			}
+		}
+	}
+}
+
+// The view is cached across calls and invalidated by Append.
+func TestColumnsCaching(t *testing.T) {
+	p := columnarFixture()
+	c1 := p.Columns()
+	if c2 := p.Columns(); c2 != c1 {
+		t.Error("second Columns call should return the cached view")
+	}
+	_ = p.Append(Sample{T: 4 * time.Second, Values: map[string]float64{MetricCPUCycles: 7}})
+	c3 := p.Columns()
+	if c3 == c1 {
+		t.Error("Append must invalidate the cached view")
+	}
+	if c3.N != 4 || c3.Cycles[3] != 7 {
+		t.Errorf("rebuilt view stale: N=%d cycles=%v", c3.N, c3.Cycles)
+	}
+}
+
+// Clone must not share the cache with the original.
+func TestCloneDropsColumnCache(t *testing.T) {
+	p := columnarFixture()
+	orig := p.Columns()
+	q := p.Clone()
+	qc := q.Columns()
+	if qc == orig {
+		t.Error("clone shares the original's columnar view")
+	}
+	if qc.N != orig.N {
+		t.Errorf("clone view N=%d, want %d", qc.N, orig.N)
+	}
+}
+
+// Concurrent first use must be race-free (run with -race).
+func TestColumnsConcurrent(t *testing.T) {
+	p := columnarFixture()
+	done := make(chan *Columns, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- p.Columns() }()
+	}
+	for i := 0; i < 8; i++ {
+		c := <-done
+		if c.N != len(p.Samples) {
+			t.Errorf("concurrent view N=%d", c.N)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package profile
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Metric names. The hierarchical names map onto the rows of paper Table 1;
@@ -153,14 +154,21 @@ var Registry = []Registration{
 	{MetricNetWriteBlock, "Network", "block size write", Gauge, No, Planned, No, Planned},
 }
 
+// registryIndex maps metric names to registrations, built once on first
+// Lookup. Validation touches the registry for every metric of every sample,
+// so the previous linear scan showed up in replay CPU profiles.
+var registryIndex = sync.OnceValue(func() map[string]Registration {
+	idx := make(map[string]Registration, len(Registry))
+	for _, r := range Registry {
+		idx[r.Name] = r
+	}
+	return idx
+})
+
 // Lookup returns the registration for the named metric, if known.
 func Lookup(name string) (Registration, bool) {
-	for _, r := range Registry {
-		if r.Name == name {
-			return r, true
-		}
-	}
-	return Registration{}, false
+	r, ok := registryIndex()[name]
+	return r, ok
 }
 
 // KindOf returns the kind of the named metric. Unknown metrics are treated

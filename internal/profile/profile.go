@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"synapse/internal/perfcount"
@@ -60,6 +61,17 @@ type Profile struct {
 	// Dropped counts samples that could not be recorded (e.g. the storage
 	// backend's document size limit, paper §4.5 "DB limitations").
 	Dropped int `json:"dropped,omitempty"`
+
+	// cols caches the columnar view of the sample series (see Columns).
+	// Append invalidates it. The atomic makes concurrent replays of one
+	// profile safe; Clone rebuilds the struct field-by-field so the
+	// pointer is never copied.
+	cols atomic.Pointer[Columns]
+	// validated caches a successful Validate, so replaying the same
+	// profile many times (the emulator's dominant use) does not re-walk
+	// every sample's metric map on each run. Append invalidates it;
+	// callers mutating exported fields directly must re-validate.
+	validated atomic.Bool
 }
 
 // New returns an empty profile with the search keys set and maps initialized.
@@ -102,6 +114,8 @@ func (p *Profile) Append(s Sample) error {
 		return fmt.Errorf("profile: sample at %v appended after %v", s.T, p.Samples[n-1].T)
 	}
 	p.Samples = append(p.Samples, s)
+	p.cols.Store(nil)
+	p.validated.Store(false)
 	return nil
 }
 
@@ -194,7 +208,11 @@ func (p *Profile) Times() []time.Duration {
 }
 
 // Validate reports the first structural problem with the profile, or nil.
+// A successful validation is cached until the next Append.
 func (p *Profile) Validate() error {
+	if p.validated.Load() {
+		return nil
+	}
 	if p.Command == "" {
 		return errors.New("profile: empty command")
 	}
@@ -219,12 +237,23 @@ func (p *Profile) Validate() error {
 			}
 		}
 	}
+	p.validated.Store(true)
 	return nil
 }
 
-// Clone returns a deep copy of the profile.
+// Clone returns a deep copy of the profile. The columnar-view cache is not
+// carried over (the copy rebuilds it on first use).
 func (p *Profile) Clone() *Profile {
-	q := *p
+	q := Profile{
+		ID:         p.ID,
+		Command:    p.Command,
+		Machine:    p.Machine,
+		App:        p.App,
+		SampleRate: p.SampleRate,
+		CreatedAt:  p.CreatedAt,
+		Duration:   p.Duration,
+		Dropped:    p.Dropped,
+	}
 	q.Tags = make(map[string]string, len(p.Tags))
 	for k, v := range p.Tags {
 		q.Tags[k] = v
