@@ -15,7 +15,7 @@ import (
 func cmdShow(args []string) error {
 	flagArgs, command := splitCommand(args)
 	fs := flag.NewFlagSet("show", flag.ExitOnError)
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	width := fs.Int("width", 60, "chart width in columns")
 	metric := fs.String("metric", "", "render only this metric's series")
 	tags := tagsFlag{}
@@ -48,7 +48,7 @@ func cmdTimeline(args []string) error {
 	flagArgs, command := splitCommand(args)
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on")
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	kernel := fs.String("kernel", "asm", "compute kernel")
 	fsName := fs.String("fs", "", "target filesystem")
 	width := fs.Int("width", 72, "chart width in columns")
@@ -79,7 +79,7 @@ func cmdVerify(args []string) error {
 	flagArgs, command := splitCommand(args)
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on")
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	kernel := fs.String("kernel", "asm", "compute kernel")
 	rate := fs.Float64("rate", 10, "re-profiling sample rate in Hz")
 	tags := tagsFlag{}

@@ -10,7 +10,8 @@
 //	synapse machines                           list machine models
 //	synapse table1                             print the metric table (paper Table 1)
 //
-// Profiles are stored in a file store (-store DIR, default ./synapse-store).
+// Profiles are stored in a file store (-store DIR, default ./synapse-store)
+// or, when -store is an http:// URL, in a running synapsed profile service.
 // Execution is simulated on a catalog machine (-machine) unless -real is
 // given, in which case the command is spawned on the host and watched
 // through /proc.
@@ -30,6 +31,7 @@ import (
 	"synapse/internal/machine"
 	"synapse/internal/profile"
 	"synapse/internal/store"
+	"synapse/internal/storeclnt"
 )
 
 // stdout is the CLI's output stream, replaceable in tests.
@@ -118,7 +120,12 @@ func splitCommand(args []string) (flags, command []string) {
 	return args, nil
 }
 
+// openStore resolves the -store flag: an http(s):// URL connects to a
+// running synapsed daemon, anything else is a local file-store directory.
 func openStore(dir string) (store.Store, error) {
+	if strings.HasPrefix(dir, "http://") || strings.HasPrefix(dir, "https://") {
+		return storeclnt.New(dir), nil
+	}
 	return store.NewFile(dir)
 }
 
@@ -148,7 +155,7 @@ func cmdProfile(args []string) error {
 	machineName := fs.String("machine", machine.Thinkie, "machine model to simulate on (or 'host' with -real)")
 	machineFile := fs.String("machine-file", "", "JSON machine description to register and use")
 	rate := fs.Float64("rate", 1, "sampling rate in Hz (max 10)")
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	real := fs.Bool("real", false, "spawn the command on the host and profile via /proc")
 	concurrent := fs.Bool("concurrent", false, "one goroutine per watcher (real-clock runs)")
 	adaptive := fs.Bool("adaptive", false, "adaptive sampling: 10Hz during startup, then -rate")
@@ -223,7 +230,7 @@ func cmdEmulate(args []string) error {
 	fs := flag.NewFlagSet("emulate", flag.ExitOnError)
 	machineName := fs.String("machine", machine.Thinkie, "machine model to emulate on (or 'host' with -real)")
 	machineFile := fs.String("machine-file", "", "JSON machine description to register and use")
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	kernel := fs.String("kernel", "asm", "compute kernel: asm, c, or registered user kernel")
 	workers := fs.Int("workers", 1, "parallel workers")
 	modeName := fs.String("mode", "serial", "parallel mode: serial, openmp, mpi")
@@ -289,7 +296,7 @@ func cmdEmulate(args []string) error {
 func cmdStats(args []string) error {
 	flagArgs, command := splitCommand(args)
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	tags := tagsFlag{}
 	fs.Var(tags, "tag", "profile tag k=v (repeatable)")
 	if err := fs.Parse(flagArgs); err != nil {
@@ -319,7 +326,7 @@ func cmdStats(args []string) error {
 
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
-	storeDir := fs.String("store", "synapse-store", "profile store directory")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"synapse/internal/store"
+	"synapse/internal/storesrv"
 )
 
 // capture redirects the CLI's stdout for one test.
@@ -258,5 +262,38 @@ func TestLoadMachineFileErrors(t *testing.T) {
 	}
 	if name, err := loadMachineFile(""); err != nil || name != "" {
 		t.Error("empty path should be a no-op")
+	}
+}
+
+// The -store flag accepts a synapsed URL: the CLI profiles into and
+// emulates out of a live daemon without any other change.
+func TestRemoteStoreFlag(t *testing.T) {
+	ts := httptest.NewServer(storesrv.New(store.NewSharded(4), storesrv.Config{}))
+	defer ts.Close()
+	buf := capture(t)
+
+	if err := cmdProfile([]string{"-machine", "thinkie", "-store", ts.URL,
+		"-tag", "steps=50000", "--", "mdsim"}); err != nil {
+		t.Fatalf("profile via daemon: %v", err)
+	}
+	if !strings.Contains(buf.String(), "profiled \"mdsim\"") {
+		t.Errorf("profile output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdEmulate([]string{"-machine", "stampede", "-store", ts.URL,
+		"-tag", "steps=50000", "--", "mdsim"}); err != nil {
+		t.Fatalf("emulate via daemon: %v", err)
+	}
+	if !strings.Contains(buf.String(), "emulated \"mdsim\" on stampede") {
+		t.Errorf("emulate output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := cmdList([]string{"-store", ts.URL}); err != nil {
+		t.Fatalf("list via daemon: %v", err)
+	}
+	if !strings.Contains(buf.String(), "mdsim steps=50000") {
+		t.Errorf("list output = %q", buf.String())
 	}
 }

@@ -1,0 +1,86 @@
+// synapsed is the Synapse profile-store daemon: it serves a profile store
+// over HTTP so many profiling and emulation hosts share one database — the
+// paper's shared MongoDB service (§4), "profile once, emulate anywhere".
+//
+//	synapsed -addr :8181 -backend sharded -shards 16
+//	synapsed -addr :8181 -backend file -dir /var/lib/synapse
+//	synapsed -addr 127.0.0.1:8181 -pprof      # mounts /debug/pprof/
+//
+// Clients connect with synapse.NewRemoteStore("http://host:8181") or any
+// CLI -store flag given as an http:// URL. The daemon shuts down gracefully
+// on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"synapse/internal/store"
+	"synapse/internal/storesrv"
+)
+
+// stdout is the daemon's log stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "synapsed:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal (or, in tests, until the
+// ready channel's consumer shuts it down via the returned server). ready,
+// when non-nil, receives the bound address once the server is listening.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("synapsed", flag.ExitOnError)
+	addr := fs.String("addr", ":8181", "listen address")
+	backendName := fs.String("backend", "sharded", "storage backend: mem, file, sharded")
+	dir := fs.String("dir", "synapse-store", "profile directory (backend=file)")
+	shards := fs.Int("shards", store.DefaultShards, "lock stripes (backend=sharded)")
+	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var backend store.Store
+	switch *backendName {
+	case "mem":
+		backend = store.NewMem()
+	case "sharded":
+		backend = store.NewSharded(*shards)
+	case "file":
+		f, err := store.NewFile(*dir)
+		if err != nil {
+			return err
+		}
+		backend = f
+	default:
+		return fmt.Errorf("unknown backend %q (want mem, file, or sharded)", *backendName)
+	}
+
+	srv := storesrv.New(backend, storesrv.Config{Pprof: *pprof})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "synapsed: serving backend=%s on http://%s\n", *backendName, bound)
+	if ready != nil {
+		ready <- bound.String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(stdout, "synapsed: %v, draining (up to %v)\n", s, *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

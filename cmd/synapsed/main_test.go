@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"synapse/internal/store/storetest"
+	"synapse/internal/storeclnt"
+)
+
+// TestDaemonRoundTrip boots the daemon exactly as main would, stores a
+// profile through one Remote client, reads it back through another (a second
+// "process" in the paper's profile-once-emulate-anywhere workflow), and
+// shuts down via SIGTERM.
+func TestDaemonRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = nil }()
+
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{"-addr", "127.0.0.1:0", "-backend", "sharded", "-shards", "4"}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	writer := storeclnt.New(base)
+	p := storetest.MkProfile("mdsim", map[string]string{"steps": "500"}, 3)
+	if err := writer.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	writer.Close()
+
+	reader := storeclnt.New(base)
+	set, err := reader.Find("mdsim", map[string]string{"steps": "500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0].ID != p.ID {
+		t.Errorf("cross-client read wrong: %d profiles", len(set))
+	}
+	reader.Close()
+
+	// SIGTERM drains and exits run.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run returned %v", runErr)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("serving backend=sharded")) {
+		t.Errorf("startup log missing: %q", out.String())
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	if err := run([]string{"-backend", "mongo"}, nil); err == nil {
+		t.Fatal("unknown backend should error")
+	}
+}

@@ -1,0 +1,81 @@
+// Service: profile once, emulate anywhere — across processes.
+//
+// Boots a synapsed profile service in-process (in production it runs as its
+// own daemon: `synapsed -addr :8181`), profiles MDSim through one remote
+// client, then emulates from a second, completely independent client — the
+// paper's shared-MongoDB workflow (§4), where many emulation hosts query one
+// profile database.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"synapse"
+	"synapse/internal/store"
+	"synapse/internal/storesrv"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The daemon: a sharded backend behind the HTTP service. Stand-in for
+	// `synapsed -addr :8181 -backend sharded` on a shared host.
+	srv := storesrv.New(store.NewSharded(8), storesrv.Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := "http://" + addr.String()
+	fmt.Printf("synapsed serving on %s\n\n", url)
+
+	tags := map[string]string{"steps": "1000000"}
+
+	// Process A: the profiling host writes through its remote client.
+	profiler := synapse.NewRemoteStore(url)
+	p, err := synapse.Profile(ctx, "mdsim", tags,
+		synapse.OnMachine(synapse.Thinkie),
+		synapse.AtRate(2),
+		synapse.WithStore(profiler),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[profiler] stored %q (%d samples, Tx=%.2fs) in the service\n",
+		p.Command, len(p.Samples), p.Duration.Seconds())
+	profiler.Close()
+
+	// Process B: an emulation host that shares nothing with process A but
+	// the daemon's address.
+	emulator := synapse.NewRemoteStore(url)
+	defer emulator.Close()
+	for _, target := range []string{synapse.Stampede, synapse.Archer, synapse.Titan} {
+		rep, err := synapse.Emulate(ctx, "mdsim", tags,
+			synapse.OnMachine(target),
+			synapse.WithStore(emulator),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[emulator] %-9s Tx=%6.2fs ipc=%.2f\n", target, rep.Tx.Seconds(), rep.IPC())
+	}
+
+	// Hot reads hit the client cache: the daemon answers with a bodyless
+	// 304 revalidation instead of re-sending the profile.
+	start := time.Now()
+	if _, err := emulator.Find("mdsim", tags); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncached re-read of the profile took %v\n", time.Since(start))
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("synapsed drained and stopped")
+}

@@ -197,8 +197,8 @@ func storeProfile(s store.Store, p *profile.Profile) error {
 	if s == nil {
 		return nil
 	}
-	if mem, ok := s.(*store.Mem); ok {
-		_, err := mem.PutTruncated(p)
+	if tr, ok := s.(store.Truncator); ok {
+		_, err := tr.PutTruncated(p)
 		return err
 	}
 	return s.Put(p)

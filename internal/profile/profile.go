@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -106,6 +107,24 @@ func Key(command string, tags map[string]string) string {
 
 // Key returns the profile's own search key.
 func (p *Profile) Key() string { return Key(p.Command, p.Tags) }
+
+// ParseKey is the inverse of Key: it splits a search key back into the
+// command line and tag map. The profile-store service addresses documents by
+// key on the wire and uses this to translate back to the Store interface's
+// (command, tags) form.
+func ParseKey(key string) (command string, tags map[string]string) {
+	parts := strings.Split(key, "\x00")
+	command = parts[0]
+	if len(parts) == 1 {
+		return command, nil
+	}
+	tags = make(map[string]string, len(parts)-1)
+	for _, pair := range parts[1:] {
+		k, v, _ := strings.Cut(pair, "=")
+		tags[k] = v
+	}
+	return command, tags
+}
 
 // Append adds a sample taken at offset t. Samples must be appended in
 // non-decreasing time order; Append returns an error otherwise.
@@ -215,6 +234,20 @@ func (p *Profile) Validate() error {
 	}
 	if p.Command == "" {
 		return errors.New("profile: empty command")
+	}
+	// NUL is the key separator and '=' splits tag pairs: identities that
+	// contain them would make Key/ParseKey ambiguous, so remote and local
+	// stores could disagree on which document a profile belongs to.
+	if strings.ContainsRune(p.Command, 0) {
+		return errors.New("profile: command contains NUL")
+	}
+	for k, v := range p.Tags {
+		if strings.ContainsAny(k, "\x00=") {
+			return fmt.Errorf("profile: tag key %q contains NUL or '='", k)
+		}
+		if strings.ContainsRune(v, 0) {
+			return fmt.Errorf("profile: tag value %q contains NUL", v)
+		}
 	}
 	if p.SampleRate < 0 {
 		return fmt.Errorf("profile: negative sample rate %g", p.SampleRate)

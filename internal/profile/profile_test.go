@@ -382,3 +382,50 @@ func TestSupportString(t *testing.T) {
 		t.Error("Support notation mismatch")
 	}
 }
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		command string
+		tags    map[string]string
+	}{
+		{"mdsim", nil},
+		{"gmx mdrun -v", map[string]string{"steps": "50000"}},
+		{"cmd", map[string]string{"a": "1", "b": "x=y", "c": ""}},
+	}
+	for _, c := range cases {
+		cmd, tags := ParseKey(Key(c.command, c.tags))
+		if cmd != c.command {
+			t.Errorf("ParseKey command = %q, want %q", cmd, c.command)
+		}
+		if len(tags) != len(c.tags) {
+			t.Fatalf("ParseKey tags = %v, want %v", tags, c.tags)
+		}
+		for k, v := range c.tags {
+			if tags[k] != v {
+				t.Errorf("ParseKey tag %q = %q, want %q", k, tags[k], v)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsAmbiguousIdentity(t *testing.T) {
+	mk := func(cmd string, tags map[string]string) *Profile {
+		p := New(cmd, tags)
+		p.SampleRate = 1
+		return p
+	}
+	for _, p := range []*Profile{
+		mk("cmd\x00x", nil),
+		mk("cmd", map[string]string{"k\x00": "v"}),
+		mk("cmd", map[string]string{"k=x": "v"}),
+		mk("cmd", map[string]string{"k": "v\x00"}),
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("identity %q/%v should not validate", p.Command, p.Tags)
+		}
+	}
+	// '=' in a tag VALUE parses unambiguously (Cut splits on the first '=').
+	if err := mk("cmd", map[string]string{"k": "a=b"}).Validate(); err != nil {
+		t.Errorf("'=' in tag value should validate: %v", err)
+	}
+}

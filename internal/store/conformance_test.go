@@ -1,0 +1,102 @@
+package store_test
+
+import (
+	"fmt"
+	"testing"
+
+	"synapse/internal/store"
+	"synapse/internal/store/storetest"
+)
+
+func TestMemConformance(t *testing.T) {
+	storetest.Run(t, storetest.Factory{
+		New: func(t *testing.T) store.Store { return store.NewMem() },
+		NewWithLimit: func(t *testing.T, limit int64) store.Store {
+			return store.NewMemWithLimit(limit)
+		},
+	})
+}
+
+func TestFileConformance(t *testing.T) {
+	storetest.Run(t, storetest.Factory{
+		New: func(t *testing.T) store.Store {
+			f, err := store.NewFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		// File imposes no document limit (paper §4.5), so the limit
+		// subtests do not apply.
+	})
+}
+
+func TestShardedConformance(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			storetest.Run(t, storetest.Factory{
+				New: func(t *testing.T) store.Store { return store.NewSharded(shards) },
+				NewWithLimit: func(t *testing.T, limit int64) store.Store {
+					return store.NewShardedWithLimit(shards, limit)
+				},
+			})
+		})
+	}
+}
+
+func TestShardedDefaults(t *testing.T) {
+	if n := store.NewSharded(0).Shards(); n != store.DefaultShards {
+		t.Errorf("NewSharded(0) has %d shards, want %d", n, store.DefaultShards)
+	}
+	if n := store.NewSharded(3).Shards(); n != 3 {
+		t.Errorf("NewSharded(3) has %d shards, want 3", n)
+	}
+}
+
+// Sharded truncation behaves like Mem's: the document limit applies per key
+// and the Dropped count survives.
+func TestShardedPutTruncated(t *testing.T) {
+	s := store.NewShardedWithLimit(4, 4096)
+	p := storetest.MkProfile("big", nil, 100)
+	dropped, err := s.PutTruncated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("expected samples to be dropped")
+	}
+	got, err := s.Find("big", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dropped != dropped {
+		t.Errorf("Dropped field = %d, want %d", got[0].Dropped, dropped)
+	}
+	if s.DocBytes("big", nil) > 4096 {
+		t.Errorf("document size %d exceeds limit", s.DocBytes("big", nil))
+	}
+}
+
+// Keys must merge sorted across shards even when keys land on different
+// stripes.
+func TestShardedKeysMergeAcrossShards(t *testing.T) {
+	s := store.NewSharded(8)
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := s.Put(storetest.MkProfile(fmt.Sprintf("cmd-%02d", i), nil, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), n)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys not sorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"synapse/internal/profile"
 )
@@ -20,6 +21,16 @@ import (
 type File struct {
 	dir string
 	mu  sync.Mutex
+	// seq caches the next sequence number per key so Put does not re-list
+	// the directory on every insert (which made N inserts O(N²) directory
+	// scans). Primed from the directory on a key's first Put.
+	seq map[string]int
+	// dirStamp is the directory's mtime as of our last write. When a Put
+	// observes a different mtime, another writer (a second File instance
+	// or process sharing the directory) added or removed files, so every
+	// cached counter is dropped and re-primed. Steady-state single-writer
+	// Puts therefore cost one stat, not a directory listing.
+	dirStamp time.Time
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -27,7 +38,7 @@ func NewFile(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	return &File{dir: dir}, nil
+	return &File{dir: dir, seq: map[string]int{}}, nil
 }
 
 // keyHash gives the filesystem-safe prefix for a search key.
@@ -51,7 +62,7 @@ func (f *File) Put(p *profile.Profile) error {
 	defer f.mu.Unlock()
 	key := p.Key()
 	// Sequence number keeps insertion order among profiles with one key.
-	n, err := f.countLocked(key)
+	n, err := f.nextSeqLocked(key)
 	if err != nil {
 		return err
 	}
@@ -64,7 +75,40 @@ func (f *File) Put(p *profile.Profile) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("store: write: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(f.dir, name))
+	if err := os.Rename(tmp, filepath.Join(f.dir, name)); err != nil {
+		return err
+	}
+	f.seq[key] = n + 1
+	f.stampLocked()
+	return nil
+}
+
+// stampLocked records the directory mtime after one of our own writes.
+// Caller holds f.mu.
+func (f *File) stampLocked() {
+	if fi, err := os.Stat(f.dir); err == nil {
+		f.dirStamp = fi.ModTime()
+	}
+}
+
+// nextSeqLocked returns the next sequence number for key, listing the
+// directory only on the key's first use or after a foreign write (the
+// counter is cached otherwise). Caller holds f.mu.
+func (f *File) nextSeqLocked(key string) (int, error) {
+	if fi, err := os.Stat(f.dir); err != nil || !fi.ModTime().Equal(f.dirStamp) {
+		// Another writer touched the directory since our last write (or
+		// this is the first use): cached counters may be stale.
+		f.seq = map[string]int{}
+	}
+	if n, ok := f.seq[key]; ok {
+		return n, nil
+	}
+	n, err := f.countLocked(key)
+	if err != nil {
+		return 0, err
+	}
+	f.seq[key] = n
+	return n, nil
 }
 
 func idOr(p *profile.Profile) string {
@@ -170,7 +214,8 @@ func (f *File) Keys() ([]string, error) {
 func (f *File) Delete(command string, tags map[string]string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	names, err := f.filesFor(profile.Key(command, tags))
+	key := profile.Key(command, tags)
+	names, err := f.filesFor(key)
 	if err != nil {
 		return err
 	}
@@ -179,6 +224,8 @@ func (f *File) Delete(command string, tags map[string]string) error {
 			return fmt.Errorf("store: remove %s: %w", n, err)
 		}
 	}
+	delete(f.seq, key)
+	f.stampLocked()
 	return nil
 }
 

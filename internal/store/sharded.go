@@ -1,0 +1,111 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"synapse/internal/profile"
+)
+
+// Sharded partitions documents across N lock-striped in-memory shards by FNV
+// hash of the profile key, so concurrent Put/Find on different keys no
+// longer serialize on a single mutex. Each shard is a full Mem backend: the
+// Mongo-like 16 MB document limit and insertion-order semantics are
+// identical to Mem (every document lives entirely inside one shard).
+//
+// This is the backend the synapsed service runs by default: one daemon can
+// absorb many concurrent clients without the store becoming the bottleneck.
+type Sharded struct {
+	shards []*Mem
+}
+
+// DefaultShards is the shard count used when a non-positive count is
+// requested. 16 stripes is enough to spread contention over typical core
+// counts without wasting memory on empty maps.
+const DefaultShards = 16
+
+// NewSharded returns a sharded in-memory store with n lock stripes (n <= 0
+// selects DefaultShards) and the standard 16 MB document limit.
+func NewSharded(n int) *Sharded { return NewShardedWithLimit(n, MaxDocSize) }
+
+// NewShardedWithLimit returns a sharded store with a custom per-document
+// size limit (tests and overflow experiments).
+func NewShardedWithLimit(n int, limit int64) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Sharded{shards: make([]*Mem, n)}
+	for i := range s.shards {
+		s.shards[i] = NewMemWithLimit(limit)
+	}
+	return s
+}
+
+// Shards returns the number of lock stripes.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shard routes a key to its stripe.
+func (s *Sharded) shard(key string) *Mem {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// Put implements Store.
+func (s *Sharded) Put(p *profile.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return s.shard(p.Key()).Put(p)
+}
+
+// PutTruncated implements Truncator: it stores the profile, dropping
+// trailing samples as needed to respect the shard's document limit.
+func (s *Sharded) PutTruncated(p *profile.Profile) (dropped int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return s.shard(p.Key()).PutTruncated(p)
+}
+
+// Find implements Store.
+func (s *Sharded) Find(command string, tags map[string]string) (profile.Set, error) {
+	return s.shard(profile.Key(command, tags)).Find(command, tags)
+}
+
+// Keys implements Store: the merged, sorted key set of every shard.
+func (s *Sharded) Keys() ([]string, error) {
+	var keys []string
+	for _, m := range s.shards {
+		ks, err := m.Keys()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, ks...)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *Sharded) Delete(command string, tags map[string]string) error {
+	return s.shard(profile.Key(command, tags)).Delete(command, tags)
+}
+
+// DocBytes returns the current size of the document holding the key.
+func (s *Sharded) DocBytes(command string, tags map[string]string) int64 {
+	return s.shard(profile.Key(command, tags)).DocBytes(command, tags)
+}
+
+// Close implements Store.
+func (s *Sharded) Close() error {
+	for _, m := range s.shards {
+		_ = m.Close()
+	}
+	return nil
+}
+
+var (
+	_ Store     = (*Sharded)(nil)
+	_ Truncator = (*Sharded)(nil)
+)

@@ -44,6 +44,14 @@ type Store interface {
 	Close() error
 }
 
+// Truncator is the optional Store extension for backends that enforce a
+// document size limit: PutTruncated drops trailing samples as needed to make
+// the profile fit, returning how many were dropped (the paper's Fig 4
+// artifact). The profiler degrades to it when a strict Put would fail.
+type Truncator interface {
+	PutTruncated(p *profile.Profile) (dropped int, err error)
+}
+
 // document is one Mongo-like document: every profile stored under the same
 // search key.
 type document struct {
@@ -82,14 +90,20 @@ func (m *Mem) Put(p *profile.Profile) error {
 	defer m.mu.Unlock()
 	key := p.Key()
 	doc := m.docs[key]
+	size := p.DocSize()
+	var docSize int64
+	if doc != nil {
+		docSize = doc.size
+	}
+	if docSize+size > m.maxDoc {
+		// Reject before creating the document: a failed put must not leave
+		// a phantom key behind.
+		return fmt.Errorf("%w: document %q at %d bytes, profile adds %d",
+			ErrDocTooLarge, p.Command, docSize, size)
+	}
 	if doc == nil {
 		doc = &document{}
 		m.docs[key] = doc
-	}
-	size := p.DocSize()
-	if doc.size+size > m.maxDoc {
-		return fmt.Errorf("%w: document %q at %d bytes, profile adds %d",
-			ErrDocTooLarge, p.Command, doc.size, size)
 	}
 	doc.profiles = append(doc.profiles, p.Clone())
 	doc.size += size
@@ -108,17 +122,21 @@ func (m *Mem) PutTruncated(p *profile.Profile) (dropped int, err error) {
 	defer m.mu.Unlock()
 	key := p.Key()
 	doc := m.docs[key]
-	if doc == nil {
-		doc = &document{}
-		m.docs[key] = doc
+	var docSize int64
+	if doc != nil {
+		docSize = doc.size
 	}
 	q := p.Clone()
-	for q.DocSize()+doc.size > m.maxDoc && len(q.Samples) > 0 {
+	for q.DocSize()+docSize > m.maxDoc && len(q.Samples) > 0 {
 		q.Samples = q.Samples[:len(q.Samples)-1]
 		dropped++
 	}
-	if q.DocSize()+doc.size > m.maxDoc {
+	if q.DocSize()+docSize > m.maxDoc {
 		return dropped, fmt.Errorf("%w: empty profile still exceeds limit", ErrDocTooLarge)
+	}
+	if doc == nil {
+		doc = &document{}
+		m.docs[key] = doc
 	}
 	q.Dropped += dropped
 	doc.profiles = append(doc.profiles, q)
@@ -174,3 +192,5 @@ func (m *Mem) DocBytes(command string, tags map[string]string) int64 {
 
 // Close implements Store.
 func (m *Mem) Close() error { return nil }
+
+var _ Truncator = (*Mem)(nil)

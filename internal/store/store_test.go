@@ -1,5 +1,10 @@
 package store
 
+// Generic backend behaviour (round trips, ordering, tags, keys, delete,
+// concurrency, document limits) is covered by the conformance suite in
+// storetest, run from conformance_test.go against every backend. This file
+// keeps the tests that need package internals or backend-specific behaviour.
+
 import (
 	"errors"
 	"fmt"
@@ -32,163 +37,6 @@ func mkProfile(cmd string, tags map[string]string, samples int) *profile.Profile
 	return p
 }
 
-// storeFactories lets every conformance test run against both backends.
-func storeFactories(t *testing.T) map[string]func() Store {
-	return map[string]func() Store{
-		"mem": func() Store { return NewMem() },
-		"file": func() Store {
-			f, err := NewFile(t.TempDir())
-			if err != nil {
-				t.Fatal(err)
-			}
-			return f
-		},
-	}
-}
-
-func TestPutFindRoundTrip(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			tags := map[string]string{"steps": "1000"}
-			p := mkProfile("gmx mdrun", tags, 5)
-			if err := s.Put(p); err != nil {
-				t.Fatal(err)
-			}
-			got, err := s.Find("gmx mdrun", tags)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(got) != 1 {
-				t.Fatalf("Find returned %d profiles, want 1", len(got))
-			}
-			if got[0].ID != p.ID || len(got[0].Samples) != 5 {
-				t.Errorf("profile did not round trip: %+v", got[0])
-			}
-			if got[0].Total(profile.MetricCPUCycles) != 5e8 {
-				t.Errorf("totals lost: %v", got[0].Total(profile.MetricCPUCycles))
-			}
-		})
-	}
-}
-
-func TestFindNotFound(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			if _, err := s.Find("missing", nil); !errors.Is(err, ErrNotFound) {
-				t.Errorf("Find on empty store = %v, want ErrNotFound", err)
-			}
-		})
-	}
-}
-
-func TestMultipleProfilesSameKeyKeepOrder(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			for i := 1; i <= 4; i++ {
-				if err := s.Put(mkProfile("cmd", nil, i)); err != nil {
-					t.Fatal(err)
-				}
-			}
-			got, err := s.Find("cmd", nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(got) != 4 {
-				t.Fatalf("want 4 profiles, got %d", len(got))
-			}
-			for i, p := range got {
-				if len(p.Samples) != i+1 {
-					t.Errorf("profile %d has %d samples, want %d (insertion order lost)", i, len(p.Samples), i+1)
-				}
-			}
-		})
-	}
-}
-
-func TestTagsDistinguishProfiles(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			if err := s.Put(mkProfile("cmd", map[string]string{"steps": "1"}, 1)); err != nil {
-				t.Fatal(err)
-			}
-			if err := s.Put(mkProfile("cmd", map[string]string{"steps": "2"}, 2)); err != nil {
-				t.Fatal(err)
-			}
-			got, err := s.Find("cmd", map[string]string{"steps": "2"})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(got) != 1 || len(got[0].Samples) != 2 {
-				t.Errorf("tag query returned wrong profile: %+v", got)
-			}
-			if _, err := s.Find("cmd", nil); !errors.Is(err, ErrNotFound) {
-				t.Error("untagged query should not match tagged profiles")
-			}
-		})
-	}
-}
-
-func TestKeysAndDelete(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			_ = s.Put(mkProfile("a", nil, 1))
-			_ = s.Put(mkProfile("b", nil, 1))
-			keys, err := s.Keys()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(keys) != 2 {
-				t.Fatalf("Keys = %v, want 2 entries", keys)
-			}
-			if err := s.Delete("a", nil); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := s.Find("a", nil); !errors.Is(err, ErrNotFound) {
-				t.Error("deleted key should not be found")
-			}
-			if _, err := s.Find("b", nil); err != nil {
-				t.Error("unrelated key should survive delete")
-			}
-			// Deleting an absent key is not an error.
-			if err := s.Delete("never", nil); err != nil {
-				t.Errorf("delete of absent key errored: %v", err)
-			}
-		})
-	}
-}
-
-func TestPutRejectsInvalidProfile(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-			defer s.Close()
-			bad := profile.New("", nil)
-			if err := s.Put(bad); err == nil {
-				t.Error("invalid profile should not be stored")
-			}
-		})
-	}
-}
-
-func TestMemDocLimitStrict(t *testing.T) {
-	s := NewMemWithLimit(4096)
-	p := mkProfile("big", nil, 100) // ~100 * 2 metrics * 48 + overhead > 4096
-	err := s.Put(p)
-	if !errors.Is(err, ErrDocTooLarge) {
-		t.Fatalf("Put over limit = %v, want ErrDocTooLarge", err)
-	}
-}
-
 func TestMemDocLimitTruncates(t *testing.T) {
 	s := NewMemWithLimit(4096)
 	p := mkProfile("big", nil, 100)
@@ -211,29 +59,6 @@ func TestMemDocLimitTruncates(t *testing.T) {
 	}
 	if s.DocBytes("big", nil) > 4096 {
 		t.Errorf("document size %d exceeds limit", s.DocBytes("big", nil))
-	}
-}
-
-func TestMemDocLimitAccumulatesAcrossProfiles(t *testing.T) {
-	s := NewMemWithLimit(8192)
-	// Fill the document with several small profiles until overflow.
-	var strictErr error
-	puts := 0
-	for i := 0; i < 100; i++ {
-		if err := s.Put(mkProfile("fill", nil, 10)); err != nil {
-			strictErr = err
-			break
-		}
-		puts++
-	}
-	if strictErr == nil {
-		t.Fatal("document never overflowed")
-	}
-	if puts == 0 {
-		t.Fatal("first put should have fit")
-	}
-	if !errors.Is(strictErr, ErrDocTooLarge) {
-		t.Fatalf("overflow error = %v", strictErr)
 	}
 }
 
@@ -288,6 +113,58 @@ func TestFileStoreSurvivesReopen(t *testing.T) {
 	}
 }
 
+// The cached sequence counter must prime itself from the directory so
+// insertion order survives a reopen with pre-existing files.
+func TestFileStoreSeqPrimesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	f1, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := f1.Put(mkProfile("ordered", nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = f1.Close()
+
+	f2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i <= 4; i++ {
+		if err := f2.Put(mkProfile("ordered", nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f2.Find("ordered", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(got))
+	}
+	for i, p := range got {
+		if len(p.Samples) != i+1 {
+			t.Errorf("profile %d has %d samples, want %d (sequence counter mis-primed)", i, len(p.Samples), i+1)
+		}
+	}
+	// Delete resets the counter; the next insert starts a fresh sequence.
+	if err := f2.Delete("ordered", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Put(mkProfile("ordered", nil, 9)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = f2.Find("ordered", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Samples) != 9 {
+		t.Errorf("post-delete insert wrong: %d profiles", len(got))
+	}
+}
+
 func TestFileStoreIgnoresForeignFiles(t *testing.T) {
 	dir := t.TempDir()
 	f, err := NewFile(dir)
@@ -296,7 +173,7 @@ func TestFileStoreIgnoresForeignFiles(t *testing.T) {
 	}
 	_ = f.Put(mkProfile("x", nil, 1))
 	// Drop junk into the directory.
-	if err := writeJunk(dir); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("not a profile"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	keys, err := f.Keys()
@@ -308,8 +185,11 @@ func TestFileStoreIgnoresForeignFiles(t *testing.T) {
 	}
 }
 
-func writeJunk(dir string) error {
-	return os.WriteFile(filepath.Join(dir, "junk.json"), []byte("not a profile"), 0o644)
+func TestMemDocLimitStrictResidue(t *testing.T) {
+	s := NewMemWithLimit(4096)
+	if err := s.Put(mkProfile("big", nil, 100)); !errors.Is(err, ErrDocTooLarge) {
+		t.Fatalf("Put over limit = %v, want ErrDocTooLarge", err)
+	}
 }
 
 // Property: any sequence of puts under distinct keys is fully retrievable.
@@ -336,5 +216,38 @@ func TestStoreRetrievalProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Two File instances sharing one directory (e.g. a synapsed daemon and a
+// local CLI) must not hand out duplicate sequence numbers: the cached
+// counter re-primes when the directory mtime shows foreign writes.
+func TestFileStoreInterleavedWriters(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := []*File{a, b, a, a, b, b}
+	for i, w := range writers {
+		if err := w.Put(mkProfile("shared", nil, i+1)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	got, err := a.Find("shared", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(writers) {
+		t.Fatalf("want %d profiles, got %d (sequence collision overwrote or reordered)", len(writers), len(got))
+	}
+	for i, p := range got {
+		if len(p.Samples) != i+1 {
+			t.Errorf("profile %d has %d samples, want %d (insertion order lost across writers)", i, len(p.Samples), i+1)
+		}
 	}
 }

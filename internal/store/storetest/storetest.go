@@ -1,0 +1,306 @@
+// Package storetest is the conformance suite every store.Store backend must
+// pass: Mem, File, Sharded, and the HTTP Remote client all run the same
+// subtests, so "drop-in replacement" is verified rather than asserted.
+package storetest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// Factory builds fresh backends for the suite.
+type Factory struct {
+	// New returns an empty store. Required.
+	New func(t *testing.T) store.Store
+	// NewWithLimit returns an empty store whose per-document size limit is
+	// overridden (backends with no document limit, like File, leave it nil
+	// and the limit subtests are skipped).
+	NewWithLimit func(t *testing.T, limit int64) store.Store
+}
+
+// MkProfile builds a finalized profile with the given number of samples,
+// suitable for storing.
+func MkProfile(command string, tags map[string]string, samples int) *profile.Profile {
+	p := profile.New(command, tags)
+	p.Machine = "thinkie"
+	p.SampleRate = 1
+	for i := 0; i < samples; i++ {
+		s := profile.Sample{
+			T: time.Duration(i+1) * time.Second,
+			Values: map[string]float64{
+				profile.MetricCPUCycles:    1e8,
+				profile.MetricIOWriteBytes: 4096,
+			},
+		}
+		if err := p.Append(s); err != nil {
+			panic(err)
+		}
+	}
+	p.Finalize(time.Duration(samples) * time.Second)
+	return p
+}
+
+// Run executes the full conformance suite against the factory's backend.
+func Run(t *testing.T, f Factory) {
+	t.Run("PutFindRoundTrip", func(t *testing.T) { testPutFindRoundTrip(t, f) })
+	t.Run("FindNotFound", func(t *testing.T) { testFindNotFound(t, f) })
+	t.Run("InsertionOrder", func(t *testing.T) { testInsertionOrder(t, f) })
+	t.Run("TagsDistinguish", func(t *testing.T) { testTagsDistinguish(t, f) })
+	t.Run("KeysAndDelete", func(t *testing.T) { testKeysAndDelete(t, f) })
+	t.Run("RejectsInvalid", func(t *testing.T) { testRejectsInvalid(t, f) })
+	t.Run("RejectsAmbiguousIdentity", func(t *testing.T) { testRejectsAmbiguousIdentity(t, f) })
+	t.Run("FindIsolation", func(t *testing.T) { testFindIsolation(t, f) })
+	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, f) })
+	if f.NewWithLimit != nil {
+		t.Run("DocTooLarge", func(t *testing.T) { testDocTooLarge(t, f) })
+	}
+}
+
+func testPutFindRoundTrip(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	tags := map[string]string{"steps": "1000"}
+	p := MkProfile("gmx mdrun", tags, 5)
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Find("gmx mdrun", tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("Find returned %d profiles, want 1", len(got))
+	}
+	if got[0].ID != p.ID || len(got[0].Samples) != 5 {
+		t.Errorf("profile did not round trip: %+v", got[0])
+	}
+	if got[0].Total(profile.MetricCPUCycles) != 5e8 {
+		t.Errorf("totals lost: %v", got[0].Total(profile.MetricCPUCycles))
+	}
+}
+
+func testFindNotFound(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	if _, err := s.Find("missing", nil); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Find on empty store = %v, want ErrNotFound", err)
+	}
+}
+
+func testInsertionOrder(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	for i := 1; i <= 4; i++ {
+		if err := s.Put(MkProfile("cmd", nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Find("cmd", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(got))
+	}
+	for i, p := range got {
+		if len(p.Samples) != i+1 {
+			t.Errorf("profile %d has %d samples, want %d (insertion order lost)", i, len(p.Samples), i+1)
+		}
+	}
+}
+
+func testTagsDistinguish(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	if err := s.Put(MkProfile("cmd", map[string]string{"steps": "1"}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(MkProfile("cmd", map[string]string{"steps": "2"}, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Find("cmd", map[string]string{"steps": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Samples) != 2 {
+		t.Errorf("tag query returned wrong profile: %+v", got)
+	}
+	if _, err := s.Find("cmd", nil); !errors.Is(err, store.ErrNotFound) {
+		t.Error("untagged query should not match tagged profiles")
+	}
+}
+
+func testKeysAndDelete(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	if err := s.Put(MkProfile("a", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(MkProfile("b", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v, want sorted [a b]", keys)
+	}
+	if err := s.Delete("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Find("a", nil); !errors.Is(err, store.ErrNotFound) {
+		t.Error("deleted key should not be found")
+	}
+	if _, err := s.Find("b", nil); err != nil {
+		t.Error("unrelated key should survive delete")
+	}
+	// Deleting an absent key is not an error.
+	if err := s.Delete("never", nil); err != nil {
+		t.Errorf("delete of absent key errored: %v", err)
+	}
+}
+
+func testRejectsInvalid(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	bad := profile.New("", nil)
+	if err := s.Put(bad); err == nil {
+		t.Error("invalid profile should not be stored")
+	}
+}
+
+// Identities whose Key would be ambiguous to parse back (NUL in command or
+// tag values, '=' or NUL in tag keys) are rejected uniformly, so local and
+// remote stores can never disagree about which document a profile is in.
+func testRejectsAmbiguousIdentity(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	bad := []*profile.Profile{
+		MkProfile("cmd\x00evil", nil, 1),
+		MkProfile("cmd", map[string]string{"a\x00b": "v"}, 1),
+		MkProfile("cmd", map[string]string{"a=b": "v"}, 1),
+		MkProfile("cmd", map[string]string{"a": "v\x00w"}, 1),
+	}
+	for i, p := range bad {
+		if err := s.Put(p); err == nil {
+			t.Errorf("case %d: ambiguous identity %q/%v was stored", i, p.Command, p.Tags)
+		}
+	}
+	if keys, err := s.Keys(); err != nil || len(keys) != 0 {
+		t.Errorf("rejected puts left keys: %v (err %v)", keys, err)
+	}
+}
+
+// testFindIsolation verifies that mutating a Find result does not corrupt
+// the stored document (backends hand out copies, not aliases).
+func testFindIsolation(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	if err := s.Put(MkProfile("iso", nil, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Find("iso", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Samples[0].Values[profile.MetricCPUCycles] = -1
+	got[0].Command = "clobbered"
+	again, err := s.Find("iso", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Command != "iso" || again[0].Samples[0].Values[profile.MetricCPUCycles] == -1 {
+		t.Error("mutating a Find result leaked into the store")
+	}
+}
+
+// testConcurrent hammers Put/Find/Keys/Delete from many goroutines; run the
+// suite under -race to catch unsynchronized backends.
+func testConcurrent(t *testing.T, f Factory) {
+	s := f.New(t)
+	defer s.Close()
+	const (
+		writers = 8
+		rounds  = 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := fmt.Sprintf("cmd-%d", w)
+			for r := 0; r < rounds; r++ {
+				if err := s.Put(MkProfile(own, nil, 2)); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+				if err := s.Put(MkProfile("shared", nil, 1)); err != nil {
+					t.Errorf("concurrent Put shared: %v", err)
+					return
+				}
+				if _, err := s.Find(own, nil); err != nil {
+					t.Errorf("concurrent Find: %v", err)
+					return
+				}
+				if _, err := s.Keys(); err != nil {
+					t.Errorf("concurrent Keys: %v", err)
+					return
+				}
+				if r%3 == 2 {
+					if err := s.Delete(own, nil); err != nil {
+						t.Errorf("concurrent Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := s.Find("shared", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*rounds {
+		t.Errorf("shared key has %d profiles, want %d", len(got), writers*rounds)
+	}
+}
+
+func testDocTooLarge(t *testing.T, f Factory) {
+	s := f.NewWithLimit(t, 4096)
+	defer s.Close()
+	p := MkProfile("big", nil, 100) // ~100 samples * 2 metrics * 48B + envelope > 4096
+	if err := s.Put(p); !errors.Is(err, store.ErrDocTooLarge) {
+		t.Fatalf("Put over limit = %v, want ErrDocTooLarge", err)
+	}
+	// The limit is per document: the failed Put must not have stored a
+	// partial profile or left a phantom key behind.
+	if _, err := s.Find("big", nil); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("failed Put left residue: %v", err)
+	}
+	if keys, err := s.Keys(); err != nil || len(keys) != 0 {
+		t.Errorf("failed Put left phantom keys: %v (err %v)", keys, err)
+	}
+	// Accumulation across profiles under one key also trips the limit.
+	puts := 0
+	var overflow error
+	for i := 0; i < 100; i++ {
+		if err := s.Put(MkProfile("fill", nil, 10)); err != nil {
+			overflow = err
+			break
+		}
+		puts++
+	}
+	if puts == 0 {
+		t.Fatal("first small put should have fit")
+	}
+	if !errors.Is(overflow, store.ErrDocTooLarge) {
+		t.Fatalf("document never overflowed: %v", overflow)
+	}
+}

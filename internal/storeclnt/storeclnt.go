@@ -1,0 +1,461 @@
+// Package storeclnt is the wire client for the synapsed profile service: a
+// Remote type that implements store.Store over HTTP, so profilers and
+// emulators on different hosts share one profile database transparently —
+// the paper's "profile once, emulate anywhere" workflow (§4).
+//
+// Remote keeps connections alive across calls (one http.Transport), retries
+// idempotent requests a bounded number of times, and serves repeated reads
+// of hot keys from a singleflight-deduplicated LRU cache: each cached entry
+// remembers the server's per-key generation ETag and is revalidated with a
+// bodyless If-None-Match round trip, so emulation fan-outs that hammer one
+// profile never re-download it.
+package storeclnt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"synapse/internal/profile"
+	"synapse/internal/store"
+	"synapse/internal/storesrv"
+)
+
+// Defaults, overridable through Options.
+const (
+	DefaultCacheSize = 128
+	DefaultRetries   = 3
+	// gzipThreshold is the body size above which uploads are compressed.
+	gzipThreshold = 1 << 10
+)
+
+// Option configures a Remote.
+type Option func(*Remote)
+
+// WithHTTPClient substitutes the HTTP client (tests, custom transports).
+func WithHTTPClient(hc *http.Client) Option { return func(r *Remote) { r.hc = hc } }
+
+// WithCacheSize bounds the read cache to n keys (0 disables caching).
+func WithCacheSize(n int) Option { return func(r *Remote) { r.cacheCap = n } }
+
+// WithRetries bounds retransmissions of idempotent requests (0 disables).
+func WithRetries(n int) Option { return func(r *Remote) { r.retries = n } }
+
+// Remote is a store.Store whose backend lives in a synapsed daemon.
+// Construct with New. Safe for concurrent use.
+type Remote struct {
+	base     string
+	hc       *http.Client
+	retries  int
+	cacheCap int
+
+	// Read cache: key -> cacheEntry, LRU-evicted at cacheCap.
+	cacheMu sync.Mutex
+	cache   map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+
+	// Singleflight: one in-flight fetch per key; latecomers wait and share.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+type cacheEntry struct {
+	key  string
+	etag string
+	set  profile.Set
+}
+
+type flightCall struct {
+	done chan struct{}
+	set  profile.Set
+	err  error
+}
+
+// New returns a client for the service at base (e.g. "http://host:8181").
+func New(base string, opts ...Option) *Remote {
+	r := &Remote{
+		base:     strings.TrimRight(base, "/"),
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		retries:  DefaultRetries,
+		cacheCap: DefaultCacheSize,
+		cache:    map[string]*list.Element{},
+		lru:      list.New(),
+		flight:   map[string]*flightCall{},
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// remoteError reconstructs sentinel errors from a structured error response
+// so errors.Is(err, store.ErrNotFound/ErrDocTooLarge) holds across the wire.
+func remoteError(status int, body []byte) error {
+	var er storesrv.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		return fmt.Errorf("storeclnt: server returned HTTP %d: %s", status, bytes.TrimSpace(body))
+	}
+	switch er.Code {
+	case storesrv.CodeNotFound:
+		return fmt.Errorf("%w: %s", store.ErrNotFound, er.Error)
+	case storesrv.CodeDocTooLarge:
+		return fmt.Errorf("%w: %s", store.ErrDocTooLarge, er.Error)
+	default:
+		return fmt.Errorf("storeclnt: %s", er.Error)
+	}
+}
+
+// do issues the request, retrying idempotent methods on transport errors and
+// 5xx responses with a short linear backoff.
+func (r *Remote) do(req *http.Request, body []byte) (*http.Response, error) {
+	idempotent := req.Method == http.MethodGet || req.Method == http.MethodDelete
+	attempts := 1
+	if idempotent {
+		attempts += r.retries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(i) * 50 * time.Millisecond)
+		}
+		if body != nil {
+			req.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if idempotent && resp.StatusCode >= 500 {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = remoteError(resp.StatusCode, data)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("storeclnt: %s %s failed after %d attempts: %w",
+		req.Method, req.URL.Path, attempts, lastErr)
+}
+
+// encodeUpload marshals v, gzip-compressing large bodies, and returns the
+// payload plus the Content-Encoding header value ("" when uncompressed).
+func encodeUpload(v any) (payload []byte, encoding string, err error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, "", fmt.Errorf("storeclnt: encode: %w", err)
+	}
+	if len(data) < gzipThreshold {
+		return data, "", nil
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, "", err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), "gzip", nil
+}
+
+// Put implements Store: a strict put that fails with ErrDocTooLarge when the
+// backend's document limit would be exceeded.
+func (r *Remote) Put(p *profile.Profile) error {
+	_, err := r.put(p, false)
+	return err
+}
+
+// PutTruncated implements store.Truncator over the wire (?truncate=1).
+func (r *Remote) PutTruncated(p *profile.Profile) (dropped int, err error) {
+	return r.put(p, true)
+}
+
+func (r *Remote) put(p *profile.Profile, truncate bool) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	payload, encoding, err := encodeUpload(p)
+	if err != nil {
+		return 0, err
+	}
+	u := r.base + "/v1/profiles"
+	if truncate {
+		u += "?truncate=1"
+	}
+	req, err := http.NewRequest(http.MethodPut, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := r.do(req, payload)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, remoteError(resp.StatusCode, data)
+	}
+	var pr storesrv.PutResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return 0, fmt.Errorf("storeclnt: decode put response: %w", err)
+	}
+	r.invalidate(p.Key())
+	return pr.Dropped, nil
+}
+
+// PutBatch stores several profiles in one round trip and returns the
+// per-profile outcomes in submission order (nil error for stored items).
+func (r *Remote) PutBatch(ps []*profile.Profile, truncate bool) ([]error, error) {
+	payload, encoding, err := encodeUpload(storesrv.BatchRequest{Profiles: ps, Truncate: truncate})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, r.base+"/v1/profiles:batch", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := r.do(req, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp.StatusCode, data)
+	}
+	var br storesrv.BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		return nil, fmt.Errorf("storeclnt: decode batch response: %w", err)
+	}
+	if len(br.Results) != len(ps) {
+		return nil, fmt.Errorf("storeclnt: batch returned %d results for %d profiles",
+			len(br.Results), len(ps))
+	}
+	outcomes := make([]error, len(ps))
+	for i, item := range br.Results {
+		if item.Error == "" {
+			r.invalidate(ps[i].Key())
+			continue
+		}
+		switch item.Code {
+		case storesrv.CodeDocTooLarge:
+			outcomes[i] = fmt.Errorf("%w: %s", store.ErrDocTooLarge, item.Error)
+		case storesrv.CodeNotFound:
+			outcomes[i] = fmt.Errorf("%w: %s", store.ErrNotFound, item.Error)
+		default:
+			outcomes[i] = errors.New(item.Error)
+		}
+	}
+	return outcomes, nil
+}
+
+// Find implements Store. Concurrent Finds of one key share a single wire
+// fetch; cache hits cost at most a bodyless revalidation round trip.
+func (r *Remote) Find(command string, tags map[string]string) (profile.Set, error) {
+	key := profile.Key(command, tags)
+	set, err := r.findShared(key)
+	if err != nil {
+		return nil, err
+	}
+	// Hand every caller its own copy: cached profiles must not alias.
+	out := make(profile.Set, len(set))
+	for i, p := range set {
+		out[i] = p.Clone()
+	}
+	return out, nil
+}
+
+// findShared deduplicates concurrent fetches of one key.
+func (r *Remote) findShared(key string) (profile.Set, error) {
+	r.flightMu.Lock()
+	if c, ok := r.flight[key]; ok {
+		r.flightMu.Unlock()
+		<-c.done
+		return c.set, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	r.flight[key] = c
+	r.flightMu.Unlock()
+
+	c.set, c.err = r.fetch(key)
+	close(c.done)
+
+	r.flightMu.Lock()
+	delete(r.flight, key)
+	r.flightMu.Unlock()
+	return c.set, c.err
+}
+
+// fetch performs the conditional GET for key, consulting and updating the
+// LRU cache.
+func (r *Remote) fetch(key string) (profile.Set, error) {
+	cached, etag := r.cached(key)
+	req, err := http.NewRequest(http.MethodGet, r.base+"/v1/profiles?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := r.do(req, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified && cached != nil {
+		return cached, nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp.StatusCode, data)
+	}
+	var set profile.Set
+	if err := json.Unmarshal(data, &set); err != nil {
+		return nil, fmt.Errorf("storeclnt: decode profiles: %w", err)
+	}
+	for _, p := range set {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("storeclnt: profile for key %q invalid: %w", key, err)
+		}
+	}
+	r.store(key, resp.Header.Get("ETag"), set)
+	return set, nil
+}
+
+// cached returns the cached set and its ETag, refreshing recency.
+func (r *Remote) cached(key string) (profile.Set, string) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	el, ok := r.cache[key]
+	if !ok {
+		return nil, ""
+	}
+	r.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.set, e.etag
+}
+
+// store inserts or refreshes a cache entry, evicting the LRU tail.
+func (r *Remote) store(key, etag string, set profile.Set) {
+	if r.cacheCap <= 0 || etag == "" {
+		return
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if el, ok := r.cache[key]; ok {
+		r.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.etag, e.set = etag, set
+		return
+	}
+	r.cache[key] = r.lru.PushFront(&cacheEntry{key: key, etag: etag, set: set})
+	for r.lru.Len() > r.cacheCap {
+		tail := r.lru.Back()
+		r.lru.Remove(tail)
+		delete(r.cache, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops key from the cache (after local writes).
+func (r *Remote) invalidate(key string) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if el, ok := r.cache[key]; ok {
+		r.lru.Remove(el)
+		delete(r.cache, key)
+	}
+}
+
+// CacheLen reports the number of cached keys (observability, tests).
+func (r *Remote) CacheLen() int {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	return r.lru.Len()
+}
+
+// Keys implements Store.
+func (r *Remote) Keys() ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, r.base+"/v1/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.do(req, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp.StatusCode, data)
+	}
+	var kr storesrv.KeysResponse
+	if err := json.Unmarshal(data, &kr); err != nil {
+		return nil, fmt.Errorf("storeclnt: decode keys: %w", err)
+	}
+	return kr.Keys, nil
+}
+
+// Delete implements Store.
+func (r *Remote) Delete(command string, tags map[string]string) error {
+	key := profile.Key(command, tags)
+	req, err := http.NewRequest(http.MethodDelete, r.base+"/v1/profiles?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.do(req, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		data, _ := io.ReadAll(resp.Body)
+		return remoteError(resp.StatusCode, data)
+	}
+	r.invalidate(key)
+	return nil
+}
+
+// Close implements Store: it drops cached state and idle connections.
+func (r *Remote) Close() error {
+	r.cacheMu.Lock()
+	r.cache = map[string]*list.Element{}
+	r.lru.Init()
+	r.cacheMu.Unlock()
+	r.hc.CloseIdleConnections()
+	return nil
+}
+
+var (
+	_ store.Store     = (*Remote)(nil)
+	_ store.Truncator = (*Remote)(nil)
+)

@@ -1,0 +1,378 @@
+// Package storesrv is the HTTP profile-store service behind the synapsed
+// daemon: it exposes any store.Store backend over a small JSON/REST API so
+// many emulation hosts can share one profile database — the paper's
+// "profile once, emulate anywhere" workflow (§4), where profiles live in a
+// MongoDB service queried by every emulation host.
+//
+// API (all bodies JSON, gzip accepted and offered via the usual
+// Content-Encoding/Accept-Encoding negotiation):
+//
+//	PUT    /v1/profiles            store one profile (?truncate=1 degrades to
+//	                               the document limit instead of failing)
+//	POST   /v1/profiles:batch      store many profiles, per-item results
+//	GET    /v1/profiles?key=K      all profiles under a key, ETag'd by a
+//	                               per-key generation counter (If-None-Match
+//	                               returns 304 so clients can cache)
+//	DELETE /v1/profiles?key=K      drop a key
+//	GET    /v1/keys                list keys
+//	GET    /v1/healthz             liveness probe
+//	/debug/pprof/*                 optional (Config.Pprof) runtime profiling
+//
+// Errors round-trip as {"error": ..., "code": ...}; the storeclnt package
+// maps codes back onto store.ErrNotFound / store.ErrDocTooLarge.
+package storesrv
+
+import (
+	"compress/gzip"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// Error codes carried in structured error responses.
+const (
+	CodeNotFound    = "not_found"
+	CodeDocTooLarge = "doc_too_large"
+	CodeInvalid     = "invalid"
+	CodeInternal    = "internal"
+)
+
+// ErrorResponse is the wire form of a failed request.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// PutResponse answers a successful single put.
+type PutResponse struct {
+	Key        string `json:"key"`
+	Dropped    int    `json:"dropped,omitempty"`
+	Generation uint64 `json:"generation"`
+}
+
+// BatchRequest stores several profiles in one round trip.
+type BatchRequest struct {
+	Profiles []*profile.Profile `json:"profiles"`
+	Truncate bool               `json:"truncate,omitempty"`
+}
+
+// BatchItem is the per-profile outcome of a batch put.
+type BatchItem struct {
+	Key     string `json:"key,omitempty"`
+	Dropped int    `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Code    string `json:"code,omitempty"`
+}
+
+// BatchResponse lists one item per submitted profile, in order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// KeysResponse lists the distinct keys in the backend.
+type KeysResponse struct {
+	Keys []string `json:"keys"`
+}
+
+// Config tunes the service.
+type Config struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Server serves a store.Store over HTTP. Construct with New; it implements
+// http.Handler, so it can be mounted in tests (httptest.NewServer) or run
+// standalone via Start/Shutdown.
+type Server struct {
+	backend store.Store
+	mux     *http.ServeMux
+
+	// gen counts mutations per key. GET responses carry the generation as
+	// an ETag; remote clients revalidate their caches against it with
+	// If-None-Match instead of re-downloading profile bodies. The epoch is
+	// a per-boot nonce mixed into every ETag: counters restart at zero
+	// when the daemon restarts, and without it a client cache primed in a
+	// previous boot could collide with the fresh counter and wrongly
+	// revalidate stale data against a persistent (file) backend.
+	genMu sync.Mutex
+	gen   map[string]uint64
+	epoch string
+
+	httpSrv *http.Server
+}
+
+// New wraps backend in an HTTP service.
+func New(backend store.Store, cfg Config) *Server {
+	nonce := make([]byte, 6)
+	_, _ = rand.Read(nonce)
+	s := &Server{
+		backend: backend,
+		mux:     http.NewServeMux(),
+		gen:     map[string]uint64{},
+		epoch:   hex.EncodeToString(nonce),
+	}
+	s.mux.HandleFunc("PUT /v1/profiles", s.handlePut)
+	s.mux.HandleFunc("GET /v1/profiles", s.handleFind)
+	s.mux.HandleFunc("DELETE /v1/profiles", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/profiles:batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Start listens on addr (e.g. ":8181" or "127.0.0.1:0") and serves in the
+// background, returning the bound address. Stop with Shutdown.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storesrv: listen %s: %w", addr, err)
+	}
+	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops a Start'ed server: it stops accepting new
+// connections and waits (up to ctx) for in-flight requests, then closes the
+// backend.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	if cerr := s.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// generation returns the current mutation count for key.
+func (s *Server) generation(key string) uint64 {
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	return s.gen[key]
+}
+
+// bump increments and returns key's generation after a mutation.
+func (s *Server) bump(key string) uint64 {
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	s.gen[key]++
+	return s.gen[key]
+}
+
+func (s *Server) etagFor(gen uint64) string { return fmt.Sprintf(`"%s-g%d"`, s.epoch, gen) }
+
+// requestBody returns the request body, transparently gunzipping when the
+// client sent Content-Encoding: gzip.
+func requestBody(r *http.Request) (io.ReadCloser, error) {
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("bad gzip body: %w", err)
+		}
+		return zr, nil
+	}
+	return r.Body, nil
+}
+
+// writeJSON sends v as JSON, gzip-compressed when the client accepts it.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	var out io.Writer = w
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(status)
+		zw := gzip.NewWriter(w)
+		defer zw.Close()
+		out = zw
+	} else {
+		w.WriteHeader(status)
+	}
+	_ = json.NewEncoder(out).Encode(v)
+}
+
+// writeError maps backend errors onto structured responses. The code, not
+// the message, is the contract: clients rebuild sentinel errors from it.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := http.StatusInternalServerError, CodeInternal
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		status, code = http.StatusNotFound, CodeNotFound
+	case errors.Is(err, store.ErrDocTooLarge):
+		status, code = http.StatusRequestEntityTooLarge, CodeDocTooLarge
+	}
+	writeJSON(w, r, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+func writeBadRequest(w http.ResponseWriter, r *http.Request, err error) {
+	writeJSON(w, r, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: CodeInvalid})
+}
+
+// decodeProfile reads one profile from the (possibly gzipped) request body.
+func decodeProfile(r *http.Request) (*profile.Profile, error) {
+	body, err := requestBody(r)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	return profile.Decode(data)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	p, err := decodeProfile(r)
+	if err != nil {
+		writeBadRequest(w, r, err)
+		return
+	}
+	key := p.Key()
+	var dropped int
+	if r.URL.Query().Get("truncate") == "1" {
+		tr, ok := s.backend.(store.Truncator)
+		if !ok {
+			// Backends without a document limit cannot overflow; a
+			// strict put is equivalent.
+			err = s.backend.Put(p)
+		} else {
+			dropped, err = tr.PutTruncated(p)
+		}
+	} else {
+		err = s.backend.Put(p)
+	}
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, PutResponse{Key: key, Dropped: dropped, Generation: s.bump(key)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := requestBody(r)
+	if err != nil {
+		writeBadRequest(w, r, err)
+		return
+	}
+	defer body.Close()
+	var req BatchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeBadRequest(w, r, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Profiles))}
+	for i, p := range req.Profiles {
+		item := &resp.Results[i]
+		if p == nil {
+			item.Error, item.Code = "nil profile", CodeInvalid
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			item.Error, item.Code = err.Error(), CodeInvalid
+			continue
+		}
+		var perr error
+		tr, isTr := s.backend.(store.Truncator)
+		if req.Truncate && isTr {
+			item.Dropped, perr = tr.PutTruncated(p)
+		} else {
+			perr = s.backend.Put(p)
+		}
+		if perr != nil {
+			item.Error = perr.Error()
+			switch {
+			case errors.Is(perr, store.ErrDocTooLarge):
+				item.Code = CodeDocTooLarge
+			case errors.Is(perr, store.ErrNotFound):
+				item.Code = CodeNotFound
+			default:
+				item.Code = CodeInternal
+			}
+			continue
+		}
+		item.Key = p.Key()
+		s.bump(item.Key)
+	}
+	writeJSON(w, r, http.StatusOK, resp)
+}
+
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeBadRequest(w, r, errors.New("missing key parameter"))
+		return
+	}
+	// Read the generation before the backend: if a put lands in between,
+	// the response carries fresh data under a stale tag, which only costs
+	// the client one redundant revalidation.
+	gen := s.generation(key)
+	etag := s.etagFor(gen)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	command, tags := profile.ParseKey(key)
+	set, err := s.backend.Find(command, tags)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	writeJSON(w, r, http.StatusOK, set)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeBadRequest(w, r, errors.New("missing key parameter"))
+		return
+	}
+	command, tags := profile.ParseKey(key)
+	if err := s.backend.Delete(command, tags); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	s.bump(key)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.backend.Keys()
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, r, http.StatusOK, KeysResponse{Keys: keys})
+}

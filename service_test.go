@@ -1,0 +1,146 @@
+package synapse
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"synapse/internal/store"
+	"synapse/internal/storesrv"
+)
+
+// startService runs an in-process synapsed (sharded backend) and returns its
+// base URL.
+func startService(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(storesrv.New(store.NewSharded(8), storesrv.Config{}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRemoteStoreProfileOnceEmulateAnywhere is the paper's §4 workflow over
+// the service: one client profiles, an independent client (a second process
+// in production) emulates, and the emulation matches what a local store
+// would have produced byte for byte.
+func TestRemoteStoreProfileOnceEmulateAnywhere(t *testing.T) {
+	ctx := context.Background()
+	url := startService(t)
+	tags := map[string]string{"steps": "100000"}
+
+	// Profiling host: writes through its own remote client.
+	profiler := NewRemoteStore(url)
+	defer profiler.Close()
+	p, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), AtRate(2), WithStore(profiler))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Emulation host: a different client, no shared state but the daemon.
+	emulator := NewRemoteStore(url)
+	defer emulator.Close()
+	remoteRep, err := Emulate(ctx, "mdsim", tags, OnMachine(Stampede), WithStore(emulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same emulation fed directly from the profile.
+	localRep, err := EmulateProfile(ctx, p, OnMachine(Stampede))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remoteRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(localRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(remoteJSON) != string(localJSON) {
+		t.Errorf("remote-store emulation diverged from local:\nremote %s\nlocal  %s",
+			remoteJSON, localJSON)
+	}
+}
+
+// The remote store is a drop-in for the workflow runner too.
+func TestRemoteStoreWorkflow(t *testing.T) {
+	url := startService(t)
+	st := NewRemoteStore(url)
+	defer st.Close()
+	w := NewPipeline("svc", []WorkflowStage{
+		{Name: "sim", Width: 2, Command: "mdsim", Tags: map[string]string{"steps": "20000"}},
+	})
+	res, err := RunWorkflow(context.Background(), w, Stampede, 2, Thinkie, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestShardedStorePublic(t *testing.T) {
+	ctx := context.Background()
+	st := NewShardedStore(8)
+	defer st.Close()
+	tags := map[string]string{"steps": "50000"}
+	if _, err := Profile(ctx, "mdsim", tags, OnMachine(Thinkie), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emulate(ctx, "mdsim", tags, OnMachine(Thinkie), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultStoreConcurrentAccess exercises the SetDefaultStore /
+// DefaultStore / buildOptions triangle under -race (the process-wide
+// variable used to be unsynchronized).
+func TestDefaultStoreConcurrentAccess(t *testing.T) {
+	prev := SetDefaultStore(NewMemStore())
+	defer SetDefaultStore(prev)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				SetDefaultStore(NewMemStore())
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if DefaultStore() == nil {
+					t.Error("DefaultStore returned nil")
+					return
+				}
+				// buildOptions reads the default when no WithStore is given.
+				o := buildOptions(nil)
+				if o.st == nil {
+					t.Error("buildOptions picked up a nil store")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Ensure the public aliases still satisfy the interface contract the rest of
+// the API expects.
+func TestStoreConstructorsReturnStores(t *testing.T) {
+	for name, st := range map[string]Store{
+		"mem":     NewMemStore(),
+		"sharded": NewShardedStore(4),
+	} {
+		if reflect.ValueOf(st).IsNil() {
+			t.Errorf("%s constructor returned nil", name)
+		}
+		_ = st.Close()
+	}
+}

@@ -25,6 +25,7 @@ package synapse
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"synapse/internal/core"
@@ -32,6 +33,7 @@ import (
 	"synapse/internal/machine"
 	"synapse/internal/profile"
 	"synapse/internal/store"
+	"synapse/internal/storeclnt"
 )
 
 // ProfileData is a finished application profile: sample time series,
@@ -227,19 +229,30 @@ func WithStartupDelay(d time.Duration) Option {
 }
 
 // defaultStore is the process-wide profile store used when no WithStore
-// option is given, mirroring the paper's implicit MongoDB connection.
-var defaultStore Store = store.NewMem()
+// option is given, mirroring the paper's implicit MongoDB connection. Guarded
+// by defaultStoreMu: Profile/Emulate calls race with SetDefaultStore in
+// concurrent experiment drivers.
+var (
+	defaultStoreMu sync.RWMutex
+	defaultStore   Store = store.NewMem()
+)
 
 // SetDefaultStore replaces the process-wide store and returns the previous
-// one.
+// one. Safe for concurrent use with Profile/Emulate.
 func SetDefaultStore(s Store) Store {
+	defaultStoreMu.Lock()
+	defer defaultStoreMu.Unlock()
 	prev := defaultStore
 	defaultStore = s
 	return prev
 }
 
 // DefaultStore returns the process-wide store.
-func DefaultStore() Store { return defaultStore }
+func DefaultStore() Store {
+	defaultStoreMu.RLock()
+	defer defaultStoreMu.RUnlock()
+	return defaultStore
+}
 
 // NewMemStore returns an in-memory MongoDB-like store (16 MB per-document
 // limit, ≈250k samples — paper §4.5).
@@ -248,13 +261,27 @@ func NewMemStore() Store { return store.NewMem() }
 // NewFileStore returns a directory-backed store with no sample limit.
 func NewFileStore(dir string) (Store, error) { return store.NewFile(dir) }
 
+// NewShardedStore returns an in-memory store partitioned across n
+// lock-striped shards (n <= 0 selects a default), so concurrent Put/Find do
+// not serialize on one mutex. Semantics (document limit, ordering) match
+// NewMemStore; it is the backend synapsed runs by default.
+func NewShardedStore(n int) Store { return store.NewSharded(n) }
+
+// NewRemoteStore returns a client for a synapsed profile service (e.g.
+// "http://stampede:8181"): a drop-in Store whose backend is shared between
+// processes and machines — the paper's "profile once, emulate anywhere"
+// workflow (§4). The client reuses connections, retries idempotent requests,
+// and caches hot profile reads, revalidating them against the server's
+// per-key generation counter.
+func NewRemoteStore(url string) Store { return storeclnt.New(url) }
+
 func buildOptions(opts []Option) *options {
 	o := &options{}
 	for _, fn := range opts {
 		fn(o)
 	}
 	if o.st == nil {
-		o.st = defaultStore
+		o.st = DefaultStore()
 	}
 	o.prof.Store = o.st
 	return o
