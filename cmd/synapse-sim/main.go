@@ -1,0 +1,119 @@
+// synapse-sim runs a declarative workload-mix scenario against a profile
+// store: it resolves the spec's profile references, emulates every workload
+// instance on the batched replay engine, schedules the arrivals on the
+// virtual timeline, and reports aggregate latency percentiles, throughput
+// and busy-time breakdowns.
+//
+//	synapse-sim -scenario mix.json -store http://stampede:8181 -out report.json
+//	synapse-sim -scenario mix.json -store ./synapse-store -workers 4
+//
+// The -store flag accepts a local file-store directory or the URL of a
+// running synapsed daemon. Reports are deterministic for a fixed spec and
+// seed: same inputs, byte-identical -out file. See docs/scenarios.md for
+// the spec format.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"synapse/internal/scenario"
+	"synapse/internal/storeclnt"
+)
+
+// stdout is the CLI's output stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "synapse-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("synapse-sim", flag.ExitOnError)
+	specPath := fs.String("scenario", "", "scenario spec file (JSON, required)")
+	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
+	workers := fs.Int("workers", 0, "parallel emulation workers (0 = all cores)")
+	out := fs.String("out", "", "write the full JSON report to this file")
+	seed := fs.String("seed", "", "override the spec's seed (uint64; empty keeps the spec value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("no -scenario file given")
+	}
+	spec, err := scenario.Load(*specPath)
+	if err != nil {
+		return err
+	}
+	if *seed != "" {
+		s, err := strconv.ParseUint(*seed, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -seed %q: %w", *seed, err)
+		}
+		spec.Seed = s
+	}
+	st, err := storeclnt.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	rep, err := scenario.Run(context.Background(), spec, st, scenario.RunOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	printSummary(stdout, rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
+	}
+	return nil
+}
+
+// printSummary renders the human-readable view of the report; the JSON file
+// carries the full detail.
+func printSummary(w io.Writer, rep *scenario.Report) {
+	name := rep.Scenario
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "scenario %q (seed %d): %d emulations in %s (%.3f/s)",
+		name, rep.Seed, rep.Emulations, rep.Makespan, rep.Throughput)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped at the horizon", rep.Dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-16s %-10s %6s %6s %12s %10s %10s %10s %10s\n",
+		"workload", "machine", "done", "drop", "thru/s", "p50", "p99", "max", "wait-max")
+	for _, wr := range rep.Workloads {
+		fmt.Fprintf(w, "%-16s %-10s %6d %6d %12.3f %10s %10s %10s %10s\n",
+			wr.Name, wr.Machine, wr.Emulations, wr.Dropped, wr.Throughput,
+			wr.Latency.P50, wr.Latency.P99, wr.Latency.Max, wr.Wait.Max)
+	}
+	for _, wr := range rep.Workloads {
+		if len(wr.BusyTime) == 0 {
+			continue
+		}
+		parts := make([]string, 0, len(wr.BusyTime))
+		for _, ab := range wr.BusyTime {
+			parts = append(parts, fmt.Sprintf("%s %s", ab.Atom, ab.Busy))
+		}
+		fmt.Fprintf(w, "busy %-12s %s\n", wr.Name, strings.Join(parts, ", "))
+	}
+}

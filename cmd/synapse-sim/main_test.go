@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synapse/internal/core"
+	"synapse/internal/scenario"
+	"synapse/internal/store"
+)
+
+// setup profiles two commands into a file store and writes a two-workload
+// scenario spec, returning the store directory and the spec path.
+func setup(t *testing.T) (storeDir, specPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	storeDir = filepath.Join(dir, "store")
+	st, err := store.NewFile(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, cmd := range []string{"mdsim", "sleep"} {
+		if _, err := core.ProfileCommandString(context.Background(), cmd, nil, core.ProfileOptions{
+			Machine:    "thinkie",
+			SampleRate: 1,
+			Store:      st,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specPath = filepath.Join(dir, "mix.json")
+	spec := `{
+		"version": 1,
+		"name": "cli-mix",
+		"seed": 7,
+		"max_concurrent": 2,
+		"workloads": [
+			{
+				"name": "md",
+				"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+				"arrival": {"process": "closed", "clients": 2, "iterations": 2},
+				"emulation": {"machine": "stampede"}
+			},
+			{
+				"name": "sleep",
+				"profile": {"command": "sleep", "tags": {"seconds": "1"}},
+				"arrival": {"process": "constant", "rate": 0.2, "count": 3},
+				"emulation": {"machine": "comet", "load": 0.1, "load_jitter": 0.05}
+			}
+		]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return storeDir, specPath
+}
+
+func TestSimRunsMixedScenario(t *testing.T) {
+	storeDir, specPath := setup(t)
+	outPath := filepath.Join(t.TempDir(), "report.json")
+
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+
+	err := run([]string{"-scenario", specPath, "-store", storeDir, "-out", outPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `scenario "cli-mix"`) || !strings.Contains(out, "7 emulations") {
+		t.Fatalf("summary missing headline: %q", out)
+	}
+	if !strings.Contains(out, "md") || !strings.Contains(out, "sleep") {
+		t.Fatalf("summary missing workloads: %q", out)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Emulations != 7 || len(rep.Workloads) != 2 {
+		t.Fatalf("report = %d emulations / %d workloads, want 7/2", rep.Emulations, len(rep.Workloads))
+	}
+
+	// Determinism through the CLI: a second run writes a byte-identical
+	// report.
+	outPath2 := filepath.Join(t.TempDir(), "report2.json")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-out", outPath2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("two CLI runs of the same spec+seed wrote different reports")
+	}
+}
+
+func TestSimSeedOverride(t *testing.T) {
+	storeDir, specPath := setup(t)
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(seed 99)") {
+		t.Fatalf("seed override not reflected: %q", buf.String())
+	}
+
+	// The full uint64 range is addressable (Spec.Seed is uint64).
+	buf.Reset()
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-seed", "18446744073709551615"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(seed 18446744073709551615)") {
+		t.Fatalf("max uint64 seed not reflected: %q", buf.String())
+	}
+
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-seed", "-5"}); err == nil ||
+		!strings.Contains(err.Error(), "bad -seed") {
+		t.Fatalf("negative seed should error, got %v", err)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("expected missing-scenario error, got %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 9, "workloads": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", bad, "-store", t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "unknown spec version") {
+		t.Fatalf("expected spec version error, got %v", err)
+	}
+}

@@ -122,12 +122,7 @@ func splitCommand(args []string) (flags, command []string) {
 
 // openStore resolves the -store flag: an http(s):// URL connects to a
 // running synapsed daemon, anything else is a local file-store directory.
-func openStore(dir string) (store.Store, error) {
-	if strings.HasPrefix(dir, "http://") || strings.HasPrefix(dir, "https://") {
-		return storeclnt.New(dir), nil
-	}
-	return store.NewFile(dir)
-}
+func openStore(dir string) (store.Store, error) { return storeclnt.Open(dir) }
 
 // loadMachineFile registers a JSON machine description and returns its name
 // ("" when no file is given).

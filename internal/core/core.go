@@ -212,16 +212,28 @@ func Lookup(s store.Store, command string, tags map[string]string) (profile.Set,
 	return s.Find(command, tags)
 }
 
-// EmulateProfile replays one profile with the given options.
-func EmulateProfile(ctx context.Context, p *profile.Profile, opts EmulateOptions) (*emulator.Report, error) {
-	if opts.Machine == "" {
-		return nil, fmt.Errorf("core: emulation needs a machine name")
-	}
-	m, err := machine.Get(opts.Machine)
+// NewEmulation resolves the machine name and option mapping once and returns
+// a reusable emulator run handle for the profile: the scenario engine holds
+// one per workload and replays it for every workload instance.
+func NewEmulation(p *profile.Profile, opts EmulateOptions) (*emulator.Run, error) {
+	eopts, err := emulatorOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	eopts := emulator.Options{
+	return emulator.NewRun(p, eopts)
+}
+
+// emulatorOptions maps the flat EmulateOptions onto the emulator's Options,
+// resolving the machine name against the catalog.
+func emulatorOptions(opts EmulateOptions) (emulator.Options, error) {
+	if opts.Machine == "" {
+		return emulator.Options{}, fmt.Errorf("core: emulation needs a machine name")
+	}
+	m, err := machine.Get(opts.Machine)
+	if err != nil {
+		return emulator.Options{}, err
+	}
+	return emulator.Options{
 		Atoms: atoms.Config{
 			Machine:           m,
 			Kernel:            opts.Kernel,
@@ -244,6 +256,14 @@ func EmulateProfile(ctx context.Context, p *profile.Profile, opts EmulateOptions
 		DisableMemory:  opts.DisableMemory,
 		DisableNetwork: opts.DisableNetwork,
 		TraceLevel:     opts.TraceLevel,
+	}, nil
+}
+
+// EmulateProfile replays one profile with the given options.
+func EmulateProfile(ctx context.Context, p *profile.Profile, opts EmulateOptions) (*emulator.Report, error) {
+	eopts, err := emulatorOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	return emulator.Emulate(ctx, p, eopts)
 }

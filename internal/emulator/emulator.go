@@ -19,7 +19,6 @@ package emulator
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"synapse/internal/atoms"
@@ -236,98 +235,14 @@ func splitRequest(req atoms.Request, name string, cfg *atoms.Config) atoms.Reque
 }
 
 // Emulate replays the profile's samples through the atoms and returns the
-// run report.
+// run report. It is the one-shot form of NewRun + Run.Emulate; callers that
+// replay the same profile repeatedly should hold a Run instead.
 func Emulate(ctx context.Context, p *profile.Profile, opts Options) (*Report, error) {
-	if p == nil {
-		return nil, fmt.Errorf("emulator: nil profile")
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := opts.Atoms
-	if cfg.Machine == nil {
-		return nil, fmt.Errorf("emulator: options need a machine model")
-	}
-
-	var set []atoms.Atom
-	var err error
-	if opts.Real {
-		set, err = atoms.NewRealSet(&cfg, opts.ScratchDir)
-	} else {
-		set, err = atoms.NewSimSet(&cfg)
-	}
+	r, err := NewRun(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	set = filterAtoms(set, opts)
-
-	clk := opts.Clock
-	if clk == nil {
-		if opts.Real {
-			clk = clock.NewReal()
-		} else {
-			clk = clock.NewAutoSim(time.Unix(0, 0).UTC())
-		}
-	}
-	startup := opts.StartupDelay
-	switch {
-	case startup < 0:
-		startup = 0
-	case startup == 0:
-		startup = DefaultStartupDelay
-	}
-	overhead := opts.SampleOverhead
-	switch {
-	case overhead < 0:
-		overhead = 0
-	case overhead == 0:
-		overhead = DefaultSampleOverhead
-	}
-
-	// Parallel runs pay the one-time worker-pool setup cost as part of
-	// the startup (threads spawned / MPI ranks launched once per run).
-	if cfg.Workers > 1 && cfg.Mode != machine.ModeSerial {
-		startup += cfg.Machine.Threading.SetupOverhead(cfg.Workers, cfg.Mode)
-	}
-
-	start := clk.Now()
-	// Start-up: locate and load the profile, spawn atom threads. In real
-	// mode the construction above already cost real time; the modeled
-	// delay applies to simulated runs.
-	if !opts.Real && startup > 0 {
-		clk.Sleep(startup)
-	}
-
-	rep := &Report{
-		Machine: cfg.Machine.Name,
-		Kernel:  cfg.Kernel,
-		Startup: startup,
-		busy:    make(map[string]time.Duration, len(set)),
-	}
-	if rep.Kernel == "" {
-		rep.Kernel = machine.KernelASM
-	}
-
-	var total time.Duration
-	switch {
-	case opts.Real:
-		total, err = replayReal(ctx, set, p, &cfg, opts.TraceLevel, overhead, rep)
-	case opts.Serial:
-		total, err = replaySerial(ctx, set, p, &cfg, opts.TraceLevel, overhead, clk, rep)
-	default:
-		total, err = replayBatched(ctx, set, p, &cfg, opts.TraceLevel, overhead, clk, rep)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	rep.Tx = clk.Now().Sub(start)
-	if !opts.Real {
-		// Simulated clocks advance exactly by slept time; assemble Tx
-		// from parts to avoid clock granularity concerns.
-		rep.Tx = startup + total
-	}
-	return rep, nil
+	return r.Emulate(ctx)
 }
 
 // record books one replayed sample into the report: busy times always, the

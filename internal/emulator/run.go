@@ -1,0 +1,144 @@
+package emulator
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"synapse/internal/atoms"
+	"synapse/internal/clock"
+	"synapse/internal/machine"
+	"synapse/internal/profile"
+)
+
+// Run is a reusable emulation handle: one profile plus one normalized set of
+// options, replayable many times. NewRun performs the per-profile work once —
+// validation, option normalization, the modeled startup cost — so callers
+// that replay the same profile repeatedly (the scenario engine's workload
+// instances, benchmark loops) skip it on every subsequent replay.
+//
+// A Run is safe for concurrent Emulate calls as long as Options.Clock is nil:
+// each call then builds its own atom set and simulated clock. A caller-
+// provided clock is shared by every replay, so those runs must be serialized
+// by the caller.
+type Run struct {
+	p    *profile.Profile
+	opts Options
+	// startup and overhead are the normalized driver costs (defaults
+	// applied, parallel worker-pool setup folded into startup).
+	startup  time.Duration
+	overhead time.Duration
+}
+
+// NewRun validates the profile and options and returns a reusable handle.
+// The validation and normalization errors are exactly those Emulate returns.
+func NewRun(p *profile.Profile, opts Options) (*Run, error) {
+	if p == nil {
+		return nil, fmt.Errorf("emulator: nil profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Atoms.Machine == nil {
+		return nil, fmt.Errorf("emulator: options need a machine model")
+	}
+
+	startup := opts.StartupDelay
+	switch {
+	case startup < 0:
+		startup = 0
+	case startup == 0:
+		startup = DefaultStartupDelay
+	}
+	overhead := opts.SampleOverhead
+	switch {
+	case overhead < 0:
+		overhead = 0
+	case overhead == 0:
+		overhead = DefaultSampleOverhead
+	}
+	// Parallel runs pay the one-time worker-pool setup cost as part of
+	// the startup (threads spawned / MPI ranks launched once per run).
+	if opts.Atoms.Workers > 1 && opts.Atoms.Mode != machine.ModeSerial {
+		startup += opts.Atoms.Machine.Threading.SetupOverhead(opts.Atoms.Workers, opts.Atoms.Mode)
+	}
+	return &Run{p: p, opts: opts, startup: startup, overhead: overhead}, nil
+}
+
+// Emulate replays the profile once and returns the run report.
+func (r *Run) Emulate(ctx context.Context) (*Report, error) {
+	return r.emulate(ctx, r.opts.Atoms)
+}
+
+// EmulateWithLoad replays the profile with the artificial background CPU
+// load overridden for this replay only — the scenario engine's per-instance
+// load jitter. The handle itself is not mutated.
+func (r *Run) EmulateWithLoad(ctx context.Context, load float64) (*Report, error) {
+	cfg := r.opts.Atoms
+	cfg.Load = load
+	return r.emulate(ctx, cfg)
+}
+
+// emulate is one replay: fresh atom set, fresh clock (unless the options
+// pinned one), then the batched / serial / real replay loop.
+func (r *Run) emulate(ctx context.Context, cfg atoms.Config) (*Report, error) {
+	var set []atoms.Atom
+	var err error
+	if r.opts.Real {
+		set, err = atoms.NewRealSet(&cfg, r.opts.ScratchDir)
+	} else {
+		set, err = atoms.NewSimSet(&cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	set = filterAtoms(set, r.opts)
+
+	clk := r.opts.Clock
+	if clk == nil {
+		if r.opts.Real {
+			clk = clock.NewReal()
+		} else {
+			clk = clock.NewAutoSim(time.Unix(0, 0).UTC())
+		}
+	}
+
+	start := clk.Now()
+	// Start-up: locate and load the profile, spawn atom threads. In real
+	// mode the atom construction above already cost real time; the modeled
+	// delay applies to simulated runs.
+	if !r.opts.Real && r.startup > 0 {
+		clk.Sleep(r.startup)
+	}
+
+	rep := &Report{
+		Machine: cfg.Machine.Name,
+		Kernel:  cfg.Kernel,
+		Startup: r.startup,
+		busy:    make(map[string]time.Duration, len(set)),
+	}
+	if rep.Kernel == "" {
+		rep.Kernel = machine.KernelASM
+	}
+
+	var total time.Duration
+	switch {
+	case r.opts.Real:
+		total, err = replayReal(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, rep)
+	case r.opts.Serial:
+		total, err = replaySerial(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, clk, rep)
+	default:
+		total, err = replayBatched(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, clk, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Tx = clk.Now().Sub(start)
+	if !r.opts.Real {
+		// Simulated clocks advance exactly by slept time; assemble Tx
+		// from parts to avoid clock granularity concerns.
+		rep.Tx = r.startup + total
+	}
+	return rep, nil
+}

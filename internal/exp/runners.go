@@ -34,15 +34,27 @@ import (
 // The first error by index wins, which is also the error a serial run
 // would have returned.
 func runCells[R any](cfg Config, n int, fn func(i int) (R, error)) ([]R, error) {
+	return Fan(cfg.workers(), n, cfg.budget, fn)
+}
+
+// Fan is the work-stealing runner behind runCells, exported so other drivers
+// (the scenario engine's emulation fan-out) reuse it: fn runs over [0, n)
+// across at most workers goroutines (workers <= 1 runs serially), results
+// land in input order, the first error by index wins. budget, when non-nil,
+// is a shared token channel bounding concurrently-executing cells across
+// cooperating fan-outs; fn must not fan out further while holding a token.
+func Fan[R any](workers, n int, budget chan struct{}, fn func(i int) (R, error)) ([]R, error) {
 	out := make([]R, n)
 	if n == 0 {
 		return out, nil
 	}
-	workers := cfg.workers()
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 && cfg.budget == nil {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 && budget == nil {
 		for i := 0; i < n; i++ {
 			r, err := fn(i)
 			if err != nil {
@@ -64,12 +76,12 @@ func runCells[R any](cfg Config, n int, fn func(i int) (R, error)) ([]R, error) 
 				if i >= n {
 					return
 				}
-				if cfg.budget != nil {
-					cfg.budget <- struct{}{}
+				if budget != nil {
+					budget <- struct{}{}
 				}
 				out[i], errs[i] = fn(i)
-				if cfg.budget != nil {
-					<-cfg.budget
+				if budget != nil {
+					<-budget
 				}
 			}
 		}()

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// benchSpec is the benchmark mix: one closed-loop workload producing n
+// emulations of a small profile per scenario run, on the batched replay
+// path. Load jitter makes every instance a distinct replay, so the
+// emulations/s metric measures real replay work, not the shared-report
+// dedup path.
+func benchSpec(clients, iterations int) *Spec {
+	return &Spec{
+		Version: SpecVersion,
+		Name:    "bench",
+		Seed:    1,
+		Workloads: []Workload{{
+			Name:      "md",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalClosed, Clients: clients, Iterations: iterations},
+			Emulation: Emulation{Machine: "stampede", Load: 0.2, LoadJitter: 0.15},
+		}},
+	}
+}
+
+// BenchmarkScenarioThroughput is the acceptance number for the scenario
+// engine: aggregate completed emulations per wall-clock second, all cores.
+// The custom metric is emulations/s.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	st := seedStore(b, "mdsim")
+	spec := benchSpec(4, 64) // 256 emulations per scenario run
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), spec, st, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Replays != rep.Emulations {
+			b.Fatalf("dedup kicked in (%d replays for %d emulations); the metric would lie", rep.Replays, rep.Emulations)
+		}
+		total += rep.Emulations
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emulations/s")
+}
+
+// BenchmarkScenarioSerial pins the single-worker baseline the parallel
+// fan-out is measured against.
+func BenchmarkScenarioSerial(b *testing.B) {
+	st := seedStore(b, "mdsim")
+	spec := benchSpec(4, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), spec, st, RunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.Emulations
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emulations/s")
+}
+
+// BenchmarkScenarioMix exercises the full scheduler: two workloads, open
+// and closed arrivals, concurrency caps and jitter.
+func BenchmarkScenarioMix(b *testing.B) {
+	st := seedStore(b, "mdsim", "sleep")
+	spec := mixSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), spec, st, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.Emulations
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emulations/s")
+}

@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/store"
+)
+
+// mdTags/sleepTags are the default identity tags of the profiled commands
+// (the workload models attach them; the specs must reference the same key).
+var (
+	mdTags    = map[string]string{"steps": "10000"}
+	sleepTags = map[string]string{"seconds": "1"}
+)
+
+// seedStore profiles the named commands into a fresh in-memory store.
+func seedStore(t testing.TB, cmds ...string) store.Store {
+	t.Helper()
+	st := store.NewMem()
+	for _, cmd := range cmds {
+		_, err := core.ProfileCommandString(context.Background(), cmd, nil, core.ProfileOptions{
+			Machine:    "thinkie",
+			SampleRate: 1,
+			Store:      st,
+			Seed:       7,
+		})
+		if err != nil {
+			t.Fatalf("profiling %q: %v", cmd, err)
+		}
+	}
+	return st
+}
+
+// mixSpec is a two-workload mix: a closed loop and a jittered Poisson
+// stream sharing four slots.
+func mixSpec() *Spec {
+	return &Spec{
+		Version:       SpecVersion,
+		Name:          "mix",
+		Seed:          42,
+		MaxConcurrent: 4,
+		Workloads: []Workload{
+			{
+				Name:    "md-closed",
+				Profile: ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival: Arrival{Process: ArrivalClosed, Clients: 2, Iterations: 4},
+				Emulation: Emulation{
+					Machine: "stampede",
+				},
+			},
+			{
+				Name:          "sleep-open",
+				Profile:       ProfileRef{Command: "sleep", Tags: sleepTags},
+				Arrival:       Arrival{Process: ArrivalPoisson, Rate: 0.05, Count: 8},
+				MaxConcurrent: 2,
+				Emulation: Emulation{
+					Machine:    "comet",
+					Load:       0.2,
+					LoadJitter: 0.1,
+				},
+			},
+		},
+	}
+}
+
+func runReport(t *testing.T, spec *Spec, workers int) *Report {
+	t.Helper()
+	st := seedStore(t, "mdsim", "sleep")
+	rep, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func marshal(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSeedDeterminism is the spec's reproducibility contract: the same spec
+// and seed produce a byte-identical report, at any worker count.
+func TestSeedDeterminism(t *testing.T) {
+	a := marshal(t, runReport(t, mixSpec(), 1))
+	b := marshal(t, runReport(t, mixSpec(), 1))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same spec+seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+	c := marshal(t, runReport(t, mixSpec(), 8))
+	if !bytes.Equal(a, c) {
+		t.Fatalf("worker count changed the report:\n%s\n---\n%s", a, c)
+	}
+
+	other := mixSpec()
+	other.Seed = 43
+	d := marshal(t, runReport(t, other, 1))
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds produced identical reports (jittered workload should differ)")
+	}
+}
+
+func TestMixAggregates(t *testing.T) {
+	rep := runReport(t, mixSpec(), 0)
+	if rep.Scenario != "mix" || rep.Seed != 42 {
+		t.Fatalf("report identity = %q/%d", rep.Scenario, rep.Seed)
+	}
+	if want := 2*4 + 8; rep.Emulations != want {
+		t.Fatalf("emulations = %d, want %d", rep.Emulations, want)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("workload reports = %d, want 2", len(rep.Workloads))
+	}
+	md, sl := rep.Workloads[0], rep.Workloads[1]
+	if md.Name != "md-closed" || md.Machine != "stampede" || md.Emulations != 8 {
+		t.Fatalf("md workload report = %+v", md)
+	}
+	if sl.Name != "sleep-open" || sl.Machine != "comet" || sl.Emulations != 8 {
+		t.Fatalf("sleep workload report = %+v", sl)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	for _, wr := range rep.Workloads {
+		if wr.Latency.P50 <= 0 || wr.Latency.P99 < wr.Latency.P50 || wr.Latency.Max < wr.Latency.P99 {
+			t.Fatalf("%s: implausible latency summary %+v", wr.Name, wr.Latency)
+		}
+		if wr.Service.Mean <= 0 {
+			t.Fatalf("%s: no service time", wr.Name)
+		}
+	}
+	// The MD workload burns CPU and writes trajectory frames; the sleeper
+	// consumes (almost) nothing — only the former must show a busy-time
+	// breakdown and consumed cycles.
+	if len(md.BusyTime) == 0 {
+		t.Fatalf("md-closed: no busy-time breakdown")
+	}
+	if md.Consumed.Cycles <= 0 {
+		t.Fatalf("md-closed: no consumed cycles")
+	}
+	// Identical instances share one replay: the jitter-free closed loop
+	// contributes 1 distinct emulation, the jittered stream one per
+	// instance.
+	if want := 1 + 8; rep.Replays != want {
+		t.Fatalf("replays = %d, want %d", rep.Replays, want)
+	}
+}
+
+// TestClosedLoopChains: with no concurrency caps and no jitter, each closed
+// client replays back-to-back, so the makespan is iterations × service time
+// and nothing ever waits.
+func TestClosedLoopChains(t *testing.T) {
+	spec := &Spec{
+		Version: SpecVersion,
+		Name:    "chain",
+		Workloads: []Workload{{
+			Name:      "md",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalClosed, Clients: 2, Iterations: 3},
+			Emulation: Emulation{Machine: "stampede"},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 6 {
+		t.Fatalf("emulations = %d, want 6", wr.Emulations)
+	}
+	if rep.Replays != 1 {
+		t.Fatalf("replays = %d, want 1 (identical instances share one replay)", rep.Replays)
+	}
+	if wr.Wait.Max != 0 {
+		t.Fatalf("uncapped closed loop queued: wait max = %v", wr.Wait.Max)
+	}
+	// All instances are identical, so service P50 is the service time.
+	if want := Duration(3 * wr.Service.P50.D()); rep.Makespan != want {
+		t.Fatalf("makespan = %v, want 3×service = %v", rep.Makespan, want)
+	}
+	if wr.Latency.Max != wr.Service.P50 {
+		t.Fatalf("latency max = %v, want service %v", wr.Latency.Max, wr.Service.P50)
+	}
+}
+
+// TestConcurrencyCapQueues: four simultaneous arrivals through one slot
+// serialize; the last one waits three service times.
+func TestConcurrencyCapQueues(t *testing.T) {
+	spec := &Spec{
+		Version:       SpecVersion,
+		Name:          "queue",
+		MaxConcurrent: 1,
+		Workloads: []Workload{{
+			Name:      "burst",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalBurst, Burst: 4, Every: Duration(time.Second), Bursts: 1},
+			Emulation: Emulation{Machine: "stampede"},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 4 {
+		t.Fatalf("emulations = %d, want 4", wr.Emulations)
+	}
+	svc := wr.Service.P50.D()
+	if want := Duration(3 * svc); wr.Wait.Max != want {
+		t.Fatalf("wait max = %v, want 3×service = %v", wr.Wait.Max, want)
+	}
+	if want := Duration(4 * svc); rep.Makespan != want {
+		t.Fatalf("makespan = %v, want 4×service = %v", rep.Makespan, want)
+	}
+}
+
+// TestHorizonDropsLateArrivals: a 10-instance constant stream cut at 2.5
+// virtual seconds only ever admits the arrivals at t=0,1,2.
+func TestHorizonDropsLateArrivals(t *testing.T) {
+	spec := &Spec{
+		Version:  SpecVersion,
+		Name:     "horizon",
+		Duration: Duration(2500 * time.Millisecond),
+		Workloads: []Workload{{
+			Name:      "stream",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalConstant, Rate: 1, Count: 10},
+			Emulation: Emulation{Machine: "stampede"},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 3 {
+		t.Fatalf("emulations = %d, want 3", wr.Emulations)
+	}
+	if wr.Dropped != 7 || rep.Dropped != 7 {
+		t.Fatalf("dropped = %d/%d, want 7", wr.Dropped, rep.Dropped)
+	}
+}
+
+// TestHorizonCutsClosedChains: a closed loop against a horizon shorter than
+// one service time completes exactly one iteration per client and drops the
+// rest of each chain.
+func TestHorizonCutsClosedChains(t *testing.T) {
+	spec := &Spec{
+		Version:  SpecVersion,
+		Name:     "cut",
+		Duration: Duration(time.Millisecond),
+		Workloads: []Workload{{
+			Name:      "md",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalClosed, Clients: 2, Iterations: 5},
+			Emulation: Emulation{Machine: "stampede"},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 2 {
+		t.Fatalf("emulations = %d, want 2 (one per client)", wr.Emulations)
+	}
+	if wr.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", wr.Dropped)
+	}
+}
+
+func TestMissingProfileFails(t *testing.T) {
+	st := store.NewMem()
+	spec := validSpec()
+	_, err := Run(context.Background(), spec, st, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), `workload "w"`) {
+		t.Fatalf("expected resolve error naming the workload, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "resolve profile") {
+		t.Fatalf("expected resolve-profile error, got %v", err)
+	}
+}
+
+func TestRunNeedsStore(t *testing.T) {
+	_, err := Run(context.Background(), validSpec(), nil, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "no store") {
+		t.Fatalf("expected store error, got %v", err)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	spec := validSpec()
+	spec.Version = 3
+	_, err := Run(context.Background(), spec, store.NewMem(), RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown spec version") {
+		t.Fatalf("expected validation error, got %v", err)
+	}
+}
+
+// TestCanceledContext: a canceled context aborts the emulation fan-out.
+func TestCanceledContext(t *testing.T) {
+	st := seedStore(t, "mdsim")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := &Spec{
+		Version: SpecVersion,
+		Workloads: []Workload{{
+			Name:      "md",
+			Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival:   Arrival{Process: ArrivalClosed, Clients: 1, Iterations: 4},
+			Emulation: Emulation{Machine: "stampede"},
+		}},
+	}
+	if _, err := Run(ctx, spec, st, RunOptions{}); err == nil {
+		t.Fatal("expected context error")
+	}
+}

@@ -1,0 +1,285 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SpecVersion is the scenario spec schema version this build understands.
+const SpecVersion = 1
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("1.5s", "200ms") and additionally decodes bare JSON numbers as seconds,
+// so hand-written specs can say either "duration": "90s" or "duration": 90.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String formats like time.Duration.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(td)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or seconds: %w", err)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Spec is a declarative workload mix: which profiles run, how instances of
+// each arrive over virtual time, and what resources bound them. Specs are
+// versioned JSON, loadable from a file (Load), raw bytes (Parse), or built
+// directly in Go.
+type Spec struct {
+	// Version is the schema version; must equal SpecVersion.
+	Version int `json:"version"`
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Seed bases every random draw in the scenario (arrival processes,
+	// per-instance load jitter). The same spec with the same seed
+	// produces a byte-identical report.
+	Seed uint64 `json:"seed,omitempty"`
+	// Duration bounds the scenario's virtual time: arrivals after the
+	// horizon are dropped (admitted work still runs to completion).
+	// Zero means unbounded — every workload must then bound itself by
+	// count or iterations.
+	Duration Duration `json:"duration,omitempty"`
+	// MaxConcurrent caps concurrently-running emulations across all
+	// workloads (the shared resource's slot count). Zero = unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Workloads are the mix components, scheduled together.
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one component of the mix: a stored profile, an arrival
+// process generating emulation instances, and per-workload emulation
+// options and limits.
+type Workload struct {
+	// Name identifies the workload in reports; unique within the spec.
+	Name string `json:"name"`
+	// Profile locates the profile in the store (command + tags, the
+	// store's native key).
+	Profile ProfileRef `json:"profile"`
+	// Arrival describes how instances arrive over virtual time.
+	Arrival Arrival `json:"arrival"`
+	// MaxConcurrent caps this workload's concurrently-running instances,
+	// inside the scenario-wide cap. Zero = unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Emulation tunes how each instance replays.
+	Emulation Emulation `json:"emulation,omitempty"`
+}
+
+// ProfileRef names a stored profile.
+type ProfileRef struct {
+	Command string            `json:"command"`
+	Tags    map[string]string `json:"tags,omitempty"`
+}
+
+// Arrival processes supported by the scheduler.
+const (
+	// ArrivalClosed is a closed loop: Clients concurrent clients, each
+	// issuing its next instance the moment the previous one completes,
+	// Iterations times.
+	ArrivalClosed = "closed"
+	// ArrivalPoisson is an open loop with exponentially distributed
+	// inter-arrival times at Rate per second.
+	ArrivalPoisson = "poisson"
+	// ArrivalConstant is an open loop with fixed inter-arrival times
+	// (1/Rate seconds).
+	ArrivalConstant = "constant"
+	// ArrivalBurst releases Burst instances at once every Every, Bursts
+	// times — a ramp of load spikes.
+	ArrivalBurst = "burst"
+)
+
+// Arrival configures a workload's arrival process.
+type Arrival struct {
+	// Process is one of the Arrival* constants.
+	Process string `json:"process"`
+	// Clients and Iterations configure the closed loop.
+	Clients    int `json:"clients,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
+	// Rate (per second) drives the poisson and constant processes; Count
+	// bounds their total arrivals (0 = bounded by the scenario duration).
+	Rate  float64 `json:"rate,omitempty"`
+	Count int     `json:"count,omitempty"`
+	// Burst/Every/Bursts configure the burst process (Bursts 0 = bounded
+	// by the scenario duration).
+	Burst  int      `json:"burst,omitempty"`
+	Every  Duration `json:"every,omitempty"`
+	Bursts int      `json:"bursts,omitempty"`
+}
+
+// Emulation carries the per-workload replay options — the subset of the
+// library's emulation knobs that matter for mixes.
+type Emulation struct {
+	// Machine is the emulation resource; empty replays on the machine
+	// the profile was taken on.
+	Machine string `json:"machine,omitempty"`
+	// Kernel selects the compute kernel ("asm" when empty).
+	Kernel string `json:"kernel,omitempty"`
+	// Load adds artificial background CPU load in [0, 1).
+	Load float64 `json:"load,omitempty"`
+	// LoadJitter perturbs Load per instance, uniformly in ±LoadJitter
+	// (clamped at 0; Load+LoadJitter must stay below 1) — run-to-run
+	// variation inside one mix.
+	LoadJitter float64 `json:"load_jitter,omitempty"`
+	// Workers/Mode inject OpenMP- or MPI-style parallelism; Mode is
+	// "serial", "openmp" or "mpi".
+	Workers int    `json:"workers,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	// DisableAtoms turns off the named atoms ("storage", "memory",
+	// "network") for this workload.
+	DisableAtoms []string `json:"disable_atoms,omitempty"`
+}
+
+// Parse decodes and validates a JSON scenario spec. Unknown fields are
+// rejected — a misspelled knob in a declarative spec should fail loudly,
+// not silently fall back to a default.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate reports the first structural problem with the spec.
+func (s *Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("scenario: unknown spec version %d (this build supports version %d)", s.Version, SpecVersion)
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("scenario: negative duration %v", s.Duration)
+	}
+	if s.MaxConcurrent < 0 {
+		return fmt.Errorf("scenario: negative max_concurrent %d", s.MaxConcurrent)
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("scenario: no workloads")
+	}
+	seen := make(map[string]bool, len(s.Workloads))
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.Name == "" {
+			return fmt.Errorf("scenario: workload %d has no name", i)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("scenario: duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if err := w.validate(s.Duration > 0); err != nil {
+			return fmt.Errorf("scenario: workload %q: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+func (w *Workload) validate(hasHorizon bool) error {
+	if w.Profile.Command == "" {
+		return fmt.Errorf("missing profile command")
+	}
+	if w.MaxConcurrent < 0 {
+		return fmt.Errorf("negative max_concurrent %d", w.MaxConcurrent)
+	}
+	a := &w.Arrival
+	switch a.Process {
+	case ArrivalClosed:
+		if a.Clients < 1 {
+			return fmt.Errorf("closed loop needs clients >= 1, got %d", a.Clients)
+		}
+		if a.Iterations < 1 {
+			return fmt.Errorf("closed loop needs iterations >= 1, got %d", a.Iterations)
+		}
+	case ArrivalPoisson, ArrivalConstant:
+		if a.Rate <= 0 {
+			return fmt.Errorf("%s arrivals need a positive rate, got %g", a.Process, a.Rate)
+		}
+		if a.Count < 0 {
+			return fmt.Errorf("negative count %d", a.Count)
+		}
+		if a.Count == 0 && !hasHorizon {
+			return fmt.Errorf("%s arrivals need a count or a scenario duration", a.Process)
+		}
+	case ArrivalBurst:
+		if a.Burst < 1 {
+			return fmt.Errorf("burst arrivals need burst >= 1, got %d", a.Burst)
+		}
+		if a.Every <= 0 {
+			return fmt.Errorf("burst arrivals need a positive every, got %v", a.Every)
+		}
+		if a.Bursts < 0 {
+			return fmt.Errorf("negative bursts %d", a.Bursts)
+		}
+		if a.Bursts == 0 && !hasHorizon {
+			return fmt.Errorf("burst arrivals need bursts or a scenario duration")
+		}
+	case "":
+		return fmt.Errorf("missing arrival process")
+	default:
+		return fmt.Errorf("unknown arrival process %q", a.Process)
+	}
+	e := &w.Emulation
+	if e.Load < 0 || e.Load >= 1 {
+		return fmt.Errorf("load %g outside [0, 1)", e.Load)
+	}
+	if e.LoadJitter < 0 || e.LoadJitter >= 1 {
+		return fmt.Errorf("load_jitter %g outside [0, 1)", e.LoadJitter)
+	}
+	if e.Load+e.LoadJitter >= 1 {
+		return fmt.Errorf("load %g + load_jitter %g must stay below 1", e.Load, e.LoadJitter)
+	}
+	if e.Workers < 0 {
+		return fmt.Errorf("negative workers %d", e.Workers)
+	}
+	switch e.Mode {
+	case "", "serial", "openmp", "mpi":
+	default:
+		return fmt.Errorf("unknown mode %q (serial, openmp, mpi)", e.Mode)
+	}
+	for _, a := range e.DisableAtoms {
+		switch a {
+		case "storage", "memory", "network":
+		default:
+			return fmt.Errorf("unknown atom %q in disable_atoms (storage, memory, network)", a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validSpec returns a minimal spec that passes validation, for tests to
+// break one field at a time.
+func validSpec() *Spec {
+	return &Spec{
+		Version: SpecVersion,
+		Name:    "t",
+		Workloads: []Workload{{
+			Name:    "w",
+			Profile: ProfileRef{Command: "mdsim", Tags: map[string]string{"steps": "10000"}},
+			Arrival: Arrival{Process: ArrivalClosed, Clients: 1, Iterations: 1},
+		}},
+	}
+}
+
+func TestValidateAcceptsMinimalSpec(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("minimal spec invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown version", func(s *Spec) { s.Version = 99 }, "unknown spec version 99"},
+		{"zero version", func(s *Spec) { s.Version = 0 }, "unknown spec version"},
+		{"no workloads", func(s *Spec) { s.Workloads = nil }, "no workloads"},
+		{"negative duration", func(s *Spec) { s.Duration = -1 }, "negative duration"},
+		{"negative global cap", func(s *Spec) { s.MaxConcurrent = -2 }, "negative max_concurrent"},
+		{"unnamed workload", func(s *Spec) { s.Workloads[0].Name = "" }, "has no name"},
+		{"duplicate workload", func(s *Spec) {
+			s.Workloads = append(s.Workloads, s.Workloads[0])
+		}, `duplicate workload name "w"`},
+		{"missing profile command", func(s *Spec) { s.Workloads[0].Profile.Command = "" }, "missing profile command"},
+		{"negative workload cap", func(s *Spec) { s.Workloads[0].MaxConcurrent = -1 }, "negative max_concurrent"},
+		{"missing arrival process", func(s *Spec) { s.Workloads[0].Arrival = Arrival{} }, "missing arrival process"},
+		{"unknown arrival process", func(s *Spec) { s.Workloads[0].Arrival.Process = "weibull" }, `unknown arrival process "weibull"`},
+		{"closed loop no clients", func(s *Spec) { s.Workloads[0].Arrival.Clients = 0 }, "clients >= 1"},
+		{"closed loop no iterations", func(s *Spec) { s.Workloads[0].Arrival.Iterations = 0 }, "iterations >= 1"},
+		{"poisson zero rate", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalPoisson, Rate: 0, Count: 5}
+		}, "positive rate"},
+		{"constant negative rate", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalConstant, Rate: -3, Count: 5}
+		}, "positive rate"},
+		{"open loop unbounded", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalPoisson, Rate: 1}
+		}, "count or a scenario duration"},
+		{"open loop negative count", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalConstant, Rate: 1, Count: -1}
+		}, "negative count"},
+		{"burst zero size", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalBurst, Burst: 0, Every: Duration(time.Second), Bursts: 1}
+		}, "burst >= 1"},
+		{"burst no period", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalBurst, Burst: 2, Bursts: 1}
+		}, "positive every"},
+		{"burst unbounded", func(s *Spec) {
+			s.Workloads[0].Arrival = Arrival{Process: ArrivalBurst, Burst: 2, Every: Duration(time.Second)}
+		}, "bursts or a scenario duration"},
+		{"load out of range", func(s *Spec) { s.Workloads[0].Emulation.Load = 1.0 }, "load 1 outside"},
+		{"negative load", func(s *Spec) { s.Workloads[0].Emulation.Load = -0.1 }, "outside [0, 1)"},
+		{"jitter out of range", func(s *Spec) { s.Workloads[0].Emulation.LoadJitter = 2 }, "load_jitter 2 outside"},
+		{"load plus jitter saturates", func(s *Spec) {
+			s.Workloads[0].Emulation.Load = 0.9
+			s.Workloads[0].Emulation.LoadJitter = 0.2
+		}, "must stay below 1"},
+		{"negative emulation workers", func(s *Spec) { s.Workloads[0].Emulation.Workers = -1 }, "negative workers"},
+		{"unknown mode", func(s *Spec) { s.Workloads[0].Emulation.Mode = "cuda" }, `unknown mode "cuda"`},
+		{"unknown atom", func(s *Spec) { s.Workloads[0].Emulation.DisableAtoms = []string{"gpu"} }, `unknown atom "gpu"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"version": 1, "workloads": [], "max_concurency": 4}`))
+	if err == nil || !strings.Contains(err.Error(), "max_concurency") {
+		t.Fatalf("expected unknown-field error, got %v", err)
+	}
+}
+
+func TestParseDurationForms(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"version": 1,
+		"duration": "90s",
+		"workloads": [{
+			"name": "open",
+			"profile": {"command": "mdsim"},
+			"arrival": {"process": "constant", "rate": 2},
+			"emulation": {"machine": "stampede"}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Duration.D() != 90*time.Second {
+		t.Fatalf("duration = %v, want 90s", spec.Duration)
+	}
+
+	spec, err = Parse([]byte(`{
+		"version": 1,
+		"duration": 2.5,
+		"workloads": [{
+			"name": "open",
+			"profile": {"command": "mdsim"},
+			"arrival": {"process": "constant", "rate": 2}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Duration.D() != 2500*time.Millisecond {
+		t.Fatalf("numeric duration = %v, want 2.5s", spec.Duration)
+	}
+}
+
+func TestParseBadDuration(t *testing.T) {
+	_, err := Parse([]byte(`{"version": 1, "duration": "fortnight", "workloads": []}`))
+	if err == nil || !strings.Contains(err.Error(), "bad duration") {
+		t.Fatalf("expected bad-duration error, got %v", err)
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := Duration(1500 * time.Millisecond)
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1.5s"` {
+		t.Fatalf("marshal = %s, want \"1.5s\"", b)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip = %v, want %v", back, d)
+	}
+}

@@ -1,11 +1,15 @@
 // Package store persists profiles and serves the (command, tags) queries the
 // emulator uses to locate them.
 //
-// Two backends mirror the paper's options (§4): Mem is a MongoDB-like
+// Three local backends implement one Store interface: Mem is a MongoDB-like
 // document store — profiles of one command/tags combination share one
 // document, and documents are capped at 16 MB, which limits them to roughly
-// 250,000 samples (paper §4.5 "DB limitations"); File stores one JSON file
-// per profile and imposes no sample limit.
+// 250,000 samples (paper §4.5 "DB limitations"); Sharded partitions the same
+// semantics across lock-striped in-memory shards so concurrent clients do
+// not serialize on one mutex; File stores one JSON file per profile and
+// imposes no sample limit. A fourth implementation, internal/storeclnt,
+// serves the interface over HTTP from a synapsed daemon. All four pass the
+// storetest conformance suite.
 package store
 
 import (

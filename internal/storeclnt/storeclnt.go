@@ -97,6 +97,17 @@ func New(base string, opts ...Option) *Remote {
 	return r
 }
 
+// Open resolves a CLI -store flag value: an http(s):// URL connects to a
+// running synapsed daemon, anything else opens a local file-store
+// directory. Shared by every command so the flag's meaning cannot drift
+// between binaries.
+func Open(dirOrURL string) (store.Store, error) {
+	if strings.HasPrefix(dirOrURL, "http://") || strings.HasPrefix(dirOrURL, "https://") {
+		return New(dirOrURL), nil
+	}
+	return store.NewFile(dirOrURL)
+}
+
 // remoteError reconstructs sentinel errors from a structured error response
 // so errors.Is(err, store.ErrNotFound/ErrDocTooLarge) holds across the wire.
 func remoteError(status int, body []byte) error {

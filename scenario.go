@@ -1,0 +1,59 @@
+package synapse
+
+import (
+	"context"
+
+	"synapse/internal/scenario"
+)
+
+// Scenario is a declarative workload mix: stored profiles plus per-workload
+// arrival processes, concurrency limits and emulation options, scheduled
+// together on a virtual timeline (see docs/scenarios.md for the spec
+// reference).
+type Scenario = scenario.Spec
+
+// ScenarioWorkload is one component of a Scenario.
+type ScenarioWorkload = scenario.Workload
+
+// ScenarioProfileRef names a stored profile inside a ScenarioWorkload.
+type ScenarioProfileRef = scenario.ProfileRef
+
+// ScenarioArrival configures a workload's arrival process ("closed",
+// "poisson", "constant", "burst").
+type ScenarioArrival = scenario.Arrival
+
+// ScenarioEmulation carries a workload's per-instance replay options.
+type ScenarioEmulation = scenario.Emulation
+
+// ScenarioDuration is the spec's duration type: JSON duration strings
+// ("90s") or bare numbers of seconds.
+type ScenarioDuration = scenario.Duration
+
+// ScenarioReport is the aggregate outcome of RunScenario: makespan, per-
+// workload throughput, latency percentiles (sojourn, queue wait, service)
+// and busy-time breakdowns. Reports are byte-identical for a fixed spec and
+// seed.
+type ScenarioReport = scenario.Report
+
+// ParseScenario decodes and validates a versioned JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// LoadScenario reads, decodes and validates a scenario spec file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// WithScenarioWorkers bounds RunScenario's parallel emulation fan-out
+// (0 uses all cores, 1 forces serial). The report is identical at any
+// worker count; only wall-clock speed changes.
+func WithScenarioWorkers(n int) Option {
+	return func(o *options) { o.scenWorkers = n }
+}
+
+// RunScenario executes a workload mix: every workload's profile resolves
+// through the configured store (WithStore, including NewRemoteStore
+// clients), instances emulate on the batched replay engine across all
+// cores, and the discrete-event scheduler aggregates the virtual-time
+// outcome into a deterministic report.
+func RunScenario(ctx context.Context, spec *Scenario, opts ...Option) (*ScenarioReport, error) {
+	o := buildOptions(opts)
+	return scenario.Run(ctx, spec, o.st, scenario.RunOptions{Workers: o.scenWorkers})
+}

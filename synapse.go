@@ -21,6 +21,12 @@
 // substitution rationale), which makes every experiment deterministic and
 // laptop-fast. WithRealExecution switches to actually spawning processes and
 // consuming host resources.
+//
+// Beyond single replays, RunWorkflow executes DAGs of profiled tasks
+// (Application-Skeleton style, paper §7) and RunScenario schedules
+// declarative workload mixes — profiles arriving over time on shared,
+// capacity-limited resources — returning deterministic aggregate reports
+// (docs/scenarios.md).
 package synapse
 
 import (
@@ -77,6 +83,8 @@ type options struct {
 	prof core.ProfileOptions
 	emul core.EmulateOptions
 	st   store.Store
+	// scenWorkers bounds RunScenario's emulation fan-out (0 = all cores).
+	scenWorkers int
 }
 
 // OnMachine selects the machine (catalog name or "host") to profile or
