@@ -6,11 +6,14 @@
 //
 //	synapse-sim -scenario mix.json -store http://stampede:8181 -out report.json
 //	synapse-sim -scenario mix.json -store ./synapse-store -workers 4
+//	synapse-sim -scenario mix.json -cluster cluster.json
 //
 // The -store flag accepts a local file-store directory or the URL of a
-// running synapsed daemon. Reports are deterministic for a fixed spec and
-// seed: same inputs, byte-identical -out file. See docs/scenarios.md for
-// the spec format.
+// running synapsed daemon. -cluster attaches (or replaces) the spec's
+// cluster block from a standalone JSON file, so one mix can be rerun
+// against different machine pools and placement policies. Reports are
+// deterministic for a fixed spec and seed: same inputs, byte-identical
+// -out file. See docs/scenarios.md for the spec format.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"synapse/internal/cluster"
 	"synapse/internal/scenario"
 	"synapse/internal/storeclnt"
 )
@@ -41,6 +45,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("synapse-sim", flag.ExitOnError)
 	specPath := fs.String("scenario", "", "scenario spec file (JSON, required)")
 	storeDir := fs.String("store", "synapse-store", "profile store directory or synapsed URL (http://host:port)")
+	clusterPath := fs.String("cluster", "", "cluster description file (JSON); attaches or replaces the spec's cluster block")
 	workers := fs.Int("workers", 0, "parallel emulation workers (0 = all cores)")
 	out := fs.String("out", "", "write the full JSON report to this file")
 	seed := fs.String("seed", "", "override the spec's seed (uint64; empty keeps the spec value)")
@@ -53,6 +58,20 @@ func run(args []string) error {
 	spec, err := scenario.Load(*specPath)
 	if err != nil {
 		return err
+	}
+	if *clusterPath != "" {
+		data, err := os.ReadFile(*clusterPath)
+		if err != nil {
+			return fmt.Errorf("read cluster: %w", err)
+		}
+		cs, err := cluster.ParseSpec(data)
+		if err != nil {
+			return err
+		}
+		spec.Cluster = cs
+		if err := spec.Validate(); err != nil {
+			return err
+		}
 	}
 	if *seed != "" {
 		s, err := strconv.ParseUint(*seed, 10, 64)
@@ -115,5 +134,18 @@ func printSummary(w io.Writer, rep *scenario.Report) {
 			parts = append(parts, fmt.Sprintf("%s %s", ab.Atom, ab.Busy))
 		}
 		fmt.Fprintf(w, "busy %-12s %s\n", wr.Name, strings.Join(parts, ", "))
+	}
+	if cr := rep.Cluster; cr != nil {
+		fmt.Fprintf(w, "cluster policy %s: %d placements", cr.Policy, cr.Placements)
+		if cr.Rejections > 0 {
+			fmt.Fprintf(w, ", %d full-cluster rejections", cr.Rejections)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-16s %-10s %6s %6s %6s %12s %6s\n",
+			"node", "machine", "cores", "placed", "peak", "busy", "util")
+		for _, n := range cr.Nodes {
+			fmt.Fprintf(w, "%-16s %-10s %6d %6d %6d %12s %5.1f%%\n",
+				n.Name, n.Machine, n.Cores, n.Placed, n.PeakCores, n.Busy, 100*n.Utilization)
+		}
 	}
 }

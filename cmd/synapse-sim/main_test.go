@@ -108,6 +108,103 @@ func TestSimRunsMixedScenario(t *testing.T) {
 	}
 }
 
+// TestSimClusterFlag: -cluster attaches a machine pool to the mix and the
+// summary and report grow the placement view; reports stay deterministic.
+func TestSimClusterFlag(t *testing.T) {
+	storeDir, _ := setup(t)
+	dir := t.TempDir()
+
+	// Cluster specs forbid per-workload machines (the node decides), so
+	// the clustered mix leaves emulation.machine unset.
+	specPath := filepath.Join(dir, "mix.json")
+	spec := `{
+		"version": 1,
+		"name": "cluster-cli",
+		"seed": 7,
+		"workloads": [
+			{
+				"name": "md",
+				"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+				"arrival": {"process": "closed", "clients": 2, "iterations": 2},
+				"resources": {"cores": 2}
+			},
+			{
+				"name": "sleep",
+				"profile": {"command": "sleep", "tags": {"seconds": "1"}},
+				"arrival": {"process": "constant", "rate": 0.2, "count": 3},
+				"emulation": {"load": 0.1, "load_jitter": 0.05}
+			}
+		]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clusterPath := filepath.Join(dir, "cluster.json")
+	cspec := `{
+		"policy": "least_loaded",
+		"contention": 0.4,
+		"nodes": [{"name": "n", "machine": "stampede", "count": 2, "cores": 4}]
+	}`
+	if err := os.WriteFile(clusterPath, []byte(cspec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+
+	outPath := filepath.Join(dir, "report.json")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-cluster", clusterPath, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cluster policy least_loaded") || !strings.Contains(out, "n-0") {
+		t.Fatalf("summary missing cluster view: %q", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cluster == nil || len(rep.Cluster.Nodes) != 2 || rep.Cluster.Placements != rep.Emulations {
+		t.Fatalf("report cluster block = %+v", rep.Cluster)
+	}
+
+	// Determinism holds with a cluster attached through the flag.
+	buf.Reset()
+	outPath2 := filepath.Join(dir, "report2.json")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-cluster", clusterPath, "-out", outPath2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("two clustered CLI runs wrote different reports")
+	}
+
+	// Attaching a cluster to a spec that pins per-workload machines is a
+	// validation error, not a silent override.
+	_, pinnedSpec := setup(t)
+	if err := run([]string{"-scenario", pinnedSpec, "-store", storeDir, "-cluster", clusterPath}); err == nil ||
+		!strings.Contains(err.Error(), "conflicts with the cluster") {
+		t.Fatalf("expected machine/cluster conflict error, got %v", err)
+	}
+
+	// A malformed cluster file fails loudly.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"nodes": [], "polcy": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-cluster", badPath}); err == nil {
+		t.Fatal("bad cluster file accepted")
+	}
+}
+
 func TestSimSeedOverride(t *testing.T) {
 	storeDir, specPath := setup(t)
 	var buf bytes.Buffer

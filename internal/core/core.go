@@ -223,6 +223,16 @@ func NewEmulation(p *profile.Profile, opts EmulateOptions) (*emulator.Run, error
 	return emulator.NewRun(p, eopts)
 }
 
+// NewEmulationOn is NewEmulation for an already-resolved machine model —
+// cluster nodes and inline JSON machine descriptions that are not (and must
+// not be) registered in the global catalog. opts.Machine is ignored.
+func NewEmulationOn(p *profile.Profile, m *machine.Model, opts EmulateOptions) (*emulator.Run, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: emulation needs a machine model")
+	}
+	return emulator.NewRun(p, emulatorOptionsOn(m, opts))
+}
+
 // emulatorOptions maps the flat EmulateOptions onto the emulator's Options,
 // resolving the machine name against the catalog.
 func emulatorOptions(opts EmulateOptions) (emulator.Options, error) {
@@ -233,6 +243,11 @@ func emulatorOptions(opts EmulateOptions) (emulator.Options, error) {
 	if err != nil {
 		return emulator.Options{}, err
 	}
+	return emulatorOptionsOn(m, opts), nil
+}
+
+// emulatorOptionsOn is the machine-resolved core of emulatorOptions.
+func emulatorOptionsOn(m *machine.Model, opts EmulateOptions) emulator.Options {
 	return emulator.Options{
 		Atoms: atoms.Config{
 			Machine:           m,
@@ -256,7 +271,7 @@ func emulatorOptions(opts EmulateOptions) (emulator.Options, error) {
 		DisableMemory:  opts.DisableMemory,
 		DisableNetwork: opts.DisableNetwork,
 		TraceLevel:     opts.TraceLevel,
-	}, nil
+	}
 }
 
 // EmulateProfile replays one profile with the given options.

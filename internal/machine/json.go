@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -96,6 +97,23 @@ func FromJSON(data []byte) (*Model, error) {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return nil, fmt.Errorf("machine: parse json: %w", err)
 	}
+	return j.build()
+}
+
+// FromJSONStrict parses a machine description rejecting unknown fields —
+// the variant declarative specs (scenario cluster blocks) use, so a
+// misspelled knob in an inline machine model fails loudly.
+func FromJSONStrict(data []byte) (*Model, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j modelJSON
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("machine: parse json: %w", err)
+	}
+	return j.build()
+}
+
+func (j *modelJSON) build() (*Model, error) {
 	m := &Model{
 		Name:     j.Name,
 		ClockHz:  j.ClockGHz * 1e9,

@@ -1,6 +1,8 @@
 package profile
 
 import (
+	"maps"
+	"strings"
 	"testing"
 	"time"
 )
@@ -45,6 +47,61 @@ func FuzzDecode(f *testing.F) {
 		}
 		if q2.Command != q.Command || len(q2.Samples) != len(q.Samples) {
 			t.Fatal("decode/encode round trip lost data")
+		}
+	})
+}
+
+// ambiguousIdentity mirrors the identity rules Validate enforces: NUL is
+// the key separator and '=' splits tag pairs, so identities containing them
+// cannot round-trip through Key/ParseKey and stores reject them.
+func ambiguousIdentity(command string, tags map[string]string) bool {
+	if command == "" || strings.ContainsRune(command, 0) {
+		return true
+	}
+	for k, v := range tags {
+		if strings.ContainsAny(k, "\x00=") || strings.ContainsRune(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzParseKey hardens the wire key codec: ParseKey must never panic on
+// arbitrary input and Key ∘ ParseKey must be idempotent (one canonical
+// pass); for every unambiguous identity, ParseKey must invert Key exactly.
+// The profile store service addresses documents by key on the wire, so a
+// disagreement here would let remote and local stores file one profile
+// under two identities.
+func FuzzParseKey(f *testing.F) {
+	f.Add("gmx mdrun\x00steps=1000", "cmd", "k1", "v1", "k2", "v2")
+	f.Add("plain", "spaced command -x", "key", "", "", "with=equals")
+	f.Add("\x00=", "c", "dup", "a", "dup", "b")
+	f.Add("a\x00b=c\x00b=d", "c", "", "v", "k", "v")
+
+	f.Fuzz(func(t *testing.T, raw, command, k1, v1, k2, v2 string) {
+		// Arbitrary wire keys: parsing must not panic, and re-keying the
+		// parse must reach a fixed point after one canonicalization.
+		c, tags := ParseKey(raw)
+		canon := Key(c, tags)
+		c2, tags2 := ParseKey(canon)
+		if c2 != c || !maps.Equal(tags, tags2) {
+			t.Fatalf("ParseKey(Key(ParseKey(%q))) diverged: (%q, %v) vs (%q, %v)",
+				raw, c, tags, c2, tags2)
+		}
+		if again := Key(c2, tags2); again != canon {
+			t.Fatalf("Key is not idempotent over its own parse: %q vs %q", canon, again)
+		}
+
+		// Structured identities: exact inversion whenever the identity is
+		// one the stores would accept.
+		identTags := map[string]string{k1: v1, k2: v2}
+		if ambiguousIdentity(command, identTags) {
+			return
+		}
+		key := Key(command, identTags)
+		gotCmd, gotTags := ParseKey(key)
+		if gotCmd != command || !maps.Equal(gotTags, identTags) {
+			t.Fatalf("ParseKey(Key(%q, %v)) = (%q, %v)", command, identTags, gotCmd, gotTags)
 		}
 	})
 }

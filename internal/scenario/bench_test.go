@@ -3,6 +3,9 @@ package scenario
 import (
 	"context"
 	"testing"
+	"time"
+
+	"synapse/internal/cluster"
 )
 
 // benchSpec is the benchmark mix: one closed-loop workload producing n
@@ -51,6 +54,87 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 func BenchmarkScenarioSerial(b *testing.B) {
 	st := seedStore(b, "mdsim")
 	spec := benchSpec(4, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), spec, st, RunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.Emulations
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emulations/s")
+}
+
+// placementBenchSpec is the clustered benchmark mix: jittered bursts and a
+// closed loop placed onto a finite four-node pool, so the metric covers
+// policy decisions, contention-derived loads and the demand-driven memoized
+// replay path.
+func placementBenchSpec(policy string) *Spec {
+	contention := 0.4
+	return &Spec{
+		Version: SpecVersion,
+		Name:    "bench-placement",
+		Seed:    1,
+		Cluster: &cluster.Spec{
+			Policy:     policy,
+			Contention: &contention,
+			Nodes: []cluster.NodeSpec{
+				{Name: "stamp", Machine: "stampede", Count: 2, Cores: 8},
+				{Name: "comet", Machine: "comet", Count: 2, Cores: 4},
+			},
+		},
+		Workloads: []Workload{
+			{
+				Name:      "md-closed",
+				Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival:   Arrival{Process: ArrivalClosed, Clients: 8, Iterations: 8},
+				Resources: &Resources{Cores: 2},
+				Emulation: Emulation{Load: 0.1, LoadJitter: 0.08},
+			},
+			{
+				Name:      "md-bursts",
+				Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival:   Arrival{Process: ArrivalBurst, Burst: 16, Every: Duration(2 * time.Second), Bursts: 4},
+				Resources: &Resources{Cores: 1},
+				Emulation: Emulation{Load: 0.2, LoadJitter: 0.15},
+			},
+		},
+	}
+}
+
+// BenchmarkPlacement is the acceptance number for the cluster engine:
+// completed emulations per wall-clock second through placement, contention
+// and the demand-driven replay path, per policy.
+func BenchmarkPlacement(b *testing.B) {
+	for _, policy := range []string{
+		cluster.PolicyFirstFit, cluster.PolicyBestFit,
+		cluster.PolicyLeastLoaded, cluster.PolicyRandom,
+	} {
+		b.Run(policy, func(b *testing.B) {
+			st := seedStore(b, "mdsim")
+			spec := placementBenchSpec(policy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(context.Background(), spec, st, RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.Emulations
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "emulations/s")
+		})
+	}
+}
+
+// BenchmarkPlacementSerial pins the single-worker baseline for the
+// demand-driven batch path.
+func BenchmarkPlacementSerial(b *testing.B) {
+	st := seedStore(b, "mdsim")
+	spec := placementBenchSpec(cluster.PolicyLeastLoaded)
 	b.ReportAllocs()
 	b.ResetTimer()
 	total := 0

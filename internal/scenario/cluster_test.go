@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/cluster"
+)
+
+// clusterSpec is a mixed workload on a small finite cluster: a closed MD
+// loop and a burst of sleepers compete for two stampede nodes.
+func clusterSpec(policy string) *Spec {
+	contention := 0.5
+	return &Spec{
+		Version: SpecVersion,
+		Name:    "cluster-mix",
+		Seed:    42,
+		Cluster: &cluster.Spec{
+			Policy:     policy,
+			Contention: &contention,
+			Nodes: []cluster.NodeSpec{
+				{Name: "node", Machine: "stampede", Count: 2, Cores: 4},
+			},
+		},
+		Workloads: []Workload{
+			{
+				Name:      "md",
+				Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival:   Arrival{Process: ArrivalClosed, Clients: 3, Iterations: 3},
+				Resources: &Resources{Cores: 2},
+			},
+			{
+				Name:    "sleepers",
+				Profile: ProfileRef{Command: "sleep", Tags: sleepTags},
+				Arrival: Arrival{Process: ArrivalBurst, Burst: 4, Every: Duration(time.Second), Bursts: 2},
+				Emulation: Emulation{
+					Load:       0.1,
+					LoadJitter: 0.05,
+				},
+			},
+		},
+	}
+}
+
+// TestClusterDeterminism extends the reproducibility contract to placement:
+// a fixed (spec+cluster, seed) yields a byte-identical report at any worker
+// count, for every policy.
+func TestClusterDeterminism(t *testing.T) {
+	for _, policy := range []string{
+		cluster.PolicyFirstFit, cluster.PolicyBestFit,
+		cluster.PolicyLeastLoaded, cluster.PolicyRandom,
+	} {
+		t.Run(policy, func(t *testing.T) {
+			a := marshal(t, runReport(t, clusterSpec(policy), 1))
+			b := marshal(t, runReport(t, clusterSpec(policy), 8))
+			if !bytes.Equal(a, b) {
+				t.Fatalf("worker count changed the clustered report:\n%s\n---\n%s", a, b)
+			}
+		})
+	}
+}
+
+func TestClusterReportShape(t *testing.T) {
+	rep := runReport(t, clusterSpec(cluster.PolicyLeastLoaded), 0)
+	cr := rep.Cluster
+	if cr == nil {
+		t.Fatal("clustered run produced no cluster report")
+	}
+	if cr.Policy != cluster.PolicyLeastLoaded {
+		t.Errorf("policy = %q", cr.Policy)
+	}
+	if len(cr.Nodes) != 2 || cr.Nodes[0].Name != "node-0" || cr.Nodes[1].Name != "node-1" {
+		t.Fatalf("nodes = %+v", cr.Nodes)
+	}
+	// Every completed instance was placed exactly once.
+	if cr.Placements != rep.Emulations {
+		t.Errorf("placements = %d, emulations = %d", cr.Placements, rep.Emulations)
+	}
+	var placed int
+	for _, n := range cr.Nodes {
+		placed += n.Placed
+		if n.Machine != "stampede" || n.Cores != 4 {
+			t.Errorf("node = %+v", n)
+		}
+		if n.Busy <= 0 || n.Utilization <= 0 || n.Utilization > 1 {
+			t.Errorf("node %s accounting: busy=%v util=%g", n.Name, n.Busy, n.Utilization)
+		}
+		if n.PeakCores <= 0 || n.PeakCores > n.Cores {
+			t.Errorf("node %s peak = %d", n.Name, n.PeakCores)
+		}
+	}
+	if placed != cr.Placements {
+		t.Errorf("per-node placed sums to %d, placements = %d", placed, cr.Placements)
+	}
+	for _, wr := range rep.Workloads {
+		if wr.Machine != "cluster" {
+			t.Errorf("workload %s machine = %q, want cluster", wr.Name, wr.Machine)
+		}
+	}
+}
+
+// TestClusterQueuesWhenFull: four simultaneous single-core instances
+// through a one-core cluster serialize exactly like a concurrency cap of 1.
+func TestClusterQueuesWhenFull(t *testing.T) {
+	noContention := 0.0
+	spec := &Spec{
+		Version: SpecVersion,
+		Name:    "tight",
+		Cluster: &cluster.Spec{
+			Contention: &noContention,
+			Nodes:      []cluster.NodeSpec{{Machine: "stampede", Cores: 1}},
+		},
+		Workloads: []Workload{{
+			Name:    "burst",
+			Profile: ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival: Arrival{Process: ArrivalBurst, Burst: 4, Every: Duration(time.Second), Bursts: 1},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 4 {
+		t.Fatalf("emulations = %d, want 4", wr.Emulations)
+	}
+	svc := wr.Service.P50.D()
+	if want := Duration(3 * svc); wr.Wait.Max != want {
+		t.Fatalf("wait max = %v, want 3×service = %v", wr.Wait.Max, want)
+	}
+	if rep.Cluster.Rejections == 0 {
+		t.Error("a saturated cluster should record rejections")
+	}
+	if got := rep.Cluster.Nodes[0].PeakCores; got != 1 {
+		t.Errorf("peak cores = %d, want 1", got)
+	}
+	// With identical instances on one machine at one occupancy level, all
+	// four share a single replay.
+	if rep.Replays != 1 {
+		t.Errorf("replays = %d, want 1", rep.Replays)
+	}
+}
+
+// TestClusterContentionSlowsColocation: the same burst on one node takes
+// longer when colocation maps onto background load.
+func TestClusterContentionSlowsColocation(t *testing.T) {
+	mk := func(contention float64) *Spec {
+		return &Spec{
+			Version: SpecVersion,
+			Name:    "contention",
+			Cluster: &cluster.Spec{
+				Contention: &contention,
+				Nodes:      []cluster.NodeSpec{{Machine: "stampede", Cores: 4}},
+			},
+			Workloads: []Workload{{
+				Name:    "burst",
+				Profile: ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival: Arrival{Process: ArrivalBurst, Burst: 4, Every: Duration(time.Second), Bursts: 1},
+			}},
+		}
+	}
+	calm := runReport(t, mk(0), 0)
+	loud := runReport(t, mk(0.9), 0)
+	if loud.Makespan <= calm.Makespan {
+		t.Fatalf("contention did not slow the mix: %v vs %v", loud.Makespan, calm.Makespan)
+	}
+	// Occupancies 0, 1/4, 2/4, 3/4 give four distinct effective loads —
+	// four distinct replays where the uncontended run needs one.
+	if calm.Replays != 1 || loud.Replays != 4 {
+		t.Fatalf("replays = %d/%d, want 1/4", calm.Replays, loud.Replays)
+	}
+	if loud.Workloads[0].Service.Max <= loud.Workloads[0].Service.P50 {
+		t.Error("later placements should serve slower than the first")
+	}
+}
+
+// TestClusterHeterogeneousNodes: instances spill onto a second, slower
+// machine, so service times split into two groups.
+func TestClusterHeterogeneousNodes(t *testing.T) {
+	noContention := 0.0
+	spec := &Spec{
+		Version: SpecVersion,
+		Name:    "hetero",
+		Cluster: &cluster.Spec{
+			Policy:     cluster.PolicyFirstFit,
+			Contention: &noContention,
+			Nodes: []cluster.NodeSpec{
+				{Machine: "stampede", Cores: 1},
+				{Machine: "thinkie", Cores: 1},
+			},
+		},
+		Workloads: []Workload{{
+			Name:    "pair",
+			Profile: ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival: Arrival{Process: ArrivalBurst, Burst: 2, Every: Duration(time.Second), Bursts: 1},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	if wr.Emulations != 2 {
+		t.Fatalf("emulations = %d, want 2", wr.Emulations)
+	}
+	if wr.Service.Max == wr.Service.P50 {
+		t.Error("both machines served at the same speed; expected distinct service times")
+	}
+	if rep.Replays != 2 {
+		t.Errorf("replays = %d, want 2 (one per machine)", rep.Replays)
+	}
+	for _, n := range rep.Cluster.Nodes {
+		if n.Placed != 1 {
+			t.Errorf("node %s placed = %d, want 1", n.Name, n.Placed)
+		}
+	}
+}
+
+// TestClusterInlineMachine: a node machine defined inline in the spec, never
+// registered globally.
+func TestClusterInlineMachine(t *testing.T) {
+	data := []byte(`{
+		"version": 1,
+		"name": "inline",
+		"seed": 7,
+		"cluster": {
+			"machines": {
+				"pocket": {"name": "pocket", "clock_ghz": 1.2, "cores": 2,
+				           "mem_gb": 4, "mem_bw_gbs": 8}
+			},
+			"nodes": [{"machine": "pocket"}]
+		},
+		"workloads": [{
+			"name": "md",
+			"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+			"arrival": {"process": "closed", "clients": 1, "iterations": 2}
+		}]
+	}`)
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runReport(t, spec, 0)
+	if rep.Emulations != 2 {
+		t.Fatalf("emulations = %d, want 2", rep.Emulations)
+	}
+	if got := rep.Cluster.Nodes[0].Machine; got != "pocket" {
+		t.Fatalf("node machine = %q, want pocket", got)
+	}
+}
+
+// TestClusterTooWideWorkloadFails: a resource request no node can ever host
+// fails fast instead of queueing forever.
+func TestClusterTooWideWorkloadFails(t *testing.T) {
+	spec := clusterSpec(cluster.PolicyFirstFit)
+	spec.Workloads[0].Resources = &Resources{Cores: 64}
+	st := seedStore(t, "mdsim", "sleep")
+	_, err := Run(context.Background(), spec, st, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "fits no cluster node") {
+		t.Fatalf("expected fit error, got %v", err)
+	}
+}
+
+func TestClusterSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"machine conflicts with cluster", func(s *Spec) {
+			s.Workloads[0].Emulation.Machine = "comet"
+		}, "conflicts with the cluster"},
+		{"bad nested cluster", func(s *Spec) { s.Cluster.Policy = "tarot" }, "unknown policy"},
+		{"negative resources", func(s *Spec) {
+			s.Workloads[0].Resources = &Resources{Cores: -1}
+		}, "negative resources.cores"},
+		{"negative resource memory", func(s *Spec) {
+			s.Workloads[0].Resources = &Resources{MemGB: -2}
+		}, "resources.mem_gb -2 outside"},
+		{"resource memory overflows bytes", func(s *Spec) {
+			s.Workloads[0].Resources = &Resources{MemGB: 2e10}
+		}, "outside [0,"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := clusterSpec(cluster.PolicyFirstFit)
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not contain %q", err, tc.want)
+			}
+		})
+	}
+
+	// resources without a cluster block is inert, not an error: specs can
+	// be written cluster-agnostic and gain a pool via synapse-sim -cluster.
+	s := validSpec()
+	s.Workloads[0].Resources = &Resources{Cores: 2}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("cluster-agnostic resources rejected: %v", err)
+	}
+}
+
+// TestClusterCapsCompose: the scenario-wide cap still binds inside a wide
+// cluster.
+func TestClusterCapsCompose(t *testing.T) {
+	noContention := 0.0
+	spec := &Spec{
+		Version:       SpecVersion,
+		Name:          "caps",
+		MaxConcurrent: 1,
+		Cluster: &cluster.Spec{
+			Contention: &noContention,
+			Nodes:      []cluster.NodeSpec{{Machine: "stampede", Count: 4}},
+		},
+		Workloads: []Workload{{
+			Name:    "burst",
+			Profile: ProfileRef{Command: "mdsim", Tags: mdTags},
+			Arrival: Arrival{Process: ArrivalBurst, Burst: 3, Every: Duration(time.Second), Bursts: 1},
+		}},
+	}
+	rep := runReport(t, spec, 0)
+	wr := rep.Workloads[0]
+	svc := wr.Service.P50.D()
+	if want := Duration(2 * svc); wr.Wait.Max != want {
+		t.Fatalf("wait max = %v, want 2×service = %v (global cap must bind)", wr.Wait.Max, want)
+	}
+}
+
+// TestClusterSkipAhead: a wide workload blocked by cluster capacity must not
+// block a narrow workload that arrived later.
+func TestClusterSkipAhead(t *testing.T) {
+	noContention := 0.0
+	spec := &Spec{
+		Version: SpecVersion,
+		Name:    "skip",
+		Cluster: &cluster.Spec{
+			Contention: &noContention,
+			Nodes:      []cluster.NodeSpec{{Machine: "stampede", Cores: 4}},
+		},
+		Workloads: []Workload{
+			{
+				Name:      "wide",
+				Profile:   ProfileRef{Command: "mdsim", Tags: mdTags},
+				Arrival:   Arrival{Process: ArrivalBurst, Burst: 2, Every: Duration(time.Second), Bursts: 1},
+				Resources: &Resources{Cores: 3},
+			},
+			{
+				Name:      "narrow",
+				Profile:   ProfileRef{Command: "sleep", Tags: sleepTags},
+				Arrival:   Arrival{Process: ArrivalBurst, Burst: 1, Every: Duration(time.Second), Bursts: 1},
+				Resources: &Resources{Cores: 1},
+			},
+		},
+	}
+	rep := runReport(t, spec, 0)
+	var narrow WorkloadReport
+	for _, wr := range rep.Workloads {
+		if wr.Name == "narrow" {
+			narrow = wr
+		}
+	}
+	// The first wide instance takes 3 cores; the second wide instance
+	// cannot fit, but the narrow one (1 core) arrived at the same time
+	// and must start immediately in the remaining core.
+	if narrow.Wait.Max != 0 {
+		t.Fatalf("narrow workload waited %v behind a blocked wide head", narrow.Wait.Max)
+	}
+}
+
+func TestRemarshalKeepsCluster(t *testing.T) {
+	spec := clusterSpec(cluster.PolicyBestFit)
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse of marshaled cluster spec failed: %v\n%s", err, data)
+	}
+	if back.Cluster == nil || back.Cluster.Policy != cluster.PolicyBestFit ||
+		len(back.Cluster.Nodes) != 1 || back.Cluster.Nodes[0].Count != 2 {
+		t.Fatalf("cluster block lost in round trip: %+v", back.Cluster)
+	}
+}

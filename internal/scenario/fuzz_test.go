@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScenario hardens the spec parser against arbitrary input: Parse
+// must never panic, and any spec it accepts must re-marshal to a canonical
+// form that re-parses to the same canonical form (marshal ∘ parse is a
+// fixed point). That catches fields that decode but do not encode, lossy
+// duration handling, and validation that is weaker than the marshaler.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{
+		"version": 1,
+		"name": "mix",
+		"seed": 42,
+		"duration": "90s",
+		"max_concurrent": 4,
+		"workloads": [
+			{
+				"name": "md",
+				"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+				"arrival": {"process": "closed", "clients": 2, "iterations": 4},
+				"emulation": {"machine": "stampede", "load": 0.1, "load_jitter": 0.05}
+			},
+			{
+				"name": "io",
+				"profile": {"command": "iobench"},
+				"arrival": {"process": "poisson", "rate": 0.5, "count": 8},
+				"max_concurrent": 2
+			}
+		]
+	}`))
+	f.Add([]byte(`{
+		"version": 1,
+		"name": "placed",
+		"cluster": {
+			"policy": "least_loaded",
+			"contention": 0.4,
+			"machines": {"pocket": {"name": "pocket", "clock_ghz": 1, "cores": 2,
+			                        "mem_gb": 4, "mem_bw_gbs": 8}},
+			"nodes": [{"machine": "pocket", "count": 2}]
+		},
+		"workloads": [{
+			"name": "w",
+			"profile": {"command": "mdsim"},
+			"arrival": {"process": "burst", "burst": 3, "every": 2.5, "bursts": 2},
+			"resources": {"cores": 1, "mem_gb": 0.5}
+		}]
+	}`))
+	f.Add([]byte(`{"version": 1, "workloads": []}`))
+	f.Add([]byte(`{"version": 2}`))
+	f.Add([]byte(`{"duration": -3}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version": 1, "workloads": [{"name": "w", "profile": {"command": "c"},
+		"arrival": {"process": "constant", "rate": 1e308}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		b1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v", err)
+		}
+		spec2, err := Parse(b1)
+		if err != nil {
+			t.Fatalf("marshaled form of an accepted spec was rejected: %v\n%s", err, b1)
+		}
+		b2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("marshal/parse is not a fixed point:\n%s\n---\n%s", b1, b2)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"synapse/internal/cluster"
+)
+
+// randomClusterSpec draws a bounded random scenario + cluster from rng:
+// 1-3 workloads over the profiled commands, every arrival process, random
+// caps, resources, policies and contention. All arrival counts are bounded
+// so total arrivals are computable for the conservation check.
+func randomClusterSpec(rng *rand.Rand) *Spec {
+	policies := []string{
+		cluster.PolicyFirstFit, cluster.PolicyBestFit,
+		cluster.PolicyLeastLoaded, cluster.PolicyRandom,
+	}
+	machines := []string{"stampede", "comet", "thinkie"}
+	contention := rng.Float64()
+	spec := &Spec{
+		Version:       SpecVersion,
+		Name:          "property",
+		Seed:          rng.Uint64(),
+		MaxConcurrent: rng.Intn(4), // 0 = unlimited
+		Cluster: &cluster.Spec{
+			Policy:     policies[rng.Intn(len(policies))],
+			Contention: &contention,
+		},
+	}
+	if rng.Intn(3) == 0 {
+		spec.Duration = Duration(time.Duration(1+rng.Intn(20)) * time.Second)
+	}
+	nodes := 1 + rng.Intn(3)
+	for n := 0; n < nodes; n++ {
+		spec.Cluster.Nodes = append(spec.Cluster.Nodes, cluster.NodeSpec{
+			Name:    string(rune('a' + n)),
+			Machine: machines[rng.Intn(len(machines))],
+			Cores:   1 + rng.Intn(4),
+		})
+	}
+	cmds := []string{"mdsim", "sleep"}
+	tags := []map[string]string{mdTags, sleepTags}
+	wls := 1 + rng.Intn(3)
+	for i := 0; i < wls; i++ {
+		pick := rng.Intn(len(cmds))
+		w := Workload{
+			Name:          string(rune('w'+0)) + string(rune('0'+i)),
+			Profile:       ProfileRef{Command: cmds[pick], Tags: tags[pick]},
+			MaxConcurrent: rng.Intn(3),
+			Resources:     &Resources{Cores: 1}, // always fits the smallest node
+		}
+		if rng.Intn(2) == 0 {
+			w.Emulation.Load = 0.3 * rng.Float64()
+			w.Emulation.LoadJitter = 0.2 * rng.Float64()
+		}
+		switch rng.Intn(4) {
+		case 0:
+			w.Arrival = Arrival{Process: ArrivalClosed, Clients: 1 + rng.Intn(3), Iterations: 1 + rng.Intn(3)}
+		case 1:
+			w.Arrival = Arrival{Process: ArrivalPoisson, Rate: 0.1 + rng.Float64(), Count: 1 + rng.Intn(8)}
+		case 2:
+			w.Arrival = Arrival{Process: ArrivalConstant, Rate: 0.1 + rng.Float64(), Count: 1 + rng.Intn(8)}
+		case 3:
+			w.Arrival = Arrival{Process: ArrivalBurst, Burst: 1 + rng.Intn(4),
+				Every: Duration(time.Duration(1+rng.Intn(4)) * time.Second), Bursts: 1 + rng.Intn(3)}
+		}
+		spec.Workloads = append(spec.Workloads, w)
+	}
+	return spec
+}
+
+// totalArrivals is the spec's total instance count, including everything
+// the horizon may drop.
+func totalArrivals(spec *Spec) int {
+	total := 0
+	for i := range spec.Workloads {
+		a := &spec.Workloads[i].Arrival
+		switch a.Process {
+		case ArrivalClosed:
+			total += a.Clients * a.Iterations
+		case ArrivalPoisson, ArrivalConstant:
+			total += a.Count
+		case ArrivalBurst:
+			total += a.Burst * a.Bursts
+		}
+	}
+	return total
+}
+
+// TestPlacementProperties is the cluster engine's property test: across
+// random (spec+cluster, seed) draws,
+//
+//   - determinism: worker counts 1, 4 and GOMAXPROCS produce byte-identical
+//     reports;
+//   - conservation: completed + dropped instances equal total arrivals, and
+//     every completed instance was placed exactly once;
+//   - capacity: no node's busy core-time exceeds makespan × cores, and no
+//     node's peak occupancy exceeds its cores.
+func TestPlacementProperties(t *testing.T) {
+	st := seedStore(t, "mdsim", "sleep")
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(20260726))
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for trial := 0; trial < trials; trial++ {
+		spec := randomClusterSpec(rng)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec: %v", trial, err)
+		}
+		var base []byte
+		var rep *Report
+		for _, workers := range workerCounts {
+			r, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d (workers %d): %v", trial, workers, err)
+			}
+			b := marshal(t, r)
+			if base == nil {
+				base, rep = b, r
+			} else if !bytes.Equal(base, b) {
+				t.Fatalf("trial %d: %d workers changed the report:\n%s\n---\n%s",
+					trial, workers, base, b)
+			}
+		}
+
+		// Conservation: placed + dropped == arrivals.
+		if got, want := rep.Emulations+rep.Dropped, totalArrivals(spec); got != want {
+			t.Errorf("trial %d: emulations %d + dropped %d = %d, want %d arrivals",
+				trial, rep.Emulations, rep.Dropped, got, want)
+		}
+		if rep.Cluster == nil {
+			t.Fatalf("trial %d: no cluster report", trial)
+		}
+		if rep.Cluster.Placements != rep.Emulations {
+			t.Errorf("trial %d: placements %d != emulations %d",
+				trial, rep.Cluster.Placements, rep.Emulations)
+		}
+		perNode := 0
+		for _, n := range rep.Cluster.Nodes {
+			perNode += n.Placed
+			// Capacity: busy core-time within makespan × cores; peak
+			// occupancy within the node.
+			if limit := time.Duration(n.Cores) * rep.Makespan.D(); n.Busy.D() > limit {
+				t.Errorf("trial %d node %s: busy %v exceeds %d cores × makespan %v",
+					trial, n.Name, n.Busy, n.Cores, rep.Makespan)
+			}
+			if n.PeakCores > n.Cores {
+				t.Errorf("trial %d node %s: peak %d exceeds %d cores",
+					trial, n.Name, n.PeakCores, n.Cores)
+			}
+		}
+		if perNode != rep.Cluster.Placements {
+			t.Errorf("trial %d: per-node placed %d != placements %d",
+				trial, perNode, rep.Cluster.Placements)
+		}
+	}
+}
+
+// TestUnclusteredDeterminismProperty extends the same determinism sweep to
+// specs without a cluster block (the eager execution path), guarding the
+// scheduler's per-instant batching refactor.
+func TestUnclusteredDeterminismProperty(t *testing.T) {
+	st := seedStore(t, "mdsim", "sleep")
+	rng := rand.New(rand.NewSource(42))
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for trial := 0; trial < 5; trial++ {
+		spec := randomClusterSpec(rng)
+		spec.Cluster = nil
+		for i := range spec.Workloads {
+			spec.Workloads[i].Resources = nil
+		}
+		var base []byte
+		for _, workers := range workerCounts {
+			r, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			b := marshal(t, r)
+			if base == nil {
+				base = b
+			} else if !bytes.Equal(base, b) {
+				t.Fatalf("trial %d: unclustered report changed with workers:\n%s\n---\n%s",
+					trial, base, b)
+			}
+		}
+	}
+}

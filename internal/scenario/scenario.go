@@ -13,6 +13,13 @@
 // the arrivals out on the virtual timeline, queueing instances when the
 // concurrency caps are hit.
 //
+// With a cluster block the shared resource becomes a finite pool of
+// machines (internal/cluster): arriving instances are placed on nodes by
+// the spec's policy — queueing when no node fits — replay on the machine
+// of the node they land on, and slow down with colocation: the node's core
+// occupancy at placement maps onto the replay's background load through
+// the contention model.
+//
 // Everything is deterministic for a fixed (spec, seed): the same scenario
 // produces a byte-identical Report at any worker count, which is what makes
 // mixes usable for workload-placement studies — change one knob, diff the
@@ -30,6 +37,7 @@ import (
 	"sort"
 	"time"
 
+	"synapse/internal/cluster"
 	"synapse/internal/core"
 	"synapse/internal/emulator"
 	"synapse/internal/exp"
@@ -61,21 +69,56 @@ type Report struct {
 	Dropped    int `json:"dropped,omitempty"`
 	// Replays counts the distinct emulations actually executed:
 	// instances of one workload with identical options (no load jitter)
-	// share a single deterministic replay.
+	// share a single deterministic replay. With a cluster, "identical"
+	// additionally means same node machine and same contention-derived
+	// effective load.
 	Replays int `json:"replays"`
 	// Throughput is completed emulations per virtual second.
 	Throughput float64 `json:"throughput_per_s"`
 	// Latency summarizes sojourn time (arrival to completion) across all
 	// workloads.
 	Latency LatencySummary `json:"latency"`
+	// Cluster reports placement decisions and per-node utilization when
+	// the spec has a cluster block.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 	// Workloads reports per-workload detail, in spec order.
 	Workloads []WorkloadReport `json:"workloads"`
+}
+
+// ClusterReport is the placement outcome of a clustered scenario.
+type ClusterReport struct {
+	// Policy is the placement policy the run used.
+	Policy string `json:"policy"`
+	// Placements counts successful placement decisions; Rejections
+	// counts admission probes that found no feasible node (at most one
+	// per workload per scheduling instant) — the cluster-full pressure.
+	Placements int `json:"placements"`
+	Rejections int `json:"rejections,omitempty"`
+	// Nodes reports per-node accounting, in cluster order.
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// NodeReport is one node's slice of the placement outcome.
+type NodeReport struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	// Placed counts instances placed on this node; PeakCores is the
+	// node's maximum simultaneous core occupancy.
+	Placed    int `json:"placed"`
+	PeakCores int `json:"peak_cores,omitempty"`
+	// Busy is the node's total core-time (Σ service time × cores over
+	// placed instances); Utilization is Busy over makespan × cores.
+	Busy        Duration `json:"busy_core_time"`
+	Utilization float64  `json:"utilization"`
 }
 
 // WorkloadReport is one workload's slice of the scenario outcome.
 type WorkloadReport struct {
 	Name string `json:"name"`
-	// Machine is the emulation resource instances replayed on.
+	// Machine is the emulation resource instances replayed on; with a
+	// cluster block instances replay on the machine of the node they
+	// were placed on, and this reads "cluster".
 	Machine string `json:"machine"`
 	// Emulations counts completed instances; Dropped the ones cut by the
 	// horizon before starting.
@@ -124,8 +167,13 @@ type instance struct {
 	// arrival is fixed at enumeration time for open-loop processes;
 	// closed-loop arrivals chain off completions in the scheduler.
 	arrival time.Duration
-	// tx is the instance's emulation time, measured in the execution
-	// phase; start/done are assigned by the scheduler.
+	// node and eff are assigned at placement in cluster mode: the host
+	// node index and the contention-adjusted effective load.
+	node int
+	eff  float64
+	// tx is the instance's emulation time — measured eagerly without a
+	// cluster, resolved at placement with one; start/done are assigned
+	// by the scheduler.
 	tx    time.Duration
 	start time.Duration
 	done  time.Duration
@@ -136,12 +184,25 @@ type instance struct {
 type workloadState struct {
 	spec    *Workload
 	machine string
-	run     *emulator.Run
+	// run replays instances without a cluster; runs holds one handle per
+	// node machine with one (instances replay on the node they land on).
+	run  *emulator.Run
+	runs map[string]*emulator.Run
+	// req is the per-instance resource demand on a cluster node.
+	req cluster.Request
 	// insts indexes this workload's instances in the global table:
 	// insts[idx] is the global id of enumeration index idx. Closed-loop
 	// instance (client c, iteration k) lives at idx c*Iterations+k.
 	insts   []int
 	dropped int
+}
+
+// jobKey identifies one distinct emulation: instances sharing a key share a
+// single deterministic replay.
+type jobKey struct {
+	w       int
+	machine string // node machine in cluster mode; "" otherwise
+	load    uint64 // Float64bits of the (effective) load
 }
 
 // Run executes the scenario: profiles resolve through st, every instance
@@ -154,9 +215,26 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 	if st == nil {
 		return nil, fmt.Errorf("scenario: no store to resolve profiles from")
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Build the cluster, if the spec models one. The random policy's
+	// generator derives from the scenario seed, so placement is part of
+	// the (spec, seed) determinism contract.
+	var cl *cluster.Cluster
+	if spec.Cluster != nil {
+		var err error
+		cl, err = cluster.New(spec.Cluster, stats.NewRNG(clusterSeed(spec.Seed)))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
 
 	// Compile: resolve each workload's profile and build its reusable
-	// emulation handle.
+	// emulation handles — one per node machine with a cluster, one total
+	// without.
 	wls := make([]*workloadState, len(spec.Workloads))
 	for i := range spec.Workloads {
 		w := &spec.Workloads[i]
@@ -165,15 +243,35 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 			return nil, fmt.Errorf("scenario: workload %q: resolve profile: %w", w.Name, err)
 		}
 		p := set[len(set)-1]
-		machineName := w.Emulation.Machine
-		if machineName == "" {
-			machineName = p.Machine
+		ws := &workloadState{spec: w}
+		if cl == nil {
+			machineName := w.Emulation.Machine
+			if machineName == "" {
+				machineName = p.Machine
+			}
+			run, err := core.NewEmulation(p, w.emulateOptions(machineName))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: workload %q: %w", w.Name, err)
+			}
+			ws.machine = machineName
+			ws.run = run
+		} else {
+			ws.machine = "cluster"
+			ws.req = w.request()
+			if !cl.Fits(ws.req) {
+				return nil, fmt.Errorf("scenario: workload %q: an instance needs %d cores and %d bytes but fits no cluster node",
+					w.Name, ws.req.Cores, ws.req.MemBytes)
+			}
+			ws.runs = make(map[string]*emulator.Run)
+			for _, m := range cl.Models() {
+				run, err := core.NewEmulationOn(p, m, w.emulateOptions(m.Name))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: workload %q on %q: %w", w.Name, m.Name, err)
+				}
+				ws.runs[m.Name] = run
+			}
 		}
-		run, err := core.NewEmulation(p, w.emulateOptions(machineName))
-		if err != nil {
-			return nil, fmt.Errorf("scenario: workload %q: %w", w.Name, err)
-		}
-		wls[i] = &workloadState{spec: w, machine: machineName, run: run}
+		wls[i] = ws
 	}
 
 	// Enumerate: draw every workload's instances (arrival times for open
@@ -183,59 +281,131 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		rng := stats.NewRNG(workloadSeed(spec.Seed, i, ws.spec.Name))
 		ws.enumerate(spec, i, rng, func(in *instance) {
 			in.idx = len(ws.insts)
+			in.node = -1
 			ws.insts = append(ws.insts, len(insts))
 			insts = append(insts, in)
 		})
 	}
 
-	// Execute: fan the distinct emulations across the workers. Each
-	// (workload, load) emulation is deterministic, so instances sharing
-	// both replay once and share the report — a no-jitter workload costs
-	// one replay no matter how many instances arrive — and results do
-	// not depend on scheduling. Known trade-off: execution is eager, so
-	// a jittered closed loop whose chains the horizon later cuts replays
-	// instances the scheduler never starts; emulating lazily at
-	// admission would serialize the event loop against the replay pool.
-	type jobKey struct {
-		w    int
-		load uint64
-	}
-	jobOf := make(map[jobKey]int, len(insts))
-	jobIdx := make([]int, len(insts))
-	var jobs []int // representative instance per distinct job, first-seen order
-	for i, in := range insts {
-		k := jobKey{w: in.w, load: math.Float64bits(in.load)}
-		j, ok := jobOf[k]
-		if !ok {
-			j = len(jobs)
-			jobOf[k] = j
-			jobs = append(jobs, i)
-		}
-		jobIdx[i] = j
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobReports, err := exp.Fan(workers, len(jobs), nil, func(j int) (*emulator.Report, error) {
-		in := insts[jobs[j]]
-		return wls[in.w].run.EmulateWithLoad(ctx, in.load)
-	})
-	if err != nil {
-		return nil, err
-	}
+	// Execute. Without a cluster, emulation is eager: each (workload,
+	// load) emulation is deterministic, so instances sharing both replay
+	// once and share the report — a no-jitter workload costs one replay
+	// no matter how many instances arrive — and results do not depend on
+	// scheduling. Known trade-off: execution is eager, so a jittered
+	// closed loop whose chains the horizon later cuts replays instances
+	// the scheduler never starts.
+	//
+	// With a cluster, the effective load is only known at placement (it
+	// folds in the host node's occupancy), so emulation is demand-driven:
+	// the scheduler resolves each instant's placements as a batch, fanned
+	// across the workers, memoized on (workload, node machine, load).
 	reports := make([]*emulator.Report, len(insts))
-	for i := range insts {
-		reports[i] = jobReports[jobIdx[i]]
-		insts[i].tx = reports[i].Tx
+	memo := make(map[jobKey]*emulator.Report)
+	replays := 0
+	var resolve resolver
+	if cl == nil {
+		jobOf := make(map[jobKey]int, len(insts))
+		jobIdx := make([]int, len(insts))
+		var jobs []int // representative instance per distinct job, first-seen order
+		for i, in := range insts {
+			k := jobKey{w: in.w, load: math.Float64bits(in.load)}
+			j, ok := jobOf[k]
+			if !ok {
+				j = len(jobs)
+				jobOf[k] = j
+				jobs = append(jobs, i)
+			}
+			jobIdx[i] = j
+		}
+		jobReports, err := exp.Fan(workers, len(jobs), nil, func(j int) (*emulator.Report, error) {
+			in := insts[jobs[j]]
+			return wls[in.w].run.EmulateWithLoad(ctx, in.load)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range insts {
+			reports[i] = jobReports[jobIdx[i]]
+			insts[i].tx = reports[i].Tx
+		}
+		replays = len(jobs)
+	} else {
+		key := func(in *instance) jobKey {
+			return jobKey{w: in.w, machine: cl.MachineName(in.node), load: math.Float64bits(in.eff)}
+		}
+		resolve = func(placed []int) error {
+			var keys []jobKey
+			var reprs []*instance
+			for _, id := range placed {
+				in := insts[id]
+				k := key(in)
+				if _, ok := memo[k]; ok {
+					continue
+				}
+				memo[k] = nil // claimed for this batch
+				keys = append(keys, k)
+				reprs = append(reprs, in)
+			}
+			if len(keys) > 0 {
+				reps, err := exp.Fan(workers, len(keys), nil, func(j int) (*emulator.Report, error) {
+					in := reprs[j]
+					return wls[in.w].runs[cl.MachineName(in.node)].EmulateWithLoad(ctx, in.eff)
+				})
+				if err != nil {
+					return err
+				}
+				for j, k := range keys {
+					memo[k] = reps[j]
+				}
+			}
+			for _, id := range placed {
+				in := insts[id]
+				r := memo[key(in)]
+				reports[id] = r
+				in.tx = r.Tx
+			}
+			return nil
+		}
 	}
 
 	// Schedule: play the arrivals out on the virtual timeline.
-	completed, makespan := schedule(spec, wls, insts)
+	completed, makespan, err := schedule(spec, wls, insts, cl, resolve)
+	if err != nil {
+		return nil, err
+	}
 
 	rep := assemble(spec, wls, insts, reports, completed, makespan)
-	rep.Replays = len(jobs)
+	if cl != nil {
+		replays = len(memo)
+		rep.Cluster = clusterReport(cl, makespan)
+	}
+	rep.Replays = replays
 	return rep, nil
+}
+
+// clusterReport folds the cluster's accounting into the report.
+func clusterReport(cl *cluster.Cluster, makespan time.Duration) *ClusterReport {
+	cr := &ClusterReport{
+		Policy:     cl.Policy(),
+		Placements: cl.Placements(),
+		Rejections: cl.Rejections(),
+	}
+	for i := 0; i < cl.Len(); i++ {
+		info := cl.Info(i)
+		nr := NodeReport{
+			Name:      info.Name,
+			Machine:   info.Machine,
+			Cores:     info.Cores,
+			Placed:    info.Placed,
+			PeakCores: info.PeakCores,
+			Busy:      Duration(info.Busy),
+		}
+		if cap := makespan.Seconds() * float64(info.Cores); cap > 0 {
+			nr.Utilization = info.Busy.Seconds() / cap
+		}
+		cr.Nodes = append(cr.Nodes, nr)
+	}
+	return cr
 }
 
 // workloadSeed derives a workload's generator seed from the scenario seed:
@@ -245,6 +415,14 @@ func workloadSeed(seed uint64, i int, name string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return seed ^ h.Sum64() ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+}
+
+// clusterSeed derives the placement generator's seed (the random policy)
+// from the scenario seed, independent of every workload stream.
+func clusterSeed(seed uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("cluster"))
+	return seed ^ h.Sum64()
 }
 
 // emulateOptions maps the workload's emulation knobs onto core options.
@@ -370,11 +548,18 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// schedule replays arrivals, queueing and completions on the virtual
-// timeline and returns the number of completed instances and the makespan.
-// Admission is FIFO by arrival with skip-ahead: an instance blocked only by
-// its own workload's cap does not block other workloads behind it.
-func schedule(spec *Spec, wls []*workloadState, insts []*instance) (completed int, makespan time.Duration) {
+// resolver assigns tx (and emulation reports) to a scheduling instant's
+// freshly placed instances. Nil means tx is already known (eager mode).
+type resolver func(placed []int) error
+
+// schedule replays arrivals, placement, queueing and completions on the
+// virtual timeline and returns the number of completed instances and the
+// makespan. Admission is FIFO by arrival with skip-ahead: an instance
+// blocked only by its own workload's cap (or, with a cluster, by its
+// workload's resource request not fitting any node right now) does not
+// block other workloads behind it. Events are drained one virtual instant
+// at a time, so each instant's placements resolve as one batch.
+func schedule(spec *Spec, wls []*workloadState, insts []*instance, cl *cluster.Cluster, resolve resolver) (completed int, makespan time.Duration, err error) {
 	var events eventHeap
 	var seq uint64
 	push := func(t time.Duration, kind, inst int) {
@@ -414,10 +599,22 @@ func schedule(spec *Spec, wls []*workloadState, insts []*instance) (completed in
 	enq := make([]int, len(insts))
 	enqSeq := 0
 
-	admit := func(now time.Duration) {
+	// blocked caches, per instant, workloads whose resource request found
+	// no feasible node: capacity only shrinks within an instant (releases
+	// happen in event processing, before admission), so one failed probe
+	// per workload per instant suffices.
+	blocked := make([]bool, len(wls))
+
+	admit := func(now time.Duration) []int {
+		var placed []int
+		if cl != nil {
+			for w := range blocked {
+				blocked[w] = false
+			}
+		}
 		for {
 			if gmax > 0 && running >= gmax {
-				return
+				break
 			}
 			best := -1
 			for w := range queues {
@@ -428,57 +625,91 @@ func schedule(spec *Spec, wls []*workloadState, insts []*instance) (completed in
 				if wmax > 0 && wrunning[w] >= wmax {
 					continue
 				}
+				if blocked[w] {
+					continue
+				}
 				id := queues[w][heads[w]]
 				if best < 0 || enq[id] < enq[best] {
 					best = id
 				}
 			}
 			if best < 0 {
-				return
+				break
 			}
 			in := insts[best]
+			if cl != nil {
+				node, occ, ok := cl.Place(wls[in.w].req)
+				if !ok {
+					blocked[in.w] = true
+					continue
+				}
+				in.node = node
+				in.eff = cl.EffectiveLoad(node, in.load, occ)
+			}
 			in.start = now
-			in.done = now + in.tx
 			in.ran = true
 			running++
 			wrunning[in.w]++
 			heads[in.w]++
-			push(in.done, evComplete, best)
+			placed = append(placed, best)
 		}
+		return placed
 	}
 
 	for events.Len() > 0 {
-		e := heap.Pop(&events).(event)
-		in := insts[e.inst]
-		switch e.kind {
-		case evArrive:
-			in.arrival = e.t
-			enqSeq++
-			enq[e.inst] = enqSeq
-			queues[in.w] = append(queues[in.w], e.inst)
-		case evComplete:
-			running--
-			wrunning[in.w]--
-			completed++
-			if e.t > makespan {
-				makespan = e.t
-			}
-			ws := wls[in.w]
-			a := &ws.spec.Arrival
-			if a.Process == ArrivalClosed && in.iter+1 < a.Iterations {
-				// The client issues its next iteration the moment
-				// this one completes — unless the horizon has
-				// passed, which cuts the rest of the chain.
-				if horizon > 0 && e.t > horizon {
-					ws.dropped += a.Iterations - (in.iter + 1)
-				} else {
-					push(e.t, evArrive, ws.insts[in.idx+1])
+		now := events[0].t
+		for events.Len() > 0 && events[0].t == now {
+			e := heap.Pop(&events).(event)
+			in := insts[e.inst]
+			switch e.kind {
+			case evArrive:
+				in.arrival = e.t
+				enqSeq++
+				enq[e.inst] = enqSeq
+				queues[in.w] = append(queues[in.w], e.inst)
+			case evComplete:
+				running--
+				wrunning[in.w]--
+				completed++
+				if e.t > makespan {
+					makespan = e.t
+				}
+				if cl != nil {
+					cl.Release(in.node, wls[in.w].req)
+				}
+				ws := wls[in.w]
+				a := &ws.spec.Arrival
+				if a.Process == ArrivalClosed && in.iter+1 < a.Iterations {
+					// The client issues its next iteration the moment
+					// this one completes — unless the horizon has
+					// passed, which cuts the rest of the chain.
+					if horizon > 0 && e.t > horizon {
+						ws.dropped += a.Iterations - (in.iter + 1)
+					} else {
+						push(e.t, evArrive, ws.insts[in.idx+1])
+					}
 				}
 			}
 		}
-		admit(e.t)
+		placed := admit(now)
+		if len(placed) == 0 {
+			continue
+		}
+		if resolve != nil {
+			if err := resolve(placed); err != nil {
+				return 0, 0, err
+			}
+		}
+		for _, id := range placed {
+			in := insts[id]
+			in.done = now + in.tx
+			push(in.done, evComplete, id)
+			if cl != nil {
+				cl.AddBusy(in.node, time.Duration(wls[in.w].req.Cores)*in.tx)
+			}
+		}
 	}
-	return completed, makespan
+	return completed, makespan, nil
 }
 
 // assemble folds the instance outcomes into the report, in spec order —

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"synapse/internal/cluster"
 )
 
 // SpecVersion is the scenario spec schema version this build understands.
@@ -70,6 +72,13 @@ type Spec struct {
 	// MaxConcurrent caps concurrently-running emulations across all
 	// workloads (the shared resource's slot count). Zero = unlimited.
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Cluster, when present, replaces the infinitely wide machine with a
+	// finite pool of nodes: instances are placed by the cluster's policy
+	// (queueing when no node fits), replay on the machine of the node
+	// they land on, and slow down with colocation via the contention
+	// model. Without it, every instance runs on the workload's own
+	// emulation machine as before.
+	Cluster *cluster.Spec `json:"cluster,omitempty"`
 	// Workloads are the mix components, scheduled together.
 	Workloads []Workload `json:"workloads"`
 }
@@ -88,8 +97,21 @@ type Workload struct {
 	// MaxConcurrent caps this workload's concurrently-running instances,
 	// inside the scenario-wide cap. Zero = unlimited.
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Resources is each instance's demand on a cluster node. It is inert
+	// without a cluster — specs may carry it and gain a pool later (e.g.
+	// synapse-sim -cluster).
+	Resources *Resources `json:"resources,omitempty"`
 	// Emulation tunes how each instance replays.
 	Emulation Emulation `json:"emulation,omitempty"`
+}
+
+// Resources is one instance's demand on the node that hosts it.
+type Resources struct {
+	// Cores is the core count an instance occupies while running; 0
+	// defaults to the emulation worker count (at least 1).
+	Cores int `json:"cores,omitempty"`
+	// MemGB is the memory an instance reserves; 0 reserves none.
+	MemGB float64 `json:"mem_gb,omitempty"`
 }
 
 // ProfileRef names a stored profile.
@@ -156,6 +178,25 @@ type Emulation struct {
 	DisableAtoms []string `json:"disable_atoms,omitempty"`
 }
 
+// request is the workload's per-instance resource demand on a cluster node:
+// the resources block, defaulting cores to the emulation worker count (at
+// least one core — an instance always occupies something).
+func (w *Workload) request() cluster.Request {
+	cores := 0
+	var mem int64
+	if w.Resources != nil {
+		cores = w.Resources.Cores
+		mem = int64(w.Resources.MemGB * float64(1<<30))
+	}
+	if cores == 0 {
+		cores = w.Emulation.Workers
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	return cluster.Request{Cores: cores, MemBytes: mem}
+}
+
 // Parse decodes and validates a JSON scenario spec. Unknown fields are
 // rejected — a misspelled knob in a declarative spec should fail loudly,
 // not silently fall back to a default.
@@ -195,6 +236,11 @@ func (s *Spec) Validate() error {
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("scenario: no workloads")
 	}
+	if s.Cluster != nil {
+		if err := s.Cluster.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	seen := make(map[string]bool, len(s.Workloads))
 	for i := range s.Workloads {
 		w := &s.Workloads[i]
@@ -205,14 +251,14 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: duplicate workload name %q", w.Name)
 		}
 		seen[w.Name] = true
-		if err := w.validate(s.Duration > 0); err != nil {
+		if err := w.validate(s.Duration > 0, s.Cluster != nil); err != nil {
 			return fmt.Errorf("scenario: workload %q: %w", w.Name, err)
 		}
 	}
 	return nil
 }
 
-func (w *Workload) validate(hasHorizon bool) error {
+func (w *Workload) validate(hasHorizon, hasCluster bool) error {
 	if w.Profile.Command == "" {
 		return fmt.Errorf("missing profile command")
 	}
@@ -256,7 +302,18 @@ func (w *Workload) validate(hasHorizon bool) error {
 	default:
 		return fmt.Errorf("unknown arrival process %q", a.Process)
 	}
+	if r := w.Resources; r != nil {
+		if r.Cores < 0 {
+			return fmt.Errorf("negative resources.cores %d", r.Cores)
+		}
+		if r.MemGB < 0 || r.MemGB >= cluster.MaxMemGB {
+			return fmt.Errorf("resources.mem_gb %g outside [0, %g)", r.MemGB, float64(cluster.MaxMemGB))
+		}
+	}
 	e := &w.Emulation
+	if hasCluster && e.Machine != "" {
+		return fmt.Errorf("emulation.machine %q conflicts with the cluster block (the node's machine decides)", e.Machine)
+	}
 	if e.Load < 0 || e.Load >= 1 {
 		return fmt.Errorf("load %g outside [0, 1)", e.Load)
 	}

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -41,6 +42,70 @@ func TestShardedConformance(t *testing.T) {
 				},
 			})
 		})
+	}
+}
+
+// A Flaky wrapper with injection disabled is a transparent proxy: the full
+// conformance suite must pass through it unchanged (so tests layering it
+// over a backend inherit exactly the backend's semantics plus the faults
+// they asked for).
+func TestFlakyPassthroughConformance(t *testing.T) {
+	storetest.Run(t, storetest.Factory{
+		New: func(t *testing.T) store.Store {
+			return storetest.NewFlaky(store.NewMem(), storetest.FlakyConfig{})
+		},
+		NewWithLimit: func(t *testing.T, limit int64) store.Store {
+			return storetest.NewFlaky(store.NewMemWithLimit(limit), storetest.FlakyConfig{})
+		},
+	})
+}
+
+// TestFlakyInjection pins the wrapper's fault semantics: reads error
+// without touching the backend, partial writes land then error, deletes
+// perform then error, and the deterministic every-nth schedule counts.
+func TestFlakyInjection(t *testing.T) {
+	backend := store.NewMem()
+	f := storetest.NewFlaky(backend, storetest.FlakyConfig{
+		FailEvery:     1,
+		Reads:         true,
+		Deletes:       true,
+		PartialWrites: true,
+	})
+	// Partial write: reported failed, but really stored.
+	if err := f.Put(storetest.MkProfile("p", nil, 1)); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("partial write = %v, want ErrInjected", err)
+	}
+	if f.Injected("put") != 1 {
+		t.Fatalf("put injections = %d", f.Injected("put"))
+	}
+	if got, err := backend.Find("p", nil); err != nil || len(got) != 1 {
+		t.Fatalf("partial write not in backend: %v (%d profiles)", err, len(got))
+	}
+	// Reads fault without consulting the backend.
+	if _, err := f.Find("p", nil); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("read fault = %v", err)
+	}
+	if _, err := f.Keys(); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("keys fault = %v", err)
+	}
+	// Lost-reply delete: reported failed, but really performed.
+	if err := f.Delete("p", nil); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("delete fault = %v", err)
+	}
+	if _, err := backend.Find("p", nil); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("lost-reply delete did not reach the backend: %v", err)
+	}
+
+	// Every-other schedule: first read passes, second faults.
+	quiet := storetest.NewFlaky(store.NewMem(), storetest.FlakyConfig{FailEvery: 2, Reads: true})
+	if err := quiet.Put(storetest.MkProfile("q", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quiet.Find("q", nil); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if _, err := quiet.Find("q", nil); !errors.Is(err, storetest.ErrInjected) {
+		t.Fatalf("second read should fault, got %v", err)
 	}
 }
 

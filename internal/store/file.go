@@ -7,9 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"synapse/internal/profile"
 )
@@ -21,16 +21,15 @@ import (
 type File struct {
 	dir string
 	mu  sync.Mutex
-	// seq caches the next sequence number per key so Put does not re-list
+	// seq hints the next sequence number per key so Put does not re-list
 	// the directory on every insert (which made N inserts O(N²) directory
-	// scans). Primed from the directory on a key's first Put.
+	// scans). Primed from the directory on a key's first Put. It is only
+	// a hint: the authoritative arbiter is the per-key claim file — Put
+	// atomically creates "<hash>-<seq>.claim" with O_EXCL before writing
+	// the data file, so two File instances (or processes) sharing one
+	// directory can never hand out the same sequence number, with no
+	// reliance on directory-mtime staleness heuristics.
 	seq map[string]int
-	// dirStamp is the directory's mtime as of our last write. When a Put
-	// observes a different mtime, another writer (a second File instance
-	// or process sharing the directory) added or removed files, so every
-	// cached counter is dropped and re-primed. Steady-state single-writer
-	// Puts therefore cost one stat, not a directory listing.
-	dirStamp time.Time
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -62,7 +61,10 @@ func (f *File) Put(p *profile.Profile) error {
 	defer f.mu.Unlock()
 	key := p.Key()
 	// Sequence number keeps insertion order among profiles with one key.
-	n, err := f.nextSeqLocked(key)
+	// claimSeqLocked atomically claims a number that no other writer —
+	// including a second File instance on the same directory — can be
+	// handed.
+	n, err := f.claimSeqLocked(key)
 	if err != nil {
 		return err
 	}
@@ -79,36 +81,42 @@ func (f *File) Put(p *profile.Profile) error {
 		return err
 	}
 	f.seq[key] = n + 1
-	f.stampLocked()
 	return nil
 }
 
-// stampLocked records the directory mtime after one of our own writes.
-// Caller holds f.mu.
-func (f *File) stampLocked() {
-	if fi, err := os.Stat(f.dir); err == nil {
-		f.dirStamp = fi.ModTime()
-	}
+// claimName is the marker file that reserves sequence number n for key.
+func (f *File) claimName(key string, n int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%s-%06d.claim", keyHash(key), n))
 }
 
-// nextSeqLocked returns the next sequence number for key, listing the
-// directory only on the key's first use or after a foreign write (the
-// counter is cached otherwise). Caller holds f.mu.
-func (f *File) nextSeqLocked(key string) (int, error) {
-	if fi, err := os.Stat(f.dir); err != nil || !fi.ModTime().Equal(f.dirStamp) {
-		// Another writer touched the directory since our last write (or
-		// this is the first use): cached counters may be stale.
-		f.seq = map[string]int{}
+// claimSeqLocked reserves and returns the next sequence number for key.
+// The cached counter is only a starting hint (primed from the directory on
+// first use); the claim itself is an O_EXCL marker-file creation, which the
+// filesystem arbitrates atomically across File instances and processes — a
+// foreign writer's claim makes our create fail with EEXIST and we advance.
+// Steady-state single-writer Puts succeed on the first attempt: one create,
+// no directory listing, no mtime heuristics. Caller holds f.mu.
+func (f *File) claimSeqLocked(key string) (int, error) {
+	n, ok := f.seq[key]
+	if !ok {
+		var err error
+		n, err = f.primeLocked(key)
+		if err != nil {
+			return 0, err
+		}
 	}
-	if n, ok := f.seq[key]; ok {
-		return n, nil
+	for {
+		fh, err := os.OpenFile(f.claimName(key, n), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fh.Close()
+			return n, nil
+		}
+		if !os.IsExist(err) {
+			return 0, fmt.Errorf("store: claim seq: %w", err)
+		}
+		// Another writer holds this number; try the next one.
+		n++
 	}
-	n, err := f.countLocked(key)
-	if err != nil {
-		return 0, err
-	}
-	f.seq[key] = n
-	return n, nil
 }
 
 func idOr(p *profile.Profile) string {
@@ -118,13 +126,39 @@ func idOr(p *profile.Profile) string {
 	return "unfinalized"
 }
 
-// countLocked counts stored profiles for key. Caller holds f.mu.
-func (f *File) countLocked(key string) (int, error) {
-	names, err := f.filesFor(key)
+// primeLocked derives the next sequence hint for key from the directory:
+// one past the highest sequence among the key's data and claim files (data
+// files too, so directories written before claim markers existed keep
+// their insertion order). Caller holds f.mu.
+func (f *File) primeLocked(key string) (int, error) {
+	prefix := keyHash(key) + "-"
+	entries, err := os.ReadDir(f.dir)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("store: read dir: %w", err)
 	}
-	return len(names), nil
+	next := 0
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		if !strings.HasSuffix(n, ".json") && !strings.HasSuffix(n, ".claim") {
+			continue
+		}
+		rest := n[len(prefix):]
+		end := strings.IndexAny(rest, "-.")
+		if end < 0 {
+			continue
+		}
+		seq, err := strconv.Atoi(rest[:end])
+		if err != nil {
+			continue
+		}
+		if seq+1 > next {
+			next = seq + 1
+		}
+	}
+	return next, nil
 }
 
 // filesFor lists this key's files, sorted by sequence.
@@ -224,8 +258,13 @@ func (f *File) Delete(command string, tags map[string]string) error {
 			return fmt.Errorf("store: remove %s: %w", n, err)
 		}
 	}
+	// Claim markers are deliberately left in place: removing one that a
+	// concurrent foreign writer just created (its data rename still in
+	// flight) would let a third writer reuse the number — the exact
+	// duplicate-sequence race the claims exist to prevent. Sequence
+	// numbers are therefore monotone for a key over the directory's
+	// lifetime; insertion order needs nothing more.
 	delete(f.seq, key)
-	f.stampLocked()
 	return nil
 }
 

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"synapse/internal/profile"
+)
+
+// mkRaceProfile builds a finalized profile for the foreign-writer tests
+// (the storetest helper lives in a package that imports this one).
+func mkRaceProfile(command string, tags map[string]string, samples int) *profile.Profile {
+	p := profile.New(command, tags)
+	p.Machine = "thinkie"
+	p.SampleRate = 1
+	for i := 0; i < samples; i++ {
+		s := profile.Sample{
+			T:      time.Duration(i+1) * time.Second,
+			Values: map[string]float64{profile.MetricCPUCycles: 1e8},
+		}
+		if err := p.Append(s); err != nil {
+			panic(err)
+		}
+	}
+	p.Finalize(time.Duration(samples) * time.Second)
+	return p
+}
+
+// dataSeqs parses the sequence numbers of every data file for key in dir.
+func dataSeqs(t *testing.T, dir, key string) []int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := keyHash(key) + "-"
+	var seqs []int
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasPrefix(n, prefix) || !strings.HasSuffix(n, ".json") {
+			continue
+		}
+		rest := n[len(prefix):]
+		i := strings.IndexByte(rest, '-')
+		if i < 0 {
+			t.Fatalf("unparsable data file name %q", n)
+		}
+		seq, err := strconv.Atoi(rest[:i])
+		if err != nil {
+			t.Fatalf("unparsable sequence in %q: %v", n, err)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+// TestFileForeignWriterSequence is the regression test for the sequence
+// race the directory-mtime heuristic could lose: a foreign writer (a second
+// File instance on the same directory — same as a second process) whose
+// rename lands invisibly between our writes used to let the cached counter
+// hand out duplicate sequence numbers. With per-key claim files the numbers
+// are arbitrated by O_EXCL creation, so every Put gets a distinct one no
+// matter how the writers interleave. Run under -race.
+func TestFileForeignWriterSequence(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const rounds = 25
+	// Warm both caches so neither instance primes from the directory
+	// again: from here on, only the claim files can keep them apart.
+	if err := a.Put(mkRaceProfile("shared", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(mkRaceProfile("shared", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, st := range []*File{a, b} {
+		wg.Add(1)
+		go func(st *File) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := st.Put(mkRaceProfile("shared", nil, 2)); err != nil {
+					t.Errorf("racing Put: %v", err)
+					return
+				}
+			}
+		}(st)
+	}
+	wg.Wait()
+
+	want := 2 + 2*rounds
+	seqs := dataSeqs(t, dir, profile.Key("shared", nil))
+	if len(seqs) != want {
+		t.Fatalf("stored %d profiles, want %d (a Put overwrote another)", len(seqs), want)
+	}
+	seen := make(map[int]bool, len(seqs))
+	for _, s := range seqs {
+		if seen[s] {
+			t.Fatalf("duplicate sequence number %d across racing writers", s)
+		}
+		seen[s] = true
+	}
+	// Both instances still agree on the result set.
+	for _, st := range []*File{a, b} {
+		got, err := st.Find("shared", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("Find returned %d profiles, want %d", len(got), want)
+		}
+	}
+}
+
+// TestFileForeignWriterAlternating: strictly alternating foreign writes —
+// the shape the mtime check missed when rename granularity hid the foreign
+// write — must interleave without duplicates and preserve global order per
+// writer.
+func TestFileForeignWriterAlternating(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 6; i++ {
+		st, tag := a, "a"
+		if i%2 == 1 {
+			st, tag = b, "b"
+		}
+		p := mkRaceProfile("alt", map[string]string{"writer": tag}, 1)
+		p.Tags = map[string]string{} // same key for both writers
+		p.Command = "alt"
+		if err := st.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := dataSeqs(t, dir, profile.Key("alt", nil))
+	if len(seqs) != 6 {
+		t.Fatalf("stored %d, want 6", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("sequence numbers %v are not the contiguous 0..5", seqs)
+		}
+	}
+}
+
+// TestFileDeleteKeepsClaims: Delete removes a key's data but leaves its
+// claim markers, so sequence numbers stay monotone for the directory's
+// lifetime — removing a claim a concurrent foreign writer just created
+// would reopen the duplicate-sequence race.
+func TestFileDeleteKeepsClaims(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if err := st.Put(mkRaceProfile("gone", nil, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(mkRaceProfile("kept", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("gone", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gonePrefix := keyHash(profile.Key("gone", nil))
+	claims := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), gonePrefix) {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("delete left data file %s behind", e.Name())
+		}
+		if strings.HasSuffix(e.Name(), ".claim") {
+			claims++
+		}
+	}
+	if claims != 3 {
+		t.Fatalf("delete kept %d claims, want 3 (monotone numbering)", claims)
+	}
+	if _, err := st.Find("gone", nil); err == nil {
+		t.Fatal("deleted key still found")
+	}
+	// A fresh instance (cold cache) continues past the tombstoned claims.
+	fresh, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Put(mkRaceProfile("gone", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if seqs := dataSeqs(t, dir, profile.Key("gone", nil)); len(seqs) != 1 || seqs[0] != 3 {
+		t.Fatalf("post-delete sequence = %v, want [3]", seqs)
+	}
+	if got, err := fresh.Find("gone", nil); err != nil || len(got) != 1 {
+		t.Fatalf("re-put after delete: %v (%d profiles)", err, len(got))
+	}
+	// The other key's numbering continues independently.
+	if err := st.Put(mkRaceProfile("kept", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if seqs := dataSeqs(t, dir, profile.Key("kept", nil)); fmt.Sprint(seqs) != "[0 1]" {
+		t.Fatalf("kept key sequences = %v, want [0 1]", seqs)
+	}
+}
+
+// TestFilePrimesFromLegacyDir: a directory written without claim markers
+// (data files only) still primes past the existing sequences.
+func TestFilePrimesFromLegacyDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(mkRaceProfile("legacy", nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(mkRaceProfile("legacy", nil, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Strip the claims, as a pre-claim-format directory would look.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".claim") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Put(mkRaceProfile("legacy", nil, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Find("legacy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[2].Samples) != 3 {
+		t.Fatalf("legacy dir lost insertion order: %d profiles", len(got))
+	}
+}

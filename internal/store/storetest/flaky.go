@@ -1,0 +1,141 @@
+package storetest
+
+import (
+	"errors"
+	"sync"
+
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// ErrInjected is the transient fault Flaky injects. Callers exercising
+// retry machinery assert on (wrapped forms of) this sentinel.
+var ErrInjected = errors.New("storetest: injected transient error")
+
+// FlakyConfig selects where and how often Flaky injects faults. Faults
+// fire on every FailEvery-th eligible operation (a deterministic schedule:
+// among any FailEvery consecutive eligible calls exactly one faults, so a
+// single retry always clears it — no flaky tests, only flaky stores).
+type FlakyConfig struct {
+	// FailEvery n injects on every nth eligible operation; 0 disables
+	// injection, 1 faults every eligible call.
+	FailEvery int
+	// Reads injects on Find/Keys (error returned, backend untouched) —
+	// the idempotent operations clients are expected to retry.
+	Reads bool
+	// Deletes injects on Delete *after* the backend performed it: the
+	// "performed but reply lost" shape. A retried Delete must succeed
+	// (deleting an absent key is not an error), so retries stay
+	// idempotent.
+	Deletes bool
+	// PartialWrites injects on Put after the backend stored the profile:
+	// the caller sees an error for a write that actually happened. Put is
+	// not idempotent, so clients must surface this rather than retry; the
+	// wrapper lets tests assert exactly that.
+	PartialWrites bool
+}
+
+// Flaky wraps a Store and injects deterministic transient faults, for
+// testing the retry and error paths of everything layered above a backend
+// (the HTTP service, the remote client).
+type Flaky struct {
+	inner store.Store
+	cfg   FlakyConfig
+
+	mu    sync.Mutex
+	calls int
+	// injected counts faults actually injected, per operation name.
+	injected map[string]int
+}
+
+// NewFlaky wraps inner with the given fault schedule.
+func NewFlaky(inner store.Store, cfg FlakyConfig) *Flaky {
+	return &Flaky{inner: inner, cfg: cfg, injected: map[string]int{}}
+}
+
+// trip decides (deterministically, under the mutex) whether op faults now.
+func (f *Flaky) trip(enabled bool, op string) bool {
+	if !enabled || f.cfg.FailEvery <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls%f.cfg.FailEvery != 0 {
+		return false
+	}
+	f.injected[op]++
+	return true
+}
+
+// Injected reports how many faults were injected for op ("find", "keys",
+// "delete", "put").
+func (f *Flaky) Injected(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[op]
+}
+
+// Put implements Store. With PartialWrites, the write lands in the backend
+// and the error is returned anyway.
+func (f *Flaky) Put(p *profile.Profile) error {
+	if err := f.inner.Put(p); err != nil {
+		return err
+	}
+	if f.trip(f.cfg.PartialWrites, "put") {
+		return ErrInjected
+	}
+	return nil
+}
+
+// PutTruncated implements store.Truncator when the backend does.
+func (f *Flaky) PutTruncated(p *profile.Profile) (int, error) {
+	tr, ok := f.inner.(store.Truncator)
+	if !ok {
+		return 0, f.Put(p)
+	}
+	dropped, err := tr.PutTruncated(p)
+	if err != nil {
+		return dropped, err
+	}
+	if f.trip(f.cfg.PartialWrites, "put") {
+		return dropped, ErrInjected
+	}
+	return dropped, nil
+}
+
+// Find implements Store.
+func (f *Flaky) Find(command string, tags map[string]string) (profile.Set, error) {
+	if f.trip(f.cfg.Reads, "find") {
+		return nil, ErrInjected
+	}
+	return f.inner.Find(command, tags)
+}
+
+// Keys implements Store.
+func (f *Flaky) Keys() ([]string, error) {
+	if f.trip(f.cfg.Reads, "keys") {
+		return nil, ErrInjected
+	}
+	return f.inner.Keys()
+}
+
+// Delete implements Store. Faulted deletes are performed, then reported
+// failed — the lost-reply shape a client retry must tolerate.
+func (f *Flaky) Delete(command string, tags map[string]string) error {
+	if err := f.inner.Delete(command, tags); err != nil {
+		return err
+	}
+	if f.trip(f.cfg.Deletes, "delete") {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Close implements Store.
+func (f *Flaky) Close() error { return f.inner.Close() }
+
+var (
+	_ store.Store     = (*Flaky)(nil)
+	_ store.Truncator = (*Flaky)(nil)
+)

@@ -3,6 +3,7 @@ package synapse
 import (
 	"context"
 
+	"synapse/internal/cluster"
 	"synapse/internal/scenario"
 )
 
@@ -28,6 +29,29 @@ type ScenarioEmulation = scenario.Emulation
 // ScenarioDuration is the spec's duration type: JSON duration strings
 // ("90s") or bare numbers of seconds.
 type ScenarioDuration = scenario.Duration
+
+// ScenarioCluster is a scenario's optional finite machine pool: nodes drawn
+// from the machine catalog or inline JSON models, a placement policy
+// ("first_fit", "best_fit", "least_loaded", "random"), and a contention
+// model that slows colocated instances. See docs/scenarios.md.
+type ScenarioCluster = cluster.Spec
+
+// ScenarioClusterNode describes one (kind of) node in a ScenarioCluster.
+type ScenarioClusterNode = cluster.NodeSpec
+
+// ScenarioResources is a workload instance's demand on a cluster node.
+type ScenarioResources = scenario.Resources
+
+// ScenarioClusterReport summarizes placement decisions and per-node
+// utilization for a clustered scenario run.
+type ScenarioClusterReport = scenario.ClusterReport
+
+// ScenarioNodeReport is one node's slice of the placement outcome.
+type ScenarioNodeReport = scenario.NodeReport
+
+// ParseCluster decodes and validates a standalone cluster description
+// (strict JSON), e.g. for synapse-sim's -cluster flag.
+func ParseCluster(data []byte) (*ScenarioCluster, error) { return cluster.ParseSpec(data) }
 
 // ScenarioReport is the aggregate outcome of RunScenario: makespan, per-
 // workload throughput, latency percentiles (sojourn, queue wait, service)
