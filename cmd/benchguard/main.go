@@ -1,0 +1,184 @@
+// benchguard compares two `go test -json` benchmark captures and fails
+// when a tracked metric regresses beyond a tolerance — the CI gate that
+// keeps the committed BENCH_*.json snapshots honest.
+//
+//	benchguard -old BENCH_scenario.json -new fresh.json
+//	benchguard -old BENCH_placement.json -new fresh.json -metric emulations/s -max-drop 0.2
+//
+// Both files are the raw `go test -json` stream (the format of the
+// committed snapshots and the CI artifacts). Every benchmark in -old that
+// reports the metric must appear in -new at no less than (1 - max-drop)
+// of its old value; a missing benchmark is a failure too (a silently
+// deleted benchmark would otherwise retire its regression guard with it).
+// Higher-is-better metrics only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// stdout is the output stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchguard", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline `go test -json` capture (required)")
+	newPath := fs.String("new", "", "fresh `go test -json` capture (required)")
+	metric := fs.String("metric", "emulations/s", "benchmark metric to guard (higher is better)")
+	maxDrop := fs.Float64("max-drop", 0.2, "largest tolerated fractional drop vs the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("need both -old and -new capture files")
+	}
+	if *maxDrop < 0 || *maxDrop >= 1 {
+		return fmt.Errorf("-max-drop %g outside [0, 1)", *maxDrop)
+	}
+	olds, err := loadMetrics(*oldPath, *metric)
+	if err != nil {
+		return err
+	}
+	if len(olds) == 0 {
+		return fmt.Errorf("%s: no benchmarks report %q", *oldPath, *metric)
+	}
+	news, err := loadMetrics(*newPath, *metric)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(olds))
+	for name := range olds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark", "old "+*metric, "new "+*metric, "delta")
+	var failures []string
+	for _, name := range names {
+		old := olds[name]
+		fresh, ok := news[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s %14.0f %14s %8s\n", name, old, "missing", "-")
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, *newPath))
+			continue
+		}
+		delta := fresh/old - 1
+		fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %+7.1f%%\n", name, old, fresh, 100*delta)
+		if delta < -*maxDrop {
+			failures = append(failures, fmt.Sprintf("%s: %s dropped %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+				name, *metric, -100*delta, old, fresh, 100**maxDrop))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "all %d benchmarks within %.0f%% of baseline\n", len(names), 100**maxDrop)
+	return nil
+}
+
+// loadMetrics extracts `metric` values per benchmark from a `go test
+// -json` stream. A benchmark that ran multiple times (e.g. -count > 1)
+// keeps its best value — the guard compares capability, not noise.
+//
+// Attribution is layered because `go test -json` is inconsistent across
+// repeated runs: only the first run's events carry a Test field, later
+// runs announce the name as a bare "BenchmarkFoo" output line (or inline
+// at the head of the result line) with Test empty.
+func loadMetrics(path, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	cur := "" // last announced benchmark name, for Test-less result lines
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Test   string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a `go test -json` stream: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		line := strings.TrimSpace(ev.Output)
+		inline := ""
+		if first, _, _ := strings.Cut(line, "\t"); strings.HasPrefix(first, "Benchmark") {
+			inline = benchName(strings.TrimSpace(first))
+		}
+		value, ok := parseMetric(line, metric)
+		if !ok {
+			if inline != "" && len(strings.Fields(line)) == 1 {
+				cur = inline // bare announcement line
+			}
+			continue
+		}
+		name := inline
+		if name == "" && strings.HasPrefix(ev.Test, "Benchmark") {
+			name = ev.Test
+		}
+		if name == "" {
+			name = cur
+		}
+		if name == "" {
+			continue
+		}
+		if prev, seen := out[name]; !seen || value > prev {
+			out[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// benchName strips the trailing -GOMAXPROCS suffix from an inline
+// benchmark name, so captures from different machines compare.
+func benchName(s string) string {
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseMetric extracts the metric's value from one benchmark result line
+// ("      10  123 ns/op  456 emulations/s  ..." — the name travels in the
+// event's Test field, so captures from different machines and GOMAXPROCS
+// compare by name).
+func parseMetric(line, metric string) (value float64, ok bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i+1] != metric {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture renders a minimal `go test -json` stream with one benchmark
+// result line per (name, value).
+func capture(t *testing.T, path string, benches map[string]float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"synapse/internal/scenario"}` + "\n")
+	for name, v := range benches {
+		line := fmt.Sprintf("      10\\t  1234 ns/op\\t  %.0f emulations/s\\t 99 B/op", v)
+		fmt.Fprintf(&b, `{"Action":"output","Package":"p","Test":"%s","Output":"%s\n"}`+"\n", name, line)
+	}
+	b.WriteString(`{"Action":"pass","Package":"synapse/internal/scenario"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardPassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	capture(t, old, map[string]float64{
+		"BenchmarkScenarioThroughput":   100000,
+		"BenchmarkPlacement/first_fit":  50000,
+		"BenchmarkPlacement/least_load": 40000,
+	})
+	capture(t, fresh, map[string]float64{
+		"BenchmarkScenarioThroughput":   85000, // -15%: inside 20%
+		"BenchmarkPlacement/first_fit":  60000, // improvement
+		"BenchmarkPlacement/least_load": 40000,
+	})
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
+		t.Fatalf("within-tolerance capture failed the guard: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all 3 benchmarks within 20%") {
+		t.Fatalf("missing pass summary: %s", buf.String())
+	}
+}
+
+func TestGuardCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	capture(t, old, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	capture(t, fresh, map[string]float64{"BenchmarkScenarioThroughput": 70000}) // -30%
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh})
+	if err == nil || !strings.Contains(err.Error(), "dropped 30.0%") {
+		t.Fatalf("30%% drop not caught: %v", err)
+	}
+	// A looser tolerance admits the same capture.
+	if err := run([]string{"-old", old, "-new", fresh, "-max-drop", "0.4"}); err != nil {
+		t.Fatalf("40%% tolerance rejected a 30%% drop: %v", err)
+	}
+}
+
+func TestGuardCatchesMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	capture(t, old, map[string]float64{
+		"BenchmarkScenarioThroughput": 100000,
+		"BenchmarkPlacement/random":   50000,
+	})
+	capture(t, fresh, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkPlacement/random: missing") {
+		t.Fatalf("deleted benchmark not caught: %v", err)
+	}
+}
+
+// TestBestOfRepeatedRuns: with -count > 1, `go test -json` only tags the
+// first run's events with a Test field — later runs announce the name as
+// a bare output line or inline in the result line. The guard must see
+// every run and keep the best.
+func TestBestOfRepeatedRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "multi.json")
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"p"}`,
+		// Run 1: Test field present (name announced, then the result).
+		`{"Action":"output","Test":"BenchmarkScenarioSerial","Output":"BenchmarkScenarioSerial\n"}`,
+		`{"Action":"output","Test":"BenchmarkScenarioSerial","Output":"      10\t 100 ns/op\t 100000 emulations/s\n"}`,
+		// Run 2: no Test field, bare announcement line precedes the result.
+		`{"Action":"output","Output":"BenchmarkScenarioSerial\n"}`,
+		`{"Action":"output","Output":"      10\t 80 ns/op\t 140000 emulations/s\n"}`,
+		// Run 3: no Test field, name inline in the result line.
+		`{"Action":"output","Output":"BenchmarkScenarioSerial-8   \t      10\t 90 ns/op\t 120000 emulations/s\n"}`,
+		`{"Action":"pass","Package":"p"}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := loadMetrics(path, "emulations/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms["BenchmarkScenarioSerial"]; got != 140000 {
+		t.Fatalf("best-of-3 = %g, want 140000 (all runs must be attributed)\nparsed: %v", got, ms)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("parsed benchmarks = %v, want one name", ms)
+	}
+}
+
+func TestGuardAgainstCommittedSnapshots(t *testing.T) {
+	// The committed snapshots must parse and carry the guarded metric —
+	// otherwise CI's guard is vacuously green.
+	for _, snap := range []string{"../../BENCH_scenario.json", "../../BENCH_placement.json"} {
+		ms, err := loadMetrics(snap, "emulations/s")
+		if err != nil {
+			t.Fatalf("%s: %v", snap, err)
+		}
+		if len(ms) == 0 {
+			t.Fatalf("%s: no emulations/s benchmarks found", snap)
+		}
+	}
+}
+
+func TestGuardErrors(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-old and -new") {
+		t.Fatalf("missing flags accepted: %v", err)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-old", bad, "-new", bad}); err == nil ||
+		!strings.Contains(err.Error(), "not a `go test -json` stream") {
+		t.Fatalf("garbage capture accepted: %v", err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"Action":"start"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-old", empty, "-new", empty}); err == nil ||
+		!strings.Contains(err.Error(), "no benchmarks report") {
+		t.Fatalf("metric-free baseline accepted: %v", err)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	v, ok := parseMetric("       3\t    919570 ns/op\t    278450 emulations/s\t  717936 B/op\n", "emulations/s")
+	if !ok || v != 278450 {
+		t.Fatalf("parse = %g %v", v, ok)
+	}
+	if _, ok := parseMetric("=== RUN   BenchmarkScenarioThroughput", "emulations/s"); ok {
+		t.Fatal("non-result line parsed")
+	}
+	if _, ok := parseMetric("10 123 ns/op", "emulations/s"); ok {
+		t.Fatal("line without the metric parsed")
+	}
+}

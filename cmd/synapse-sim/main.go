@@ -7,13 +7,18 @@
 //	synapse-sim -scenario mix.json -store http://stampede:8181 -out report.json
 //	synapse-sim -scenario mix.json -store ./synapse-store -workers 4
 //	synapse-sim -scenario mix.json -cluster cluster.json
+//	synapse-sim -scenario failover.json -timeline series.csv
 //
 // The -store flag accepts a local file-store directory or the URL of a
 // running synapsed daemon. -cluster attaches (or replaces) the spec's
 // cluster block from a standalone JSON file, so one mix can be rerun
-// against different machine pools and placement policies. Reports are
-// deterministic for a fixed spec and seed: same inputs, byte-identical
-// -out file. See docs/scenarios.md for the spec format.
+// against different machine pools and placement policies. -timeline
+// writes the run's bucketed time-series (throughput, queue depth,
+// per-node occupancy) as CSV, enabling a 1s-bucket timeline when the
+// spec does not configure one. Reports are deterministic for a fixed
+// spec and seed: same inputs, byte-identical -out file. See
+// docs/scenarios.md for the spec format, including the events block
+// (node failures, drains, additions, autoscaling).
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"synapse/internal/cluster"
 	"synapse/internal/scenario"
@@ -48,6 +54,7 @@ func run(args []string) error {
 	clusterPath := fs.String("cluster", "", "cluster description file (JSON); attaches or replaces the spec's cluster block")
 	workers := fs.Int("workers", 0, "parallel emulation workers (0 = all cores)")
 	out := fs.String("out", "", "write the full JSON report to this file")
+	timeline := fs.String("timeline", "", "write the bucketed time-series as CSV to this file (enables a 1s-bucket timeline if the spec has none)")
 	seed := fs.String("seed", "", "override the spec's seed (uint64; empty keeps the spec value)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +87,9 @@ func run(args []string) error {
 		}
 		spec.Seed = s
 	}
+	if *timeline != "" && spec.Timeline == nil {
+		spec.Timeline = &scenario.TimelineSpec{Bucket: scenario.Duration(time.Second)}
+	}
 	st, err := storeclnt.Open(*storeDir)
 	if err != nil {
 		return err
@@ -92,6 +102,21 @@ func run(args []string) error {
 	}
 
 	printSummary(stdout, rep)
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return fmt.Errorf("write timeline: %w", err)
+		}
+		if err := rep.TimelineCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("write timeline: %w", err)
+		}
+		fmt.Fprintf(stdout, "timeline written to %s (%d buckets of %s)\n",
+			*timeline, len(rep.Timeline.Buckets), rep.Timeline.Bucket)
+	}
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -115,7 +140,10 @@ func printSummary(w io.Writer, rep *scenario.Report) {
 	fmt.Fprintf(w, "scenario %q (seed %d): %d emulations in %s (%.3f/s)",
 		name, rep.Seed, rep.Emulations, rep.Makespan, rep.Throughput)
 	if rep.Dropped > 0 {
-		fmt.Fprintf(w, ", %d dropped at the horizon", rep.Dropped)
+		fmt.Fprintf(w, ", %d dropped", rep.Dropped)
+	}
+	if rep.Killed > 0 {
+		fmt.Fprintf(w, ", %d killed and retried", rep.Killed)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-16s %-10s %6s %6s %12s %10s %10s %10s %10s\n",
@@ -140,12 +168,22 @@ func printSummary(w io.Writer, rep *scenario.Report) {
 		if cr.Rejections > 0 {
 			fmt.Fprintf(w, ", %d full-cluster rejections", cr.Rejections)
 		}
+		if cr.Events > 0 {
+			fmt.Fprintf(w, ", %d events applied", cr.Events)
+		}
+		if cr.Autoscaled > 0 {
+			fmt.Fprintf(w, ", %d nodes autoscaled in", cr.Autoscaled)
+		}
 		fmt.Fprintln(w)
-		fmt.Fprintf(w, "%-16s %-10s %6s %6s %6s %12s %6s\n",
-			"node", "machine", "cores", "placed", "peak", "busy", "util")
+		fmt.Fprintf(w, "%-16s %-10s %6s %6s %6s %6s %12s %6s %s\n",
+			"node", "machine", "cores", "placed", "peak", "killed", "busy", "util", "state")
 		for _, n := range cr.Nodes {
-			fmt.Fprintf(w, "%-16s %-10s %6d %6d %6d %12s %5.1f%%\n",
-				n.Name, n.Machine, n.Cores, n.Placed, n.PeakCores, n.Busy, 100*n.Utilization)
+			state := n.State
+			if state == "" {
+				state = "up"
+			}
+			fmt.Fprintf(w, "%-16s %-10s %6d %6d %6d %6d %12s %5.1f%% %s\n",
+				n.Name, n.Machine, n.Cores, n.Placed, n.PeakCores, n.Killed, n.Busy, 100*n.Utilization, state)
 		}
 	}
 }

@@ -205,6 +205,131 @@ func TestSimClusterFlag(t *testing.T) {
 	}
 }
 
+// TestSimEventsAndTimeline: a node_down failover spec end-to-end through
+// the CLI — kills surface in the summary and report, the -timeline CSV
+// carries the bucketed series, and everything stays deterministic.
+func TestSimEventsAndTimeline(t *testing.T) {
+	storeDir, _ := setup(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "failover.json")
+	spec := `{
+		"version": 1,
+		"name": "failover-cli",
+		"seed": 7,
+		"cluster": {
+			"contention": 0,
+			"nodes": [
+				{"name": "a", "machine": "stampede", "cores": 4},
+				{"name": "b", "machine": "stampede", "cores": 4}
+			]
+		},
+		"events": {
+			"version": 1,
+			"timeline": [
+				{"at": "500ms", "kind": "node_down", "node": "a"}
+			]
+		},
+		"workloads": [{
+			"name": "md",
+			"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+			"arrival": {"process": "burst", "burst": 2, "every": "1s", "bursts": 1},
+			"resources": {"cores": 2}
+		}]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+
+	outPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "series.csv")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-out", outPath, "-timeline", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "killed and retried") || !strings.Contains(out, "events applied") {
+		t.Fatalf("summary missing failure view: %q", out)
+	}
+	if !strings.Contains(out, "timeline written to") {
+		t.Fatalf("summary missing timeline note: %q", out)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed == 0 || rep.Emulations != 2 {
+		t.Fatalf("report killed/emulations = %d/%d, want >0/2", rep.Killed, rep.Emulations)
+	}
+	if rep.Timeline == nil || len(rep.Timeline.Buckets) == 0 {
+		t.Fatal("report has no timeline despite -timeline")
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != len(rep.Timeline.Buckets)+1 {
+		t.Fatalf("csv rows = %d, want %d buckets + header", len(lines), len(rep.Timeline.Buckets))
+	}
+	for _, col := range []string{"start_s", "kills", "occ:a", "occ:b"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("csv header %q missing %q", lines[0], col)
+		}
+	}
+
+	// Determinism: a second run writes byte-identical report and CSV.
+	outPath2 := filepath.Join(dir, "report2.json")
+	csvPath2 := filepath.Join(dir, "series2.csv")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-out", outPath2, "-timeline", csvPath2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := os.ReadFile(outPath2)
+	csv2, _ := os.ReadFile(csvPath2)
+	if !bytes.Equal(data, data2) || !bytes.Equal(csv, csv2) {
+		t.Fatal("two failover CLI runs diverged")
+	}
+}
+
+// TestSimEventValidationNamesIndex: a malformed events block is rejected
+// with the offending event's index in the error.
+func TestSimEventValidationNamesIndex(t *testing.T) {
+	storeDir, _ := setup(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "bad-events.json")
+	spec := `{
+		"version": 1,
+		"cluster": {"nodes": [{"name": "a", "machine": "stampede"}]},
+		"events": {
+			"version": 1,
+			"timeline": [
+				{"at": "1s", "kind": "node_down", "node": "a"},
+				{"at": "2s", "kind": "node_down", "node": "ghost"}
+			]
+		},
+		"workloads": [{
+			"name": "md",
+			"profile": {"command": "mdsim", "tags": {"steps": "10000"}},
+			"arrival": {"process": "closed", "clients": 1, "iterations": 1}
+		}]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", specPath, "-store", storeDir})
+	if err == nil || !strings.Contains(err.Error(), `timeline[1]: node_down: unknown node "ghost"`) {
+		t.Fatalf("expected positional event error, got %v", err)
+	}
+}
+
 func TestSimSeedOverride(t *testing.T) {
 	storeDir, specPath := setup(t)
 	var buf bytes.Buffer

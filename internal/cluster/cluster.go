@@ -174,26 +174,42 @@ type Request struct {
 	MemBytes int64
 }
 
+// Node lifecycle states. A node accepts placements only while up; draining
+// keeps running instances but refuses new ones; down nodes are out of the
+// pool (the scheduler kills and re-queues whatever was running on them).
+const (
+	StateUp       = "up"
+	StateDraining = "draining"
+	StateDown     = "down"
+)
+
 // node is one expanded cluster machine and its live accounting.
 type node struct {
 	name  string
 	model *machine.Model
 	cores int
 	mem   int64
+	state string
 
 	usedCores int
 	usedMem   int64
 	placed    int
 	peakCores int
+	killed    int
 	busy      time.Duration // Σ service time × cores over placed instances
 }
 
 // Cluster is the runtime placement state. It is not safe for concurrent
 // use — the scenario scheduler drives it serially on the virtual timeline.
+// The pool is no longer fixed for a run's lifetime: nodes change state
+// (SetDown/SetUp/SetDrain) and new nodes join (AddNodes) as the scenario's
+// event timeline plays out.
 type Cluster struct {
 	policy     string
 	contention *float64
 	nodes      []*node
+	inline     map[string]*machine.Model
+	seen       map[string]bool
 	rng        *stats.RNG
 
 	placements int
@@ -219,54 +235,106 @@ func New(s *Spec, rng *stats.RNG) (*Cluster, error) {
 	if policy == PolicyRandom && rng == nil {
 		return nil, fmt.Errorf("cluster: random policy needs a seeded generator")
 	}
-	c := &Cluster{policy: policy, contention: s.Contention, rng: rng}
-	seen := map[string]bool{}
+	c := &Cluster{
+		policy:     policy,
+		contention: s.Contention,
+		inline:     inline,
+		seen:       map[string]bool{},
+		rng:        rng,
+	}
 	for i := range s.Nodes {
-		ns := &s.Nodes[i]
-		m := inline[ns.Machine]
-		if m == nil {
-			var err error
-			m, err = machine.Get(ns.Machine)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: node %d: %w", i, err)
-			}
-		}
-		cores := ns.Cores
-		if cores == 0 {
-			cores = m.Cores
-		}
-		mem := int64(ns.MemGB * float64(1<<30))
-		if mem == 0 {
-			mem = m.MemBytes
-		}
-		count := ns.Count
-		if count == 0 {
-			count = 1
-		}
-		base := ns.Name
-		if base == "" {
-			base = ns.Machine
-		}
-		for k := 0; k < count; k++ {
-			name := base
-			if count > 1 {
-				name = fmt.Sprintf("%s-%d", base, k)
-			}
-			if seen[name] {
-				return nil, fmt.Errorf("cluster: duplicate node name %q", name)
-			}
-			seen[name] = true
-			c.nodes = append(c.nodes, &node{name: name, model: m, cores: cores, mem: mem})
+		if _, err := c.AddNodes(s.Nodes[i]); err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 	}
 	return c, nil
+}
+
+// ExpandNames returns the node names ns expands to: the spec name (or the
+// machine name) as-is for a single node, suffixed -0..count-1 when count
+// expands it. New, AddNodes and spec-level validation all share this rule.
+func ExpandNames(ns NodeSpec) []string {
+	count := ns.Count
+	if count == 0 {
+		count = 1
+	}
+	base := ns.Name
+	if base == "" {
+		base = ns.Machine
+	}
+	if count == 1 {
+		return []string{base}
+	}
+	names := make([]string, count)
+	for k := range names {
+		names[k] = fmt.Sprintf("%s-%d", base, k)
+	}
+	return names
+}
+
+// ResolveModel resolves a machine reference the way node expansion does:
+// the cluster's inline models first, then the catalog and registered user
+// models.
+func (c *Cluster) ResolveModel(name string) (*machine.Model, error) {
+	if m := c.inline[name]; m != nil {
+		return m, nil
+	}
+	return machine.Get(name)
+}
+
+// ShapeOf resolves the capacity one node expanded from ns would have,
+// without adding it — used to decide whether a resource request could fit
+// a node an event will add later.
+func (c *Cluster) ShapeOf(ns NodeSpec) (cores int, mem int64, err error) {
+	m, err := c.ResolveModel(ns.Machine)
+	if err != nil {
+		return 0, 0, err
+	}
+	cores = ns.Cores
+	if cores == 0 {
+		cores = m.Cores
+	}
+	mem = int64(ns.MemGB * float64(1<<30))
+	if mem == 0 {
+		mem = m.MemBytes
+	}
+	return cores, mem, nil
+}
+
+// AddNodes expands ns into nodes and appends them to the pool (named like
+// New names them: name-0..count-1 when count > 1). New nodes start up and
+// empty. It returns the new node indices; duplicate names fail without
+// mutating the pool.
+func (c *Cluster) AddNodes(ns NodeSpec) ([]int, error) {
+	m, err := c.ResolveModel(ns.Machine)
+	if err != nil {
+		return nil, err
+	}
+	cores, mem, err := c.ShapeOf(ns)
+	if err != nil {
+		return nil, err
+	}
+	names := ExpandNames(ns)
+	for _, name := range names {
+		if c.seen[name] {
+			return nil, fmt.Errorf("duplicate node name %q", name)
+		}
+	}
+	idx := make([]int, len(names))
+	for k, name := range names {
+		c.seen[name] = true
+		idx[k] = len(c.nodes)
+		c.nodes = append(c.nodes, &node{name: name, model: m, cores: cores, mem: mem, state: StateUp})
+	}
+	return idx, nil
 }
 
 // Len returns the number of nodes.
 func (c *Cluster) Len() int { return len(c.nodes) }
 
 // Fits reports whether the request could ever be placed — i.e. fits an
-// *empty* node. Requests that fail this would queue forever.
+// *empty* node of the current pool, in any state. Requests that fail this
+// (and fit no node an event could add) would queue forever.
 func (c *Cluster) Fits(r Request) bool {
 	for _, n := range c.nodes {
 		if r.Cores <= n.cores && r.MemBytes <= n.mem {
@@ -276,9 +344,10 @@ func (c *Cluster) Fits(r Request) bool {
 	return false
 }
 
-// feasible reports whether the request fits node n right now.
+// feasible reports whether the request fits node n right now. Only up
+// nodes accept placements: draining and down nodes are out of the pool.
 func (n *node) feasible(r Request) bool {
-	return n.usedCores+r.Cores <= n.cores && n.usedMem+r.MemBytes <= n.mem
+	return n.state == StateUp && n.usedCores+r.Cores <= n.cores && n.usedMem+r.MemBytes <= n.mem
 }
 
 // Place runs the policy for one request. On success it reserves the
@@ -354,6 +423,56 @@ func (c *Cluster) Release(idx int, r Request) {
 // AddBusy charges d of core-time (service time × cores) to node idx.
 func (c *Cluster) AddBusy(idx int, d time.Duration) { c.nodes[idx].busy += d }
 
+// AddKilled counts one instance killed on node idx (its host went down
+// mid-run).
+func (c *Cluster) AddKilled(idx int) { c.nodes[idx].killed++ }
+
+// State returns node idx's lifecycle state.
+func (c *Cluster) State(idx int) string { return c.nodes[idx].state }
+
+// SetDown takes node idx out of the pool. The caller is responsible for
+// releasing (and re-queueing or killing) whatever was running on it.
+func (c *Cluster) SetDown(idx int) { c.nodes[idx].state = StateDown }
+
+// SetUp returns node idx to the pool (from down or draining).
+func (c *Cluster) SetUp(idx int) { c.nodes[idx].state = StateUp }
+
+// SetDrain stops new placements on node idx; running instances stay.
+// Down nodes are unaffected (there is nothing left to drain).
+func (c *Cluster) SetDrain(idx int) {
+	if c.nodes[idx].state == StateUp {
+		c.nodes[idx].state = StateDraining
+	}
+}
+
+// Idle reports whether node idx currently hosts nothing.
+func (c *Cluster) Idle(idx int) bool {
+	n := c.nodes[idx]
+	return n.usedCores == 0 && n.usedMem == 0
+}
+
+// FindNode returns the index of the node with the given name, or -1.
+func (c *Cluster) FindNode(name string) int {
+	for i, n := range c.nodes {
+		if n.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// LiveNodes counts nodes that are not down — the autoscaler's notion of
+// current pool size.
+func (c *Cluster) LiveNodes() int {
+	live := 0
+	for _, n := range c.nodes {
+		if n.state != StateDown {
+			live++
+		}
+	}
+	return live
+}
+
 // EffectiveLoad maps a node's occupancy at placement time onto the replay's
 // background CPU load: base + (1-base)·contention·occ. With contention ≤ 1
 // and occ < 1 (the instance itself needs at least one core) the result stays
@@ -409,8 +528,10 @@ type NodeInfo struct {
 	Machine   string
 	Cores     int
 	MemBytes  int64
+	State     string
 	Placed    int
 	PeakCores int
+	Killed    int
 	Busy      time.Duration
 }
 
@@ -422,8 +543,10 @@ func (c *Cluster) Info(idx int) NodeInfo {
 		Machine:   n.model.Name,
 		Cores:     n.cores,
 		MemBytes:  n.mem,
+		State:     n.state,
 		Placed:    n.placed,
 		PeakCores: n.peakCores,
+		Killed:    n.killed,
 		Busy:      n.busy,
 	}
 }

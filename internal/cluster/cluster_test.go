@@ -303,3 +303,108 @@ func TestParseSpecStrict(t *testing.T) {
 		t.Fatalf("parsed spec = %+v", s)
 	}
 }
+
+func TestNodeLifecycle(t *testing.T) {
+	c := mustNew(t, twoNodeSpec())
+	if got := c.State(0); got != StateUp {
+		t.Fatalf("fresh node state = %q, want up", got)
+	}
+	req := Request{Cores: 1}
+
+	// Draining and down nodes refuse placements; first_fit falls through
+	// to the next node.
+	c.SetDrain(0)
+	if idx, _, ok := c.Place(req); !ok || idx != 1 {
+		t.Fatalf("placement on drained pool = %d/%v, want node 1", idx, ok)
+	}
+	c.SetDown(0)
+	if got := c.State(0); got != StateDown {
+		t.Fatalf("state after down = %q", got)
+	}
+	// Draining a down node is a no-op (nothing left to drain).
+	c.SetDrain(0)
+	if got := c.State(0); got != StateDown {
+		t.Fatalf("drain resurrected a down node: %q", got)
+	}
+	c.SetUp(0)
+	if idx, _, ok := c.Place(req); !ok || idx != 0 {
+		t.Fatalf("placement after recovery = %d/%v, want node 0", idx, ok)
+	}
+	if got := c.LiveNodes(); got != 2 {
+		t.Fatalf("live nodes = %d, want 2", got)
+	}
+	c.SetDown(1)
+	if got := c.LiveNodes(); got != 1 {
+		t.Fatalf("live nodes after one down = %d, want 1", got)
+	}
+
+	// Idle tracks current usage, not history.
+	if c.Idle(0) {
+		t.Fatal("node with a placement reported idle")
+	}
+	c.Release(0, req)
+	if !c.Idle(0) {
+		t.Fatal("emptied node not idle")
+	}
+
+	c.AddKilled(0)
+	c.AddKilled(0)
+	if got := c.Info(0).Killed; got != 2 {
+		t.Fatalf("killed = %d, want 2", got)
+	}
+}
+
+func TestAddNodesMidRun(t *testing.T) {
+	c := mustNew(t, twoNodeSpec())
+	idx, err := c.AddNodes(NodeSpec{Name: "spare", Machine: "comet", Count: 2, Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 2 || idx[1] != 3 || c.Len() != 4 {
+		t.Fatalf("added indices = %v, len = %d", idx, c.Len())
+	}
+	for _, i := range idx {
+		info := c.Info(i)
+		if info.State != StateUp || info.Cores != 3 || info.Machine != "comet" {
+			t.Fatalf("added node %d = %+v", i, info)
+		}
+	}
+	if c.Info(2).Name != "spare-0" || c.Info(3).Name != "spare-1" {
+		t.Fatalf("added names = %q, %q", c.Info(2).Name, c.Info(3).Name)
+	}
+	// Name collisions fail without mutating the pool.
+	if _, err := c.AddNodes(NodeSpec{Name: "spare-1", Machine: "comet"}); err == nil {
+		t.Fatal("duplicate added name accepted")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("failed add mutated the pool: len = %d", c.Len())
+	}
+	if _, err := c.AddNodes(NodeSpec{Machine: "not-a-machine"}); err == nil {
+		t.Fatal("unresolvable machine accepted")
+	}
+
+	// ShapeOf resolves capacity without adding.
+	cores, mem, err := c.ShapeOf(NodeSpec{Machine: "comet", MemGB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores == 0 || mem != 2<<30 {
+		t.Fatalf("shape = %d cores / %d bytes", cores, mem)
+	}
+	if c.Len() != 4 {
+		t.Fatal("ShapeOf mutated the pool")
+	}
+}
+
+func TestExpandNames(t *testing.T) {
+	if got := ExpandNames(NodeSpec{Name: "n", Machine: "comet"}); len(got) != 1 || got[0] != "n" {
+		t.Fatalf("single = %v", got)
+	}
+	if got := ExpandNames(NodeSpec{Machine: "comet"}); len(got) != 1 || got[0] != "comet" {
+		t.Fatalf("machine default = %v", got)
+	}
+	got := ExpandNames(NodeSpec{Name: "n", Machine: "comet", Count: 3})
+	if len(got) != 3 || got[0] != "n-0" || got[2] != "n-2" {
+		t.Fatalf("expanded = %v", got)
+	}
+}

@@ -50,12 +50,55 @@ func FuzzParseScenario(f *testing.F) {
 			"resources": {"cores": 1, "mem_gb": 0.5}
 		}]
 	}`))
+	f.Add([]byte(`{
+		"version": 1,
+		"name": "failover",
+		"seed": 9,
+		"timeline": {"bucket": "1s"},
+		"cluster": {
+			"policy": "first_fit",
+			"contention": 0,
+			"nodes": [{"name": "a", "machine": "stampede", "cores": 4},
+			          {"name": "b", "machine": "stampede", "cores": 4}]
+		},
+		"events": {
+			"version": 1,
+			"timeline": [
+				{"at": "500ms", "kind": "node_down", "node": "a"},
+				{"at": "2s", "kind": "node_drain", "node": "b"},
+				{"at": "3s", "kind": "add_nodes", "add": {"name": "spare", "machine": "comet", "count": 2}},
+				{"at": "10s", "kind": "node_up", "node": "a"}
+			],
+			"autoscale": {"check_every": "1s", "queue_high": 4, "queue_low": 1,
+			              "add": {"name": "as", "machine": "comet", "cores": 2}, "max_nodes": 8}
+		},
+		"workloads": [{
+			"name": "md",
+			"profile": {"command": "mdsim"},
+			"arrival": {"process": "burst", "burst": 4, "every": "1s", "bursts": 2},
+			"resources": {"cores": 2}
+		}]
+	}`))
 	f.Add([]byte(`{"version": 1, "workloads": []}`))
 	f.Add([]byte(`{"version": 2}`))
 	f.Add([]byte(`{"duration": -3}`))
 	f.Add([]byte(`not json`))
 	f.Add([]byte(`{"version": 1, "workloads": [{"name": "w", "profile": {"command": "c"},
 		"arrival": {"process": "constant", "rate": 1e308}}]}`))
+	// Malformed events: bad times, unknown targets, version drift — all
+	// must reject with positional errors, never panic.
+	f.Add([]byte(`{"version": 1, "cluster": {"nodes": [{"machine": "stampede"}]},
+		"events": {"version": 1, "timeline": [{"at": -1, "kind": "node_down", "node": "stampede"}]},
+		"workloads": [{"name": "w", "profile": {"command": "c"},
+		"arrival": {"process": "closed", "clients": 1, "iterations": 1}}]}`))
+	f.Add([]byte(`{"version": 1, "cluster": {"nodes": [{"machine": "stampede"}]},
+		"events": {"version": 1, "timeline": [{"at": "1s", "kind": "node_down", "node": "ghost"}]},
+		"workloads": [{"name": "w", "profile": {"command": "c"},
+		"arrival": {"process": "closed", "clients": 1, "iterations": 1}}]}`))
+	f.Add([]byte(`{"version": 1, "events": {"version": 3}, "workloads": [{"name": "w",
+		"profile": {"command": "c"}, "arrival": {"process": "closed", "clients": 1, "iterations": 1}}]}`))
+	f.Add([]byte(`{"version": 1, "timeline": {"bucket": "-5s"}, "workloads": [{"name": "w",
+		"profile": {"command": "c"}, "arrival": {"process": "closed", "clients": 1, "iterations": 1}}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := Parse(data)

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report fixtures in testdata/")
+
+// TestGoldenReports locks the determinism contract across refactors: the
+// specs in testdata/*.spec.json — chosen so no draw from the seeded streams
+// reaches the report (closed/constant/burst arrivals, zero load jitter,
+// non-random placement policies) — must keep producing byte-identical
+// reports, at every worker count, as the engine underneath them is rebuilt.
+//
+// The fixtures were captured from the pre-sim-kernel engine; a diff here
+// means the refactor changed scheduling, placement, aggregation or
+// marshaling semantics, not just internals. Regenerate (after convincing
+// yourself the change is intended) with:
+//
+//	go test ./internal/scenario -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("testdata", "*.spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 3 {
+		t.Fatalf("expected at least 3 golden specs in testdata/, found %d", len(specs))
+	}
+	st := seedStore(t, "mdsim", "sleep")
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, specPath := range specs {
+		name := strings.TrimSuffix(filepath.Base(specPath), ".spec.json")
+		t.Run(name, func(t *testing.T) {
+			spec, err := Load(specPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []byte
+			for _, workers := range workerCounts {
+				rep, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers %d: %v", workers, err)
+				}
+				b := append(marshal(t, rep), '\n')
+				if got == nil {
+					got = b
+				} else if !bytes.Equal(got, b) {
+					t.Fatalf("%d workers changed the report:\n%s\n---\n%s", workers, got, b)
+				}
+			}
+			goldenPath := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report diverged from golden %s\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -159,6 +160,128 @@ func TestPlacementProperties(t *testing.T) {
 		if perNode != rep.Cluster.Placements {
 			t.Errorf("trial %d: per-node placed %d != placements %d",
 				trial, perNode, rep.Cluster.Placements)
+		}
+	}
+}
+
+// randomEvents bolts a random fault/growth schedule onto a clustered
+// spec: node failures, recoveries, drains and additions at random times,
+// sometimes an autoscale rule — the adversarial input for the
+// conservation invariant.
+func randomEvents(rng *rand.Rand, spec *Spec) {
+	ev := &Events{Version: EventsVersion}
+	// Only initial nodes are event targets: an added node exists from
+	// its add time on, and random times cannot promise that ordering.
+	var names []string
+	for i := range spec.Cluster.Nodes {
+		names = append(names, cluster.ExpandNames(spec.Cluster.Nodes[i])...)
+	}
+	machines := []string{"stampede", "comet", "thinkie"}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		at := Duration(time.Duration(rng.Intn(8000)) * time.Millisecond)
+		switch rng.Intn(5) {
+		case 0, 1: // failures dominate: they exercise kill-and-retry
+			ev.Timeline = append(ev.Timeline, ClusterEvent{
+				At: at, Kind: EventNodeDown, Node: names[rng.Intn(len(names))]})
+		case 2:
+			ev.Timeline = append(ev.Timeline, ClusterEvent{
+				At: at, Kind: EventNodeUp, Node: names[rng.Intn(len(names))]})
+		case 3:
+			ev.Timeline = append(ev.Timeline, ClusterEvent{
+				At: at, Kind: EventNodeDrain, Node: names[rng.Intn(len(names))]})
+		case 4:
+			name := fmt.Sprintf("x%d", i)
+			ev.Timeline = append(ev.Timeline, ClusterEvent{
+				At: at, Kind: EventAddNodes,
+				Add: &cluster.NodeSpec{Name: name, Machine: machines[rng.Intn(len(machines))],
+					Cores: 1 + rng.Intn(4)}})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		ev.Autoscale = &Autoscale{
+			CheckEvery: Duration(time.Duration(500+rng.Intn(2000)) * time.Millisecond),
+			QueueHigh:  1 + rng.Intn(4),
+			Add:        cluster.NodeSpec{Name: "as", Machine: machines[rng.Intn(len(machines))], Cores: 1 + rng.Intn(2)},
+			MaxNodes:   4 + rng.Intn(4),
+		}
+	}
+	spec.Events = ev
+}
+
+// TestFaultInjectionProperties is the dynamic-cluster property test:
+// across random (spec+cluster+events, seed) draws,
+//
+//   - determinism: worker counts 1, 4 and GOMAXPROCS produce byte-identical
+//     reports even with failures, retries and autoscaling in play;
+//   - conservation: completed + dropped instances equal total arrivals —
+//     kill-and-retry loses nothing, stranding accounts everything — and
+//     every placement ends in exactly one completion or one kill
+//     (placements = emulations + killed);
+//   - accounting: per-node placed and killed sum to the cluster totals,
+//     and no node's peak occupancy exceeds its cores.
+func TestFaultInjectionProperties(t *testing.T) {
+	st := seedStore(t, "mdsim", "sleep")
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(20260726))
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for trial := 0; trial < trials; trial++ {
+		spec := randomClusterSpec(rng)
+		randomEvents(rng, spec)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec: %v", trial, err)
+		}
+		var base []byte
+		var rep *Report
+		for _, workers := range workerCounts {
+			r, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d (workers %d): %v", trial, workers, err)
+			}
+			b := marshal(t, r)
+			if base == nil {
+				base, rep = b, r
+			} else if !bytes.Equal(base, b) {
+				t.Fatalf("trial %d: %d workers changed the report under fault injection:\n%s\n---\n%s",
+					trial, workers, base, b)
+			}
+		}
+
+		if got, want := rep.Emulations+rep.Dropped, totalArrivals(spec); got != want {
+			t.Errorf("trial %d: emulations %d + dropped %d = %d, want %d arrivals\nspec: %s",
+				trial, rep.Emulations, rep.Dropped, got, want, marshal(t, rep))
+		}
+		cr := rep.Cluster
+		if cr.Placements != rep.Emulations+rep.Killed {
+			t.Errorf("trial %d: placements %d != emulations %d + killed %d",
+				trial, cr.Placements, rep.Emulations, rep.Killed)
+		}
+		perNode, killedPerNode := 0, 0
+		for _, n := range cr.Nodes {
+			perNode += n.Placed
+			killedPerNode += n.Killed
+			if n.PeakCores > n.Cores {
+				t.Errorf("trial %d node %s: peak %d exceeds %d cores", trial, n.Name, n.PeakCores, n.Cores)
+			}
+			if n.Busy < 0 {
+				t.Errorf("trial %d node %s: negative busy %v", trial, n.Name, n.Busy)
+			}
+		}
+		if perNode != cr.Placements {
+			t.Errorf("trial %d: per-node placed %d != placements %d", trial, perNode, cr.Placements)
+		}
+		if killedPerNode != rep.Killed {
+			t.Errorf("trial %d: per-node killed %d != killed %d", trial, killedPerNode, rep.Killed)
+		}
+		perW := 0
+		for _, wr := range rep.Workloads {
+			perW += wr.Killed
+		}
+		if perW != rep.Killed {
+			t.Errorf("trial %d: per-workload killed %d != killed %d", trial, perW, rep.Killed)
 		}
 	}
 }

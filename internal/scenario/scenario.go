@@ -6,21 +6,26 @@
 // profile references resolved through any store.Store (including the remote
 // synapsed client), a per-workload arrival process (closed-loop clients,
 // open-loop Poisson or constant rate, bursts), concurrency limits, and
-// per-workload emulation options. Run compiles the spec onto the batched
-// replay engine: every instance's emulation executes through a reusable
-// emulator.Run handle, fanned across CPU cores by the same work-stealing
-// runner the experiment suite uses, while a discrete-event scheduler plays
-// the arrivals out on the virtual timeline, queueing instances when the
-// concurrency caps are hit.
+// per-workload emulation options. Run compiles the spec (compile.go) onto
+// the batched replay engine and plays it out on the discrete-event kernel
+// of internal/sim: arrivals, placements and completions are handlers posted
+// onto the kernel's virtual timeline (sched.go), and aggregation is a
+// metrics sink folding the kernel's event stream into the Report
+// (report.go, timeline.go).
 //
 // With a cluster block the shared resource becomes a finite pool of
 // machines (internal/cluster): arriving instances are placed on nodes by
 // the spec's policy — queueing when no node fits — replay on the machine
 // of the node they land on, and slow down with colocation: the node's core
 // occupancy at placement maps onto the replay's background load through
-// the contention model.
+// the contention model. An events block makes that pool dynamic: scheduled
+// node failures, recoveries, drains and additions — displaced instances
+// are killed and deterministically retried — plus a queue-threshold
+// autoscale rule, with an optional bucketed time-series (Report.Timeline)
+// recording what the end-of-run aggregates average away.
 //
-// Everything is deterministic for a fixed (spec, seed): the same scenario
+// Everything is deterministic for a fixed (spec, seed): every random draw
+// derives from a named kernel stream (sim.Stream), and the same scenario
 // produces a byte-identical Report at any worker count, which is what makes
 // mixes usable for workload-placement studies — change one knob, diff the
 // report (the use case of Merzky & Jha, "Bridging the Gap Towards
@@ -28,22 +33,14 @@
 package scenario
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"runtime"
-	"sort"
-	"time"
 
-	"synapse/internal/cluster"
-	"synapse/internal/core"
 	"synapse/internal/emulator"
 	"synapse/internal/exp"
-	"synapse/internal/machine"
-	"synapse/internal/perfcount"
-	"synapse/internal/stats"
+	"synapse/internal/sim"
 	"synapse/internal/store"
 )
 
@@ -52,149 +49,6 @@ type RunOptions struct {
 	// Workers bounds the parallel emulation fan-out; 0 uses GOMAXPROCS,
 	// 1 forces serial execution. The report is identical at any value.
 	Workers int
-}
-
-// Report is the aggregate outcome of one scenario run. All times are
-// virtual (the emulations' modeled timeline), so reports are comparable
-// across hosts; only wall-clock execution speed varies.
-type Report struct {
-	// Scenario is the spec's name; Seed the seed the run used.
-	Scenario string `json:"scenario"`
-	Seed     uint64 `json:"seed"`
-	// Makespan is when the last admitted instance completed.
-	Makespan Duration `json:"makespan"`
-	// Emulations counts completed instances across workloads; Dropped
-	// counts instances cut by the scenario duration horizon.
-	Emulations int `json:"emulations"`
-	Dropped    int `json:"dropped,omitempty"`
-	// Replays counts the distinct emulations actually executed:
-	// instances of one workload with identical options (no load jitter)
-	// share a single deterministic replay. With a cluster, "identical"
-	// additionally means same node machine and same contention-derived
-	// effective load.
-	Replays int `json:"replays"`
-	// Throughput is completed emulations per virtual second.
-	Throughput float64 `json:"throughput_per_s"`
-	// Latency summarizes sojourn time (arrival to completion) across all
-	// workloads.
-	Latency LatencySummary `json:"latency"`
-	// Cluster reports placement decisions and per-node utilization when
-	// the spec has a cluster block.
-	Cluster *ClusterReport `json:"cluster,omitempty"`
-	// Workloads reports per-workload detail, in spec order.
-	Workloads []WorkloadReport `json:"workloads"`
-}
-
-// ClusterReport is the placement outcome of a clustered scenario.
-type ClusterReport struct {
-	// Policy is the placement policy the run used.
-	Policy string `json:"policy"`
-	// Placements counts successful placement decisions; Rejections
-	// counts admission probes that found no feasible node (at most one
-	// per workload per scheduling instant) — the cluster-full pressure.
-	Placements int `json:"placements"`
-	Rejections int `json:"rejections,omitempty"`
-	// Nodes reports per-node accounting, in cluster order.
-	Nodes []NodeReport `json:"nodes"`
-}
-
-// NodeReport is one node's slice of the placement outcome.
-type NodeReport struct {
-	Name    string `json:"name"`
-	Machine string `json:"machine"`
-	Cores   int    `json:"cores"`
-	// Placed counts instances placed on this node; PeakCores is the
-	// node's maximum simultaneous core occupancy.
-	Placed    int `json:"placed"`
-	PeakCores int `json:"peak_cores,omitempty"`
-	// Busy is the node's total core-time (Σ service time × cores over
-	// placed instances); Utilization is Busy over makespan × cores.
-	Busy        Duration `json:"busy_core_time"`
-	Utilization float64  `json:"utilization"`
-}
-
-// WorkloadReport is one workload's slice of the scenario outcome.
-type WorkloadReport struct {
-	Name string `json:"name"`
-	// Machine is the emulation resource instances replayed on; with a
-	// cluster block instances replay on the machine of the node they
-	// were placed on, and this reads "cluster".
-	Machine string `json:"machine"`
-	// Emulations counts completed instances; Dropped the ones cut by the
-	// horizon before starting.
-	Emulations int `json:"emulations"`
-	Dropped    int `json:"dropped,omitempty"`
-	// Throughput is completed instances per virtual second of scenario
-	// makespan.
-	Throughput float64 `json:"throughput_per_s"`
-	// Latency is sojourn time (arrival → completion); Wait the queueing
-	// delay before a concurrency slot freed (arrival → start); Service
-	// the emulation time itself (start → completion).
-	Latency LatencySummary `json:"latency"`
-	Wait    LatencySummary `json:"wait"`
-	Service LatencySummary `json:"service"`
-	// BusyTime breaks down per-atom busy time summed over completed
-	// instances, sorted by atom name.
-	BusyTime []AtomBusy `json:"busy_time,omitempty"`
-	// Consumed aggregates the resources completed instances consumed.
-	Consumed perfcount.Counters `json:"consumed"`
-}
-
-// AtomBusy is one atom's total busy time within a workload.
-type AtomBusy struct {
-	Atom string   `json:"atom"`
-	Busy Duration `json:"busy"`
-}
-
-// LatencySummary condenses a latency distribution.
-type LatencySummary struct {
-	Mean Duration `json:"mean"`
-	P50  Duration `json:"p50"`
-	P90  Duration `json:"p90"`
-	P99  Duration `json:"p99"`
-	Max  Duration `json:"max"`
-}
-
-// atomNames are the emulation atoms a report can break busy time down by.
-var atomNames = []string{"compute", "memory", "network", "storage"}
-
-// instance is one emulation of one workload in the mix.
-type instance struct {
-	w    int // workload index in the spec
-	idx  int // enumeration index within the workload
-	iter int // closed-loop iteration (client encoded by enumeration)
-	load float64
-	// arrival is fixed at enumeration time for open-loop processes;
-	// closed-loop arrivals chain off completions in the scheduler.
-	arrival time.Duration
-	// node and eff are assigned at placement in cluster mode: the host
-	// node index and the contention-adjusted effective load.
-	node int
-	eff  float64
-	// tx is the instance's emulation time — measured eagerly without a
-	// cluster, resolved at placement with one; start/done are assigned
-	// by the scheduler.
-	tx    time.Duration
-	start time.Duration
-	done  time.Duration
-	ran   bool
-}
-
-// workloadState is the per-workload compilation product.
-type workloadState struct {
-	spec    *Workload
-	machine string
-	// run replays instances without a cluster; runs holds one handle per
-	// node machine with one (instances replay on the node they land on).
-	run  *emulator.Run
-	runs map[string]*emulator.Run
-	// req is the per-instance resource demand on a cluster node.
-	req cluster.Request
-	// insts indexes this workload's instances in the global table:
-	// insts[idx] is the global id of enumeration index idx. Closed-loop
-	// instance (client c, iteration k) lives at idx c*Iterations+k.
-	insts   []int
-	dropped int
 }
 
 // jobKey identifies one distinct emulation: instances sharing a key share a
@@ -207,7 +61,7 @@ type jobKey struct {
 
 // Run executes the scenario: profiles resolve through st, every instance
 // emulates on the batched replay engine across opts.Workers goroutines, and
-// the discrete-event scheduler aggregates the virtual-time outcome.
+// the discrete-event kernel plays out the virtual-time outcome.
 func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -220,71 +74,9 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Build the cluster, if the spec models one. The random policy's
-	// generator derives from the scenario seed, so placement is part of
-	// the (spec, seed) determinism contract.
-	var cl *cluster.Cluster
-	if spec.Cluster != nil {
-		var err error
-		cl, err = cluster.New(spec.Cluster, stats.NewRNG(clusterSeed(spec.Seed)))
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-	}
-
-	// Compile: resolve each workload's profile and build its reusable
-	// emulation handles — one per node machine with a cluster, one total
-	// without.
-	wls := make([]*workloadState, len(spec.Workloads))
-	for i := range spec.Workloads {
-		w := &spec.Workloads[i]
-		set, err := st.Find(w.Profile.Command, w.Profile.Tags)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: workload %q: resolve profile: %w", w.Name, err)
-		}
-		p := set[len(set)-1]
-		ws := &workloadState{spec: w}
-		if cl == nil {
-			machineName := w.Emulation.Machine
-			if machineName == "" {
-				machineName = p.Machine
-			}
-			run, err := core.NewEmulation(p, w.emulateOptions(machineName))
-			if err != nil {
-				return nil, fmt.Errorf("scenario: workload %q: %w", w.Name, err)
-			}
-			ws.machine = machineName
-			ws.run = run
-		} else {
-			ws.machine = "cluster"
-			ws.req = w.request()
-			if !cl.Fits(ws.req) {
-				return nil, fmt.Errorf("scenario: workload %q: an instance needs %d cores and %d bytes but fits no cluster node",
-					w.Name, ws.req.Cores, ws.req.MemBytes)
-			}
-			ws.runs = make(map[string]*emulator.Run)
-			for _, m := range cl.Models() {
-				run, err := core.NewEmulationOn(p, m, w.emulateOptions(m.Name))
-				if err != nil {
-					return nil, fmt.Errorf("scenario: workload %q on %q: %w", w.Name, m.Name, err)
-				}
-				ws.runs[m.Name] = run
-			}
-		}
-		wls[i] = ws
-	}
-
-	// Enumerate: draw every workload's instances (arrival times for open
-	// loops, per-instance load) from its seeded generator.
-	var insts []*instance
-	for i, ws := range wls {
-		rng := stats.NewRNG(workloadSeed(spec.Seed, i, ws.spec.Name))
-		ws.enumerate(spec, i, rng, func(in *instance) {
-			in.idx = len(ws.insts)
-			in.node = -1
-			ws.insts = append(ws.insts, len(insts))
-			insts = append(insts, in)
-		})
+	c, err := compile(spec, st)
+	if err != nil {
+		return nil, err
 	}
 
 	// Execute. Without a cluster, emulation is eager: each (workload,
@@ -299,15 +91,15 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 	// folds in the host node's occupancy), so emulation is demand-driven:
 	// the scheduler resolves each instant's placements as a batch, fanned
 	// across the workers, memoized on (workload, node machine, load).
-	reports := make([]*emulator.Report, len(insts))
+	reports := make([]*emulator.Report, len(c.insts))
 	memo := make(map[jobKey]*emulator.Report)
 	replays := 0
 	var resolve resolver
-	if cl == nil {
-		jobOf := make(map[jobKey]int, len(insts))
-		jobIdx := make([]int, len(insts))
+	if c.cl == nil {
+		jobOf := make(map[jobKey]int, len(c.insts))
+		jobIdx := make([]int, len(c.insts))
 		var jobs []int // representative instance per distinct job, first-seen order
-		for i, in := range insts {
+		for i, in := range c.insts {
 			k := jobKey{w: in.w, load: math.Float64bits(in.load)}
 			j, ok := jobOf[k]
 			if !ok {
@@ -318,26 +110,26 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 			jobIdx[i] = j
 		}
 		jobReports, err := exp.Fan(workers, len(jobs), nil, func(j int) (*emulator.Report, error) {
-			in := insts[jobs[j]]
-			return wls[in.w].run.EmulateWithLoad(ctx, in.load)
+			in := c.insts[jobs[j]]
+			return c.wls[in.w].run.EmulateWithLoad(ctx, in.load)
 		})
 		if err != nil {
 			return nil, err
 		}
-		for i := range insts {
+		for i := range c.insts {
 			reports[i] = jobReports[jobIdx[i]]
-			insts[i].tx = reports[i].Tx
+			c.insts[i].tx = reports[i].Tx
 		}
 		replays = len(jobs)
 	} else {
 		key := func(in *instance) jobKey {
-			return jobKey{w: in.w, machine: cl.MachineName(in.node), load: math.Float64bits(in.eff)}
+			return jobKey{w: in.w, machine: c.cl.MachineName(in.node), load: math.Float64bits(in.eff)}
 		}
 		resolve = func(placed []int) error {
 			var keys []jobKey
 			var reprs []*instance
 			for _, id := range placed {
-				in := insts[id]
+				in := c.insts[id]
 				k := key(in)
 				if _, ok := memo[k]; ok {
 					continue
@@ -349,7 +141,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 			if len(keys) > 0 {
 				reps, err := exp.Fan(workers, len(keys), nil, func(j int) (*emulator.Report, error) {
 					in := reprs[j]
-					return wls[in.w].runs[cl.MachineName(in.node)].EmulateWithLoad(ctx, in.eff)
+					return c.wls[in.w].runs[c.cl.MachineName(in.node)].EmulateWithLoad(ctx, in.eff)
 				})
 				if err != nil {
 					return err
@@ -359,7 +151,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 				}
 			}
 			for _, id := range placed {
-				in := insts[id]
+				in := c.insts[id]
 				r := memo[key(in)]
 				reports[id] = r
 				in.tx = r.Tx
@@ -368,425 +160,34 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		}
 	}
 
-	// Schedule: play the arrivals out on the virtual timeline.
-	completed, makespan, err := schedule(spec, wls, insts, cl, resolve)
-	if err != nil {
+	// Schedule: play the compiled scenario out on the kernel's virtual
+	// timeline, with the aggregation (and optional time-series) sinks
+	// observing the event stream.
+	k := sim.New()
+	rp := newReporter(len(c.wls))
+	k.Attach(rp)
+	var tl *timelineSink
+	if spec.Timeline != nil {
+		tl = newTimelineSink(spec.Timeline.Bucket.D(), len(c.wls), c.cl)
+		k.Attach(tl)
+	}
+	s := newSched(k, c, resolve)
+	if err := s.run(); err != nil {
 		return nil, err
 	}
 
-	rep := assemble(spec, wls, insts, reports, completed, makespan)
-	if cl != nil {
+	rep := assemble(c, rp, reports)
+	if c.cl != nil {
 		replays = len(memo)
-		rep.Cluster = clusterReport(cl, makespan)
+		rep.Cluster = clusterReport(c.cl, s, rp.makespan)
 	}
 	rep.Replays = replays
-	return rep, nil
-}
-
-// clusterReport folds the cluster's accounting into the report.
-func clusterReport(cl *cluster.Cluster, makespan time.Duration) *ClusterReport {
-	cr := &ClusterReport{
-		Policy:     cl.Policy(),
-		Placements: cl.Placements(),
-		Rejections: cl.Rejections(),
-	}
-	for i := 0; i < cl.Len(); i++ {
-		info := cl.Info(i)
-		nr := NodeReport{
-			Name:      info.Name,
-			Machine:   info.Machine,
-			Cores:     info.Cores,
-			Placed:    info.Placed,
-			PeakCores: info.PeakCores,
-			Busy:      Duration(info.Busy),
-		}
-		if cap := makespan.Seconds() * float64(info.Cores); cap > 0 {
-			nr.Utilization = info.Busy.Seconds() / cap
-		}
-		cr.Nodes = append(cr.Nodes, nr)
-	}
-	return cr
-}
-
-// workloadSeed derives a workload's generator seed from the scenario seed:
-// mixing in both position and name keeps draws independent across workloads
-// and stable under reordering-free edits elsewhere in the spec.
-func workloadSeed(seed uint64, i int, name string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return seed ^ h.Sum64() ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
-}
-
-// clusterSeed derives the placement generator's seed (the random policy)
-// from the scenario seed, independent of every workload stream.
-func clusterSeed(seed uint64) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte("cluster"))
-	return seed ^ h.Sum64()
-}
-
-// emulateOptions maps the workload's emulation knobs onto core options.
-func (w *Workload) emulateOptions(machineName string) core.EmulateOptions {
-	e := &w.Emulation
-	opts := core.EmulateOptions{
-		Machine:    machineName,
-		Kernel:     e.Kernel,
-		Workers:    e.Workers,
-		Load:       e.Load,
-		TraceLevel: emulator.TraceNone,
-	}
-	switch e.Mode {
-	case "openmp":
-		opts.Mode = machine.ModeOpenMP
-	case "mpi":
-		opts.Mode = machine.ModeMPI
-	}
-	for _, a := range e.DisableAtoms {
-		switch a {
-		case "storage":
-			opts.DisableStorage = true
-		case "memory":
-			opts.DisableMemory = true
-		case "network":
-			opts.DisableNetwork = true
-		}
-	}
-	return opts
-}
-
-// enumerate emits the workload's instances in deterministic order: clients ×
-// iterations for the closed loop, arrival order for open loops. Open-loop
-// arrivals past the scenario horizon are dropped here; closed-loop chains
-// are cut by the scheduler when a completion lands past the horizon.
-func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.RNG, emit func(*instance)) {
-	a := &ws.spec.Arrival
-	horizon := spec.Duration.D()
-	jitter := func() float64 {
-		e := &ws.spec.Emulation
-		if e.LoadJitter <= 0 {
-			return e.Load
-		}
-		// Draws stay below 1 by validation (Load + LoadJitter < 1);
-		// only the lower bound needs clamping.
-		return math.Max(e.Load+e.LoadJitter*(2*rng.Float64()-1), 0)
-	}
-	switch a.Process {
-	case ArrivalClosed:
-		for c := 0; c < a.Clients; c++ {
-			for k := 0; k < a.Iterations; k++ {
-				emit(&instance{w: w, iter: k, load: jitter()})
-			}
-		}
-	case ArrivalConstant, ArrivalPoisson:
-		step := time.Duration(float64(time.Second) / a.Rate)
-		var t time.Duration
-		for i := 0; a.Count == 0 || i < a.Count; i++ {
-			if i > 0 {
-				if a.Process == ArrivalConstant {
-					t += step
-				} else {
-					u := rng.Float64()
-					t += time.Duration(-math.Log(1-u) / a.Rate * float64(time.Second))
-				}
-			}
-			if horizon > 0 && t > horizon {
-				if a.Count > 0 {
-					ws.dropped += a.Count - i
-				}
-				return
-			}
-			emit(&instance{w: w, arrival: t, load: jitter()})
-		}
-	case ArrivalBurst:
-		for b := 0; a.Bursts == 0 || b < a.Bursts; b++ {
-			t := time.Duration(b) * a.Every.D()
-			if horizon > 0 && t > horizon {
-				if a.Bursts > 0 {
-					ws.dropped += (a.Bursts - b) * a.Burst
-				}
-				return
-			}
-			for j := 0; j < a.Burst; j++ {
-				emit(&instance{w: w, arrival: t, load: jitter()})
-			}
-		}
-	}
-}
-
-// event is one point on the scheduler's virtual timeline.
-type event struct {
-	t    time.Duration
-	kind int // completions (0) before arrivals (1) at equal times
-	inst int
-	seq  uint64
-}
-
-const (
-	evComplete = iota
-	evArrive
-)
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// resolver assigns tx (and emulation reports) to a scheduling instant's
-// freshly placed instances. Nil means tx is already known (eager mode).
-type resolver func(placed []int) error
-
-// schedule replays arrivals, placement, queueing and completions on the
-// virtual timeline and returns the number of completed instances and the
-// makespan. Admission is FIFO by arrival with skip-ahead: an instance
-// blocked only by its own workload's cap (or, with a cluster, by its
-// workload's resource request not fitting any node right now) does not
-// block other workloads behind it. Events are drained one virtual instant
-// at a time, so each instant's placements resolve as one batch.
-func schedule(spec *Spec, wls []*workloadState, insts []*instance, cl *cluster.Cluster, resolve resolver) (completed int, makespan time.Duration, err error) {
-	var events eventHeap
-	var seq uint64
-	push := func(t time.Duration, kind, inst int) {
-		seq++
-		heap.Push(&events, event{t: t, kind: kind, inst: inst, seq: seq})
-	}
-
-	// Seed the timeline: open-loop arrivals are known; every closed-loop
-	// client's first iteration arrives at t=0.
-	for _, ws := range wls {
-		if ws.spec.Arrival.Process == ArrivalClosed {
-			iters := ws.spec.Arrival.Iterations
-			for c := 0; c < ws.spec.Arrival.Clients; c++ {
-				push(0, evArrive, ws.insts[c*iters])
-			}
-		} else {
-			for _, id := range ws.insts {
-				push(insts[id].arrival, evArrive, id)
-			}
-		}
-	}
-
-	horizon := spec.Duration.D()
-	gmax := spec.MaxConcurrent
-	running := 0
-	wrunning := make([]int, len(wls))
-
-	// Pending instances queue FIFO per workload (append-only with a head
-	// cursor — no splicing); enq stamps global arrival order. Admission
-	// picks the earliest-enqueued eligible head across workloads, which
-	// is exactly a global FIFO scan that skips entries of saturated
-	// workloads (everything behind a blocked head in its own queue
-	// belongs to the same saturated workload), in O(workloads) per
-	// admission instead of O(pending) per event.
-	queues := make([][]int, len(wls))
-	heads := make([]int, len(wls))
-	enq := make([]int, len(insts))
-	enqSeq := 0
-
-	// blocked caches, per instant, workloads whose resource request found
-	// no feasible node: capacity only shrinks within an instant (releases
-	// happen in event processing, before admission), so one failed probe
-	// per workload per instant suffices.
-	blocked := make([]bool, len(wls))
-
-	admit := func(now time.Duration) []int {
-		var placed []int
-		if cl != nil {
-			for w := range blocked {
-				blocked[w] = false
-			}
-		}
-		for {
-			if gmax > 0 && running >= gmax {
-				break
-			}
-			best := -1
-			for w := range queues {
-				if heads[w] >= len(queues[w]) {
-					continue
-				}
-				wmax := wls[w].spec.MaxConcurrent
-				if wmax > 0 && wrunning[w] >= wmax {
-					continue
-				}
-				if blocked[w] {
-					continue
-				}
-				id := queues[w][heads[w]]
-				if best < 0 || enq[id] < enq[best] {
-					best = id
-				}
-			}
-			if best < 0 {
-				break
-			}
-			in := insts[best]
-			if cl != nil {
-				node, occ, ok := cl.Place(wls[in.w].req)
-				if !ok {
-					blocked[in.w] = true
-					continue
-				}
-				in.node = node
-				in.eff = cl.EffectiveLoad(node, in.load, occ)
-			}
-			in.start = now
-			in.ran = true
-			running++
-			wrunning[in.w]++
-			heads[in.w]++
-			placed = append(placed, best)
-		}
-		return placed
-	}
-
-	for events.Len() > 0 {
-		now := events[0].t
-		for events.Len() > 0 && events[0].t == now {
-			e := heap.Pop(&events).(event)
-			in := insts[e.inst]
-			switch e.kind {
-			case evArrive:
-				in.arrival = e.t
-				enqSeq++
-				enq[e.inst] = enqSeq
-				queues[in.w] = append(queues[in.w], e.inst)
-			case evComplete:
-				running--
-				wrunning[in.w]--
-				completed++
-				if e.t > makespan {
-					makespan = e.t
-				}
-				if cl != nil {
-					cl.Release(in.node, wls[in.w].req)
-				}
-				ws := wls[in.w]
-				a := &ws.spec.Arrival
-				if a.Process == ArrivalClosed && in.iter+1 < a.Iterations {
-					// The client issues its next iteration the moment
-					// this one completes — unless the horizon has
-					// passed, which cuts the rest of the chain.
-					if horizon > 0 && e.t > horizon {
-						ws.dropped += a.Iterations - (in.iter + 1)
-					} else {
-						push(e.t, evArrive, ws.insts[in.idx+1])
-					}
-				}
-			}
-		}
-		placed := admit(now)
-		if len(placed) == 0 {
-			continue
-		}
-		if resolve != nil {
-			if err := resolve(placed); err != nil {
-				return 0, 0, err
-			}
-		}
-		for _, id := range placed {
-			in := insts[id]
-			in.done = now + in.tx
-			push(in.done, evComplete, id)
-			if cl != nil {
-				cl.AddBusy(in.node, time.Duration(wls[in.w].req.Cores)*in.tx)
-			}
-		}
-	}
-	return completed, makespan, nil
-}
-
-// assemble folds the instance outcomes into the report, in spec order —
-// every sum runs in deterministic instance order, so reports are
-// byte-identical across runs and worker counts.
-func assemble(spec *Spec, wls []*workloadState, insts []*instance, reports []*emulator.Report, completed int, makespan time.Duration) *Report {
-	rep := &Report{
-		Scenario:   spec.Name,
-		Seed:       spec.Seed,
-		Makespan:   Duration(makespan),
-		Emulations: completed,
-	}
-	if secs := makespan.Seconds(); secs > 0 {
-		rep.Throughput = float64(completed) / secs
-	}
-	var allSojourn []float64
-	for _, ws := range wls {
-		wr := WorkloadReport{
-			Name:    ws.spec.Name,
-			Machine: ws.machine,
-			Dropped: ws.dropped,
-		}
-		var sojourn, wait, service []float64
-		busy := make(map[string]time.Duration, len(atomNames))
-		for _, id := range ws.insts {
-			in := insts[id]
-			if !in.ran {
-				continue
-			}
-			wr.Emulations++
-			sojourn = append(sojourn, float64(in.done-in.arrival))
-			wait = append(wait, float64(in.start-in.arrival))
-			service = append(service, float64(in.tx))
-			r := reports[id]
-			for _, a := range atomNames {
-				busy[a] += r.BusyTime(a)
-			}
-			wr.Consumed.Accumulate(&r.Consumed)
-		}
-		if secs := makespan.Seconds(); secs > 0 {
-			wr.Throughput = float64(wr.Emulations) / secs
-		}
-		wr.Latency = summarize(sojourn)
-		wr.Wait = summarize(wait)
-		wr.Service = summarize(service)
-		for _, a := range atomNames {
-			if busy[a] > 0 {
-				wr.BusyTime = append(wr.BusyTime, AtomBusy{Atom: a, Busy: Duration(busy[a])})
-			}
-		}
-		sort.Slice(wr.BusyTime, func(i, j int) bool { return wr.BusyTime[i].Atom < wr.BusyTime[j].Atom })
-		rep.Dropped += ws.dropped
-		rep.Workloads = append(rep.Workloads, wr)
-		allSojourn = append(allSojourn, sojourn...)
-	}
-	rep.Latency = summarize(allSojourn)
-	return rep
-}
-
-// summarize condenses a duration sample (in float64 nanoseconds) into the
-// report's latency summary.
-func summarize(xs []float64) LatencySummary {
-	if len(xs) == 0 {
-		return LatencySummary{}
-	}
-	pct := func(p float64) Duration {
-		v, err := stats.Percentile(xs, p)
+	if tl != nil {
+		timeline, err := tl.finalize(rp.makespan, c.wls)
 		if err != nil {
-			return 0
+			return nil, err
 		}
-		return Duration(v)
+		rep.Timeline = timeline
 	}
-	return LatencySummary{
-		Mean: Duration(stats.Mean(xs)),
-		P50:  pct(50),
-		P90:  pct(90),
-		P99:  pct(99),
-		Max:  Duration(stats.Max(xs)),
-	}
+	return rep, nil
 }

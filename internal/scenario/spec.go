@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"synapse/internal/cluster"
@@ -12,6 +14,11 @@ import (
 
 // SpecVersion is the scenario spec schema version this build understands.
 const SpecVersion = 1
+
+// EventsVersion is the events block schema version this build understands.
+// The block is versioned independently of the spec so event semantics can
+// evolve without forcing a spec-wide version bump.
+const EventsVersion = 1
 
 // Duration is a time.Duration that marshals as a Go duration string
 // ("1.5s", "200ms") and additionally decodes bare JSON numbers as seconds,
@@ -79,8 +86,85 @@ type Spec struct {
 	// model. Without it, every instance runs on the workload's own
 	// emulation machine as before.
 	Cluster *cluster.Spec `json:"cluster,omitempty"`
+	// Events, when present, mutates the cluster mid-run: a timeline of
+	// node failures, recoveries, drains and additions, plus an optional
+	// queue-threshold autoscale rule. Requires a cluster block.
+	Events *Events `json:"events,omitempty"`
+	// Timeline, when present, adds a time-series view to the report:
+	// fixed-width buckets of throughput, queue depth and per-node
+	// occupancy (Report.Timeline, synapse-sim -timeline).
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
 	// Workloads are the mix components, scheduled together.
 	Workloads []Workload `json:"workloads"`
+}
+
+// Events is the versioned dynamic-cluster block: what the static pool
+// description cannot express — the pool changing underneath the mix.
+type Events struct {
+	// Version is the events schema version; must equal EventsVersion.
+	Version int `json:"version"`
+	// Timeline is the list of scheduled pool mutations. Events at the
+	// same virtual time apply in list order; all of them apply before
+	// that instant's placement decisions.
+	Timeline []ClusterEvent `json:"timeline,omitempty"`
+	// Autoscale, when present, grows and shrinks the pool from queue
+	// pressure instead of a fixed schedule.
+	Autoscale *Autoscale `json:"autoscale,omitempty"`
+}
+
+// Cluster event kinds.
+const (
+	// EventNodeDown takes a node out of the pool; instances running on it
+	// are killed and re-queued (kill-and-retry), keeping their original
+	// arrival time.
+	EventNodeDown = "node_down"
+	// EventNodeUp returns a down or draining node to the pool.
+	EventNodeUp = "node_up"
+	// EventNodeDrain stops new placements on a node; running instances
+	// finish normally.
+	EventNodeDrain = "node_drain"
+	// EventAddNodes expands the pool with new nodes mid-run.
+	EventAddNodes = "add_nodes"
+)
+
+// ClusterEvent is one scheduled pool mutation.
+type ClusterEvent struct {
+	// At is the virtual time the event fires.
+	At Duration `json:"at"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Node names the target node for node_down/node_up/node_drain (the
+	// expanded node name, e.g. "big-1" for a count-expanded spec).
+	Node string `json:"node,omitempty"`
+	// Add describes the nodes an add_nodes event appends, in the same
+	// format (and with the same count expansion and naming) as the
+	// cluster block's nodes.
+	Add *cluster.NodeSpec `json:"add,omitempty"`
+}
+
+// Autoscale grows the pool when the queue backs up and shrinks it when
+// the queue empties. The rule is evaluated every CheckEvery of virtual
+// time: with QueueHigh or more instances queued, Add's nodes join the
+// pool (revived from earlier scale-downs before new ones are created,
+// named add.name-0, add.name-1, ... — while MaxNodes, when set, bounds
+// the live pool); with at most QueueLow queued, idle autoscaled nodes
+// leave it. Everything derives from the virtual timeline, so autoscaled
+// runs stay deterministic per (spec, seed).
+type Autoscale struct {
+	CheckEvery Duration `json:"check_every"`
+	QueueHigh  int      `json:"queue_high"`
+	QueueLow   int      `json:"queue_low,omitempty"`
+	// Add is the node template one scale-up step appends; count is the
+	// number of nodes per step (default 1).
+	Add cluster.NodeSpec `json:"add"`
+	// MaxNodes bounds live (non-down) nodes; 0 = unbounded.
+	MaxNodes int `json:"max_nodes,omitempty"`
+}
+
+// TimelineSpec configures the report's time-series sink.
+type TimelineSpec struct {
+	// Bucket is the fixed bucket width; required, positive.
+	Bucket Duration `json:"bucket"`
 }
 
 // Workload is one component of the mix: a stored profile, an arrival
@@ -241,6 +325,14 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
+	if s.Events != nil {
+		if err := s.Events.validate(s.Cluster); err != nil {
+			return fmt.Errorf("scenario: events: %w", err)
+		}
+	}
+	if s.Timeline != nil && s.Timeline.Bucket <= 0 {
+		return fmt.Errorf("scenario: timeline: bucket must be positive, got %v", s.Timeline.Bucket)
+	}
 	seen := make(map[string]bool, len(s.Workloads))
 	for i := range s.Workloads {
 		w := &s.Workloads[i]
@@ -254,6 +346,137 @@ func (s *Spec) Validate() error {
 		if err := w.validate(s.Duration > 0, s.Cluster != nil); err != nil {
 			return fmt.Errorf("scenario: workload %q: %w", w.Name, err)
 		}
+	}
+	return nil
+}
+
+// validate checks the events block against the cluster it mutates. Every
+// timeline error is positional — "timeline[3]: ..." — so a bad entry in a
+// long schedule is findable. Node targets are checked against the pool as
+// it exists when the event fires: the initial nodes plus everything
+// earlier add_nodes events (in (at, list order) order) have created.
+func (e *Events) validate(cl *cluster.Spec) error {
+	if e.Version != EventsVersion {
+		return fmt.Errorf("unknown events version %d (this build supports version %d)", e.Version, EventsVersion)
+	}
+	if cl == nil {
+		return fmt.Errorf("events need a cluster block to mutate")
+	}
+	names := make(map[string]bool)
+	for i := range cl.Nodes {
+		for _, n := range cluster.ExpandNames(cl.Nodes[i]) {
+			names[n] = true
+		}
+	}
+	// Walk events in the order they will apply: by time, list order
+	// breaking ties — the same order the scheduler posts them in.
+	order := make([]int, len(e.Timeline))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return e.Timeline[order[a]].At < e.Timeline[order[b]].At
+	})
+	for _, i := range order {
+		ev := &e.Timeline[i]
+		if ev.At < 0 {
+			return fmt.Errorf("timeline[%d]: negative time %v", i, ev.At)
+		}
+		switch ev.Kind {
+		case EventNodeDown, EventNodeUp, EventNodeDrain:
+			if ev.Node == "" {
+				return fmt.Errorf("timeline[%d]: %s needs a target node", i, ev.Kind)
+			}
+			if !names[ev.Node] {
+				return fmt.Errorf("timeline[%d]: %s: unknown node %q", i, ev.Kind, ev.Node)
+			}
+			if ev.Add != nil {
+				return fmt.Errorf("timeline[%d]: %s does not take an add block", i, ev.Kind)
+			}
+		case EventAddNodes:
+			if ev.Node != "" {
+				return fmt.Errorf("timeline[%d]: add_nodes does not take a target node", i)
+			}
+			if ev.Add == nil {
+				return fmt.Errorf("timeline[%d]: add_nodes needs an add block", i)
+			}
+			if err := validateNodeSpec(ev.Add); err != nil {
+				return fmt.Errorf("timeline[%d]: add_nodes: %w", i, err)
+			}
+			for _, n := range cluster.ExpandNames(*ev.Add) {
+				if names[n] {
+					return fmt.Errorf("timeline[%d]: add_nodes: duplicate node name %q", i, n)
+				}
+				names[n] = true
+			}
+		case "":
+			return fmt.Errorf("timeline[%d]: missing event kind", i)
+		default:
+			return fmt.Errorf("timeline[%d]: unknown event kind %q (node_down, node_up, node_drain, add_nodes)", i, ev.Kind)
+		}
+	}
+	if a := e.Autoscale; a != nil {
+		if a.CheckEvery <= 0 {
+			return fmt.Errorf("autoscale: check_every must be positive, got %v", a.CheckEvery)
+		}
+		if a.QueueHigh < 1 {
+			return fmt.Errorf("autoscale: queue_high must be >= 1, got %d", a.QueueHigh)
+		}
+		if a.QueueLow < 0 || a.QueueLow >= a.QueueHigh {
+			return fmt.Errorf("autoscale: queue_low %d outside [0, queue_high %d)", a.QueueLow, a.QueueHigh)
+		}
+		if err := validateNodeSpec(&a.Add); err != nil {
+			return fmt.Errorf("autoscale: add: %w", err)
+		}
+		if a.MaxNodes < 0 {
+			return fmt.Errorf("autoscale: negative max_nodes %d", a.MaxNodes)
+		}
+		// Autoscaled nodes are named base-0, base-1, ... as pressure
+		// demands; a static node squatting on that pattern would only
+		// collide (and abort the run) when the rule first fires, on a
+		// load- and seed-dependent path — reject it up front instead.
+		base := a.Add.Name
+		if base == "" {
+			base = a.Add.Machine
+		}
+		for name := range names {
+			if rest, ok := strings.CutPrefix(name, base+"-"); ok && isDigits(rest) {
+				return fmt.Errorf("autoscale: add name %q collides with node %q (autoscale owns %s-0, %s-1, ...)",
+					base, name, base, base)
+			}
+		}
+	}
+	return nil
+}
+
+// isDigits reports whether s is a non-empty run of ASCII digits.
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// validateNodeSpec checks a node template's structure (the machine
+// reference resolves later, at compile, where the cluster's inline models
+// are in scope).
+func validateNodeSpec(ns *cluster.NodeSpec) error {
+	if ns.Machine == "" {
+		return fmt.Errorf("missing machine")
+	}
+	if ns.Count < 0 {
+		return fmt.Errorf("negative count %d", ns.Count)
+	}
+	if ns.Cores < 0 {
+		return fmt.Errorf("negative cores %d", ns.Cores)
+	}
+	if ns.MemGB < 0 || ns.MemGB >= cluster.MaxMemGB {
+		return fmt.Errorf("mem_gb %g outside [0, %g)", ns.MemGB, float64(cluster.MaxMemGB))
 	}
 	return nil
 }

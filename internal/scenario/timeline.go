@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+
+	"synapse/internal/cluster"
+)
+
+// maxTimelineBuckets bounds the time-series size: a bucket width that
+// slices the run into more than this many buckets is a spec mistake, not
+// a workable resolution, and would otherwise balloon the report.
+const maxTimelineBuckets = 1 << 20
+
+// Timeline is the report's bucketed time-series view: what the end-of-run
+// aggregates average away — when throughput dipped, how deep queues got,
+// which nodes sat idle after a failure.
+type Timeline struct {
+	// Bucket is the fixed bucket width; buckets cover [0, makespan].
+	Bucket  Duration         `json:"bucket"`
+	Buckets []TimelineBucket `json:"buckets"`
+}
+
+// TimelineBucket is one fixed-width slice of the run.
+type TimelineBucket struct {
+	// Start is the bucket's inclusive lower edge.
+	Start Duration `json:"start"`
+	// Arrivals, Completions and Kills count events inside the bucket;
+	// QueuePeak is the deepest the global queue got within it.
+	Arrivals    int `json:"arrivals,omitempty"`
+	Completions int `json:"completions,omitempty"`
+	Kills       int `json:"kills,omitempty"`
+	QueuePeak   int `json:"queue_peak,omitempty"`
+	// Workloads holds the per-workload series (spec order, workloads
+	// with nothing to say omitted).
+	Workloads []TimelineSeries `json:"workloads,omitempty"`
+	// Nodes holds per-node occupancy (pool order, idle nodes omitted).
+	Nodes []TimelineNode `json:"nodes,omitempty"`
+}
+
+// TimelineSeries is one workload's slice of a bucket.
+type TimelineSeries struct {
+	Workload    string `json:"workload"`
+	Completions int    `json:"completions,omitempty"`
+	QueuePeak   int    `json:"queue_peak,omitempty"`
+}
+
+// TimelineNode is one node's slice of a bucket.
+type TimelineNode struct {
+	Node string `json:"node"`
+	// Occupancy is the node's mean core occupancy over the bucket:
+	// core-time in use divided by bucket × cores.
+	Occupancy float64 `json:"occupancy"`
+}
+
+// tlBucket is the accumulating form of one bucket.
+type tlBucket struct {
+	arrivals, completions, kills int
+	queuePeak                    int
+	wCompletions                 []int
+	wQueuePeak                   []int
+	nodeBusy                     []float64 // core-seconds, indexed by node
+}
+
+// timelineSink builds the time-series by observing the scheduler's event
+// stream. It runs on the kernel's timeline, so every update is
+// deterministic; buckets materialize lazily as virtual time advances.
+type timelineSink struct {
+	bucket time.Duration
+	wls    int
+	cl     *cluster.Cluster
+
+	buckets  []*tlBucket
+	depth    int   // current global queue depth
+	wdepth   []int // current per-workload queue depth
+	nodeUsed []int // cores currently in use per node
+	nodeLast []time.Duration
+	// lastT is the latest workload-relevant event time (arrive, start,
+	// complete, kill, drop — not bare node-state changes): a kill or
+	// strand after the final completion must still make the timeline.
+	lastT    time.Duration
+	overflow bool
+}
+
+func newTimelineSink(bucket time.Duration, workloads int, cl *cluster.Cluster) *timelineSink {
+	s := &timelineSink{bucket: bucket, wls: workloads, cl: cl}
+	if cl != nil {
+		s.nodeUsed = make([]int, cl.Len())
+		s.nodeLast = make([]time.Duration, cl.Len())
+	}
+	return s
+}
+
+// at returns the bucket covering t, materializing it (and carrying queue
+// depths across any skipped buckets) on first touch.
+func (s *timelineSink) at(t time.Duration) *tlBucket {
+	idx := 0
+	if s.bucket > 0 {
+		idx = int(t / s.bucket)
+	}
+	if idx >= maxTimelineBuckets {
+		s.overflow = true
+		idx = maxTimelineBuckets - 1
+	}
+	for len(s.buckets) <= idx {
+		b := &tlBucket{
+			queuePeak:    s.depth,
+			wCompletions: make([]int, s.wls),
+			wQueuePeak:   make([]int, s.wls),
+		}
+		copy(b.wQueuePeak, s.wdepth)
+		s.buckets = append(s.buckets, b)
+	}
+	return s.buckets[idx]
+}
+
+// integrate charges node's in-use cores for the span since its last
+// change, splitting the core-time across the buckets the span covers.
+func (s *timelineSink) integrate(node int, t time.Duration) {
+	for node >= len(s.nodeUsed) {
+		s.nodeUsed = append(s.nodeUsed, 0)
+		s.nodeLast = append(s.nodeLast, t)
+	}
+	used := s.nodeUsed[node]
+	last := s.nodeLast[node]
+	s.nodeLast[node] = t
+	if used == 0 || t <= last {
+		return
+	}
+	for last < t {
+		b := s.at(last)
+		end := (time.Duration(int(last/s.bucket)) + 1) * s.bucket
+		if s.overflow || end > t {
+			end = t
+		}
+		if len(b.nodeBusy) < len(s.nodeUsed) {
+			b.nodeBusy = append(b.nodeBusy, make([]float64, len(s.nodeUsed)-len(b.nodeBusy))...)
+		}
+		b.nodeBusy[node] += float64(used) * (end - last).Seconds()
+		last = end
+	}
+}
+
+// queueDelta moves the global and per-workload queue depth at t.
+func (s *timelineSink) queueDelta(t time.Duration, w, d int) {
+	if s.wdepth == nil {
+		s.wdepth = make([]int, s.wls)
+	}
+	b := s.at(t)
+	s.depth += d
+	s.wdepth[w] += d
+	if s.depth > b.queuePeak {
+		b.queuePeak = s.depth
+	}
+	if s.wdepth[w] > b.wQueuePeak[w] {
+		b.wQueuePeak[w] = s.wdepth[w]
+	}
+}
+
+// Observe implements sim.MetricsSink. Events arrive as pointers to the
+// scheduler's scratch values; everything is copied out immediately.
+func (s *timelineSink) Observe(t time.Duration, ev any) {
+	if _, isNode := ev.(*evNode); !isNode && t > s.lastT {
+		s.lastT = t
+	}
+	switch e := ev.(type) {
+	case *evArrived:
+		s.at(t).arrivals++
+		s.queueDelta(t, e.w, 1)
+	case *evStarted:
+		s.queueDelta(t, e.w, -1)
+		if e.node >= 0 {
+			s.integrate(e.node, t)
+			s.nodeUsed[e.node] += e.cores
+		}
+	case *evCompleted:
+		b := s.at(t)
+		b.completions++
+		b.wCompletions[e.w]++
+		if e.node >= 0 {
+			s.integrate(e.node, t)
+			s.nodeUsed[e.node] -= e.cores
+		}
+	case *evKilled:
+		s.at(t).kills++
+		s.queueDelta(t, e.w, 1) // back in the queue
+		s.integrate(e.node, t)
+		s.nodeUsed[e.node] -= e.cores
+	case *evDropped:
+		if e.queued {
+			s.queueDelta(t, e.w, -e.n)
+		}
+	case *evNode:
+		// Make sure the node is tracked from its join time on.
+		s.integrate(e.node, t)
+	}
+}
+
+// finalize flattens the accumulated buckets into the report form,
+// clipping at the last workload-relevant instant (a kill or strand can
+// land after the final completion) and integrating the occupancy tails.
+func (s *timelineSink) finalize(makespan time.Duration, wls []*workloadState) (*Timeline, error) {
+	if s.overflow {
+		return nil, fmt.Errorf("scenario: timeline: bucket %v slices the run into more than %d buckets", s.bucket, maxTimelineBuckets)
+	}
+	end := makespan
+	if s.lastT > end {
+		end = s.lastT
+	}
+	for node := range s.nodeUsed {
+		s.integrate(node, end)
+	}
+	n := int(end/s.bucket) + 1
+	if end == 0 {
+		n = 1
+	}
+	if n > len(s.buckets) {
+		n = len(s.buckets)
+	}
+	tl := &Timeline{Bucket: Duration(s.bucket)}
+	for i := 0; i < n; i++ {
+		b := s.buckets[i]
+		out := TimelineBucket{
+			Start:       Duration(time.Duration(i) * s.bucket),
+			Arrivals:    b.arrivals,
+			Completions: b.completions,
+			Kills:       b.kills,
+			QueuePeak:   b.queuePeak,
+		}
+		for w := range wls {
+			if b.wCompletions[w] == 0 && b.wQueuePeak[w] == 0 {
+				continue
+			}
+			out.Workloads = append(out.Workloads, TimelineSeries{
+				Workload:    wls[w].spec.Name,
+				Completions: b.wCompletions[w],
+				QueuePeak:   b.wQueuePeak[w],
+			})
+		}
+		if s.cl != nil {
+			denom := s.bucket.Seconds()
+			for node := 0; node < len(b.nodeBusy) && node < s.cl.Len(); node++ {
+				busy := b.nodeBusy[node]
+				if busy == 0 {
+					continue
+				}
+				info := s.cl.Info(node)
+				occ := 0.0
+				if cap := denom * float64(info.Cores); cap > 0 {
+					occ = busy / cap
+				}
+				out.Nodes = append(out.Nodes, TimelineNode{Node: info.Name, Occupancy: occ})
+			}
+		}
+		tl.Buckets = append(tl.Buckets, out)
+	}
+	return tl, nil
+}
+
+// TimelineCSV writes the report's timeline as CSV: one row per bucket,
+// one column per global counter, per-workload series and per-node
+// occupancy — fixed columns derived from the report, zero-filled, so the
+// file loads straight into a dataframe or gnuplot. encoding/csv does the
+// quoting, so workload and node names are free to contain anything.
+func (r *Report) TimelineCSV(w io.Writer) error {
+	if r.Timeline == nil {
+		return fmt.Errorf("scenario: report has no timeline (enable it in the spec or with -timeline)")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"start_s", "arrivals", "completions", "kills", "queue_peak"}
+	for _, wr := range r.Workloads {
+		header = append(header, "done:"+wr.Name, "queue:"+wr.Name)
+	}
+	var nodes []string
+	if r.Cluster != nil {
+		for _, n := range r.Cluster.Nodes {
+			nodes = append(nodes, n.Name)
+			header = append(header, "occ:"+n.Name)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range r.Timeline.Buckets {
+		row := make([]string, 0, len(header))
+		row = append(row,
+			fmt.Sprintf("%g", b.Start.D().Seconds()),
+			fmt.Sprintf("%d", b.Arrivals),
+			fmt.Sprintf("%d", b.Completions),
+			fmt.Sprintf("%d", b.Kills),
+			fmt.Sprintf("%d", b.QueuePeak),
+		)
+		series := make(map[string]TimelineSeries, len(b.Workloads))
+		for _, ws := range b.Workloads {
+			series[ws.Workload] = ws
+		}
+		for _, wr := range r.Workloads {
+			ws := series[wr.Name]
+			row = append(row, fmt.Sprintf("%d", ws.Completions), fmt.Sprintf("%d", ws.QueuePeak))
+		}
+		occ := make(map[string]float64, len(b.Nodes))
+		for _, n := range b.Nodes {
+			occ[n.Node] = n.Occupancy
+		}
+		for _, name := range nodes {
+			row = append(row, fmt.Sprintf("%g", occ[name]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

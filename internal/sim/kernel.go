@@ -1,0 +1,170 @@
+// Package sim is a small deterministic discrete-event simulation kernel:
+// a virtual clock, an ordered event queue with stable tie-breaking, named
+// substream derivation for seeded randomness, and pluggable metrics sinks.
+//
+// The kernel owns none of the models being simulated — it only decides
+// *when* things happen. Callers post closures at virtual times with a
+// priority; Run drains the queue one virtual instant at a time, executing
+// every event scheduled for that instant in (priority, post-order) order
+// before invoking the per-instant hook. That batching is what lets a
+// scheduler built on top resolve an instant's decisions (e.g. placements)
+// as one parallel batch while the timeline itself stays strictly serial
+// and deterministic: the same posts always replay in the same order, at
+// any worker count, on any host.
+//
+// The split mirrors how gem5-style simulators separate the event engine
+// from the hardware models: internal/scenario compiles workload mixes and
+// clusters *onto* this kernel instead of owning its own ad-hoc event loop.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Priority orders events scheduled at the same virtual instant: lower
+// values run first. Callers define their own priority bands (e.g.
+// completions before arrivals before pool mutations); within one band,
+// events run in the order they were posted.
+type Priority int
+
+// MetricsSink observes the simulation as it advances. Emit delivers typed
+// event values to every attached sink, in attach order, stamped with the
+// kernel's current virtual time. Sinks run on the kernel's (single)
+// timeline goroutine, so they need no locking and see a deterministic
+// event sequence. Emitters may reuse one event value across calls (the
+// zero-allocation pattern: emit a pointer to a scratch struct), so a sink
+// that keeps an event beyond Observe must copy it.
+type MetricsSink interface {
+	Observe(t time.Duration, ev any)
+}
+
+// entry is one scheduled event.
+type entry struct {
+	t    time.Duration
+	prio Priority
+	seq  uint64 // post order; the stable tie-break
+	fn   func()
+}
+
+// entryHeap is a hand-rolled binary min-heap on (t, prio, seq). The
+// scheduler posts and pops one entry per simulated event, so the heap
+// avoids container/heap's per-operation interface boxing.
+type entryHeap []entry
+
+func (h entryHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *entryHeap) push(e entry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *entryHeap) pop() entry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = entry{} // release the closure
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// Kernel is the event engine. It is not safe for concurrent use: posts and
+// sink callbacks all happen on the goroutine driving Run.
+type Kernel struct {
+	now     time.Duration
+	h       entryHeap
+	seq     uint64
+	stopped bool
+	sinks   []MetricsSink
+}
+
+// New returns a kernel with an empty queue at virtual time zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time: zero before Run, the instant being
+// processed during it, and the final instant after it.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Len returns the number of scheduled events not yet executed.
+func (k *Kernel) Len() int { return len(k.h) }
+
+// Post schedules fn at virtual time t. Posting into the past is a
+// programming error — virtual time never rewinds — and panics. Posting at
+// the current instant is allowed and runs before the instant closes.
+func (k *Kernel) Post(t time.Duration, prio Priority, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: post at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.h.push(entry{t: t, prio: prio, seq: k.seq, fn: fn})
+}
+
+// Attach registers a metrics sink. Sinks observe in attach order.
+func (k *Kernel) Attach(s MetricsSink) { k.sinks = append(k.sinks, s) }
+
+// Emit delivers ev to every attached sink at the current virtual time.
+func (k *Kernel) Emit(ev any) {
+	for _, s := range k.sinks {
+		s.Observe(k.now, ev)
+	}
+}
+
+// Stop makes Run return before opening the next instant — the abort path
+// when an event handler hits an unrecoverable error. The current instant
+// still finishes (events already popped keep their turn).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run drains the queue: it advances the clock to the earliest scheduled
+// instant, executes every event at that instant in (priority, post-order)
+// order — including events posted *at* the instant while it is being
+// processed — and then calls afterInstant (if non-nil) before moving on.
+// Events afterInstant posts at the current instant reopen it. Run returns
+// when the queue is empty or Stop is called.
+func (k *Kernel) Run(afterInstant func()) {
+	for !k.stopped && len(k.h) > 0 {
+		now := k.h[0].t
+		k.now = now
+		for len(k.h) > 0 && k.h[0].t == now {
+			e := k.h.pop()
+			e.fn()
+		}
+		if afterInstant != nil {
+			afterInstant()
+		}
+	}
+}

@@ -42,6 +42,33 @@ type ScenarioClusterNode = cluster.NodeSpec
 // ScenarioResources is a workload instance's demand on a cluster node.
 type ScenarioResources = scenario.Resources
 
+// ScenarioEvents is a scenario's optional dynamic-cluster block: a
+// versioned timeline of node failures ("node_down"), recoveries
+// ("node_up"), drains ("node_drain") and additions ("add_nodes") that
+// mutate the pool mid-run — displaced instances are killed and
+// deterministically retried — plus an optional queue-threshold autoscale
+// rule. See docs/scenarios.md.
+type ScenarioEvents = scenario.Events
+
+// ScenarioEvent is one scheduled pool mutation in a ScenarioEvents
+// timeline.
+type ScenarioEvent = scenario.ClusterEvent
+
+// ScenarioAutoscale grows the pool when the queue backs up and shrinks it
+// when the queue empties, deterministically on the virtual timeline.
+type ScenarioAutoscale = scenario.Autoscale
+
+// ScenarioTimelineSpec enables the report's bucketed time-series view
+// (Report.Timeline) with a fixed bucket width.
+type ScenarioTimelineSpec = scenario.TimelineSpec
+
+// ScenarioTimeline is the bucketed time-series a timeline-enabled run
+// reports: per-bucket throughput, queue depth and per-node occupancy.
+type ScenarioTimeline = scenario.Timeline
+
+// ScenarioTimelineBucket is one fixed-width slice of a ScenarioTimeline.
+type ScenarioTimelineBucket = scenario.TimelineBucket
+
 // ScenarioClusterReport summarizes placement decisions and per-node
 // utilization for a clustered scenario run.
 type ScenarioClusterReport = scenario.ClusterReport
