@@ -5,10 +5,15 @@
 //	synapsed -addr :8181 -backend sharded -shards 16
 //	synapsed -addr :8181 -backend file -dir /var/lib/synapse
 //	synapsed -addr 127.0.0.1:8181 -pprof      # mounts /debug/pprof/
+//	synapsed -max-inflight 256 -queue 64 -request-timeout 5s
+//	synapsed -read-only                       # degraded: shed writes
 //
 // Clients connect with synapse.NewRemoteStore("http://host:8181") or any
-// CLI -store flag given as an http:// URL. The daemon shuts down gracefully
-// on SIGINT/SIGTERM, draining in-flight requests.
+// CLI -store flag given as an http:// URL. Overload protection (bounded
+// in-flight requests, admission queue, 429 shedding with Retry-After) is
+// configured with -max-inflight/-queue/-request-timeout; /v1/healthz
+// reports the shed and in-flight counters. The daemon sheds new requests
+// and drains in-flight ones on SIGINT/SIGTERM.
 package main
 
 import (
@@ -46,8 +51,18 @@ func run(args []string, ready chan<- string) error {
 	shards := fs.Int("shards", store.DefaultShards, "lock stripes (backend=sharded)")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown drain timeout")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently-executing requests (0 = unbounded)")
+	queue := fs.Int("queue", 0, "admission queue depth for reads at capacity (0 = shed)")
+	readOnly := fs.Bool("read-only", false, "degraded mode: shed writes, serve reads")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side per-request deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxInflight < 0 || *queue < 0 {
+		return fmt.Errorf("-max-inflight and -queue must be >= 0")
+	}
+	if *queue > 0 && *maxInflight == 0 {
+		return fmt.Errorf("-queue requires -max-inflight > 0")
 	}
 
 	var backend store.Store
@@ -66,12 +81,22 @@ func run(args []string, ready chan<- string) error {
 		return fmt.Errorf("unknown backend %q (want mem, file, or sharded)", *backendName)
 	}
 
-	srv := storesrv.New(backend, storesrv.Config{Pprof: *pprof})
+	srv := storesrv.New(backend, storesrv.Config{
+		Pprof:          *pprof,
+		MaxInFlight:    *maxInflight,
+		Queue:          *queue,
+		RequestTimeout: *requestTimeout,
+		ReadOnly:       *readOnly,
+	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "synapsed: serving backend=%s on http://%s\n", *backendName, bound)
+	mode := ""
+	if *readOnly {
+		mode = " (read-only)"
+	}
+	fmt.Fprintf(stdout, "synapsed: serving backend=%s on http://%s%s\n", *backendName, bound, mode)
 	if ready != nil {
 		ready <- bound.String()
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"sync"
 	"syscall"
@@ -10,6 +11,7 @@ import (
 
 	"synapse/internal/store/storetest"
 	"synapse/internal/storeclnt"
+	"synapse/internal/storesrv"
 )
 
 // TestDaemonRoundTrip boots the daemon exactly as main would, stores a
@@ -77,5 +79,85 @@ func TestDaemonRoundTrip(t *testing.T) {
 func TestUnknownBackend(t *testing.T) {
 	if err := run([]string{"-backend", "mongo"}, nil); err == nil {
 		t.Fatal("unknown backend should error")
+	}
+}
+
+// TestOverloadFlagsValidated: -queue depends on -max-inflight, and neither
+// accepts negatives.
+func TestOverloadFlagsValidated(t *testing.T) {
+	for _, args := range [][]string{
+		{"-queue", "8"}, // queue without a bound to queue against
+		{"-max-inflight", "-1"},
+		{"-max-inflight", "4", "-queue", "-2"},
+	} {
+		if err := run(args, nil); err == nil {
+			t.Errorf("run(%v) accepted, want error", args)
+		}
+	}
+}
+
+// TestOverloadFlagsWired boots the daemon with the overload-protection
+// flags and verifies they reach the server: healthz reports the limits and
+// read-only status, and a write is shed with 503 while a read works.
+func TestOverloadFlagsWired(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = nil }()
+
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{
+			"-addr", "127.0.0.1:0", "-backend", "mem",
+			"-max-inflight", "7", "-queue", "3",
+			"-read-only", "-request-timeout", "2s",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr storesrv.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.Status != "read_only" {
+		t.Errorf("healthz status = %q, want read_only", hr.Status)
+	}
+	if hr.MaxInFlight != 7 || hr.Queue != 3 {
+		t.Errorf("healthz limits = max %d queue %d, want 7/3", hr.MaxInFlight, hr.Queue)
+	}
+
+	// Writes shed in read-only mode; reads pass.
+	c := storeclnt.New(base, storeclnt.WithRetries(0))
+	if err := c.Put(storetest.MkProfile("denied", nil, 2)); err == nil {
+		t.Error("write to a read-only daemon succeeded")
+	}
+	if _, err := c.Keys(); err != nil {
+		t.Errorf("read against a read-only daemon failed: %v", err)
+	}
+	c.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run returned %v", runErr)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("(read-only)")) {
+		t.Errorf("startup log missing read-only marker: %q", out.String())
 	}
 }

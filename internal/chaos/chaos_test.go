@@ -1,0 +1,247 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns a plain HTTP server (real TCP listener) serving a fixed
+// body, plus its host:port.
+func backend(t *testing.T, body string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// client returns an HTTP client that opens a fresh connection per request,
+// so each request maps 1:1 onto a schedule slot.
+func client(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func startProxy(t *testing.T, target, script string, seed uint64) *Proxy {
+	t.Helper()
+	sched := MustParse(script)
+	sched.Seed = seed
+	p, err := Start(target, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	scripts := []string{
+		"ok",
+		"delay:5ms",
+		"reset:200@GET,DELETE",
+		"trunc:120@GET",
+		"hole:50ms@GET",
+		"hole",
+		"ok;delay:2ms;reset:0;trunc:64@GET;hole:1s@GET,DELETE",
+	}
+	for _, script := range scripts {
+		s, err := ParseSchedule(script)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", script, err)
+		}
+		again, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", script, s.String(), err)
+		}
+		if s.String() != again.String() {
+			t.Fatalf("round trip drifted: %q -> %q", s.String(), again.String())
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, script := range []string{
+		"", ";", "ok;;ok", "nope", "delay", "delay:-3ms", "delay:11s",
+		"reset:x", "reset:-1", "ok:5", "hole:0s", "reset:1@", "reset:1@get",
+		"reset:1@G ET", "delay:5ms@,",
+	} {
+		if _, err := ParseSchedule(script); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted, want error", script)
+		}
+	}
+}
+
+func TestProxyPassAndDelay(t *testing.T) {
+	addr := backend(t, "hello")
+	p := startProxy(t, addr, "ok;delay:60ms", 0)
+	hc := client(5 * time.Second)
+
+	get := func() (string, time.Duration) {
+		t.Helper()
+		start := time.Now()
+		resp, err := hc.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), time.Since(start)
+	}
+	if body, _ := get(); body != "hello" {
+		t.Fatalf("pass-through body = %q", body)
+	}
+	if body, took := get(); body != "hello" || took < 60*time.Millisecond {
+		t.Fatalf("delayed conn: body=%q took=%v, want hello after >= 60ms", body, took)
+	}
+	st := p.Stats()
+	if st.Passed < 1 || st.Delayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyResetAndTruncate(t *testing.T) {
+	// A body long enough that cutting at 20 response bytes severs mid-header.
+	addr := backend(t, strings.Repeat("x", 4096))
+	p := startProxy(t, addr, "reset:20;trunc:20", 0)
+	hc := client(5 * time.Second)
+
+	for i, want := range []string{"reset", "truncate"} {
+		resp, err := hc.Get("http://" + p.Addr() + "/")
+		if err == nil {
+			// Headers may have parsed if the cut landed later; the body
+			// read must then fail.
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		if err == nil {
+			t.Fatalf("conn %d (%s): request succeeded through a severed wire", i, want)
+		}
+	}
+	st := p.Stats()
+	if st.Resets != 1 || st.Truncated != 1 {
+		t.Fatalf("stats = %+v, want one reset and one truncation", st)
+	}
+}
+
+func TestProxyBlackholeTimesOutClient(t *testing.T) {
+	addr := backend(t, "never")
+	p := startProxy(t, addr, "hole", 0)
+	hc := client(150 * time.Millisecond)
+	start := time.Now()
+	_, err := hc.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want client timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than the client deadline")
+	}
+	if p.Stats().Holes != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestProxyBlackholeWithHoldDur(t *testing.T) {
+	addr := backend(t, "never")
+	p := startProxy(t, addr, "hole:40ms", 0)
+	hc := client(5 * time.Second)
+	start := time.Now()
+	_, err := hc.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	if took := time.Since(start); took < 40*time.Millisecond || took > 2*time.Second {
+		t.Fatalf("hole released after %v, want ~40ms", took)
+	}
+}
+
+func TestMethodFilterExemptsWrites(t *testing.T) {
+	addr := backend(t, "ok")
+	p := startProxy(t, addr, "reset:0@GET", 0)
+	hc := client(5 * time.Second)
+
+	// Connection 0 carries a PUT: the GET-only reset must not fire.
+	req, _ := http.NewRequest(http.MethodPut, "http://"+p.Addr()+"/", strings.NewReader("body"))
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatalf("PUT through GET-targeted fault: %v", err)
+	}
+	resp.Body.Close()
+	// Connection 1 carries a GET and takes the reset.
+	if _, err := hc.Get("http://" + p.Addr() + "/"); err == nil {
+		t.Fatal("GET should have been reset")
+	}
+	st := p.Stats()
+	if st.Passed != 1 || st.Resets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCloseSeversBlackholedConns(t *testing.T) {
+	addr := backend(t, "x")
+	sched := MustParse("hole")
+	p, err := Start(addr, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		hc := client(10 * time.Second) // far longer than the test will wait
+		_, err := hc.Get("http://" + p.Addr() + "/")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request get swallowed
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close deadlocked on a blackholed connection")
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("blackholed request claims success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client still blocked after proxy close")
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	s := Schedule{Seed: 42, Rules: []Rule{{Action: Delay, Dur: 100 * time.Millisecond}}}
+	for idx := int64(0); idx < 8; idx++ {
+		a := s.jitter(100*time.Millisecond, idx)
+		b := s.jitter(100*time.Millisecond, idx)
+		if a != b {
+			t.Fatalf("jitter(idx=%d) nondeterministic: %v vs %v", idx, a, b)
+		}
+		if a < 50*time.Millisecond || a >= 150*time.Millisecond {
+			t.Fatalf("jitter(idx=%d) = %v outside [0.5d, 1.5d)", idx, a)
+		}
+	}
+	other := Schedule{Seed: 43}
+	if s.jitter(100*time.Millisecond, 0) == other.jitter(100*time.Millisecond, 0) {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
+	}
+	zero := Schedule{}
+	if zero.jitter(100*time.Millisecond, 0) != 100*time.Millisecond {
+		t.Fatal("seed 0 must disable jitter")
+	}
+}

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts what the proxy has done, by fault.
+type Stats struct {
+	Conns     int64 // accepted connections
+	Passed    int64 // forwarded untouched (incl. method-filter misses)
+	Delayed   int64
+	Resets    int64
+	Truncated int64
+	Holes     int64
+}
+
+// Proxy is a live fault-injecting TCP proxy. Construct with Start; direct
+// clients at Addr(); stop with Close (which severs every live connection,
+// so no test can deadlock on a blackholed request).
+type Proxy struct {
+	target string
+	sched  Schedule
+	ln     net.Listener
+
+	seq    atomic.Int64
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	stats struct {
+		conns, passed, delayed, resets, truncated, holes atomic.Int64
+	}
+}
+
+// Start listens on 127.0.0.1:0 and proxies every connection to target
+// (host:port), applying the schedule.
+func Start(target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		sched:  sched,
+		ln:     ln,
+		closed: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's host:port.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:     p.stats.conns.Load(),
+		Passed:    p.stats.passed.Load(),
+		Delayed:   p.stats.delayed.Load(),
+		Resets:    p.stats.resets.Load(),
+		Truncated: p.stats.truncated.Load(),
+		Holes:     p.stats.holes.Load(),
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// connection handlers to drain.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers c for force-close at proxy shutdown.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		idx := p.seq.Add(1) - 1
+		p.stats.conns.Add(1)
+		p.track(c)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(c)
+			p.handle(c, idx)
+		}()
+	}
+}
+
+// sleep waits for d, cut short when the proxy closes; reports false on cut.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return false
+	}
+}
+
+// handle applies connection idx's scheduled fault. The first request line is
+// sniffed (and still forwarded) so rules can target idempotent methods only.
+func (p *Proxy) handle(client net.Conn, idx int64) {
+	rule := p.sched.rule(idx)
+
+	// Sniff the HTTP request line to apply the rule's method filter. The
+	// bytes are replayed to the upstream, so the wire is untouched.
+	br := bufio.NewReader(client)
+	head, err := br.ReadBytes('\n')
+	if err != nil && len(head) == 0 {
+		return // closed before a request arrived
+	}
+	method, _, _ := strings.Cut(string(head), " ")
+	if rule.Action != Pass && !rule.matches(strings.TrimSpace(method)) {
+		rule = Rule{Action: Pass}
+	}
+	clientIn := io.MultiReader(bytes.NewReader(head), br)
+
+	switch rule.Action {
+	case Blackhole:
+		p.stats.holes.Add(1)
+		// Swallow the request and never answer. The reader goroutine
+		// unblocks when untrack closes the conn.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			_, _ = io.Copy(io.Discard, clientIn)
+		}()
+		if rule.Dur > 0 {
+			p.sleep(p.sched.jitter(rule.Dur, idx))
+		} else {
+			<-p.closed
+		}
+		return
+	case Delay:
+		p.stats.delayed.Add(1)
+		if !p.sleep(p.sched.jitter(rule.Dur, idx)) {
+			return
+		}
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return // client sees a dropped connection: a fault in itself
+	}
+	p.track(upstream)
+	defer p.untrack(upstream)
+
+	// Client -> upstream runs uncut in the background for every action:
+	// the request must reach the server even when its response will be
+	// mangled (that is what makes resets on idempotent traffic safe to
+	// retry and writes dangerous — which the schedule controls).
+	var once sync.Once
+	closeBoth := func() { once.Do(func() { client.Close(); upstream.Close() }) }
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_, _ = io.Copy(upstream, clientIn)
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	switch rule.Action {
+	case Reset:
+		_, _ = io.CopyN(client, upstream, rule.AfterBytes)
+		p.stats.resets.Add(1)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // unread data + close => RST
+		}
+		closeBoth()
+	case Truncate:
+		_, _ = io.CopyN(client, upstream, rule.AfterBytes)
+		p.stats.truncated.Add(1)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.CloseWrite() // clean FIN mid-body
+		}
+		closeBoth()
+	default: // Pass, Delay (after its sleep)
+		p.stats.passed.Add(1)
+		_, _ = io.Copy(client, upstream)
+		closeBoth()
+	}
+}

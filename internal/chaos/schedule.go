@@ -1,0 +1,254 @@
+// Package chaos is a deterministic, seedable TCP fault injector for the
+// synapsed service path. A Proxy sits between a wire client and a real
+// server and degrades connections on a *scripted schedule*: added latency,
+// connection resets (RST), response truncation (FIN mid-body), and
+// blackholes (accept, then never answer). Faults are assigned by connection
+// index — the i-th accepted connection gets rule i mod len(rules) — so a
+// test that disables HTTP keep-alives sees a deterministic fault per
+// request, and the same schedule+seed always injects the same faults.
+//
+// Unlike storetest.Flaky, which injects at the Store interface, chaos
+// injects at the wire: a truncated response exercises the client's body
+// reader, a reset exercises its transport error handling, and a blackhole
+// exercises its per-attempt deadline. This is the harness behind the
+// conformance-suite-over-a-faulty-wire tests.
+//
+// Schedules parse from a compact script (see ParseSchedule):
+//
+//	ok; delay:5ms; reset:200@GET,DELETE; trunc:120@GET; hole:50ms@GET
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is the fault a rule applies to its connection.
+type Action uint8
+
+const (
+	// Pass forwards the connection untouched.
+	Pass Action = iota
+	// Delay adds latency before bytes flow.
+	Delay
+	// Reset forcibly resets (RST) the client connection after AfterBytes
+	// of the response have been forwarded.
+	Reset
+	// Truncate half-closes the client connection (FIN) after AfterBytes
+	// of the response — a short body with a clean EOF.
+	Truncate
+	// Blackhole swallows the request and never responds; the connection
+	// dies when Dur elapses (or the proxy closes).
+	Blackhole
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "ok"
+	case Delay:
+		return "delay"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "trunc"
+	case Blackhole:
+		return "hole"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// maxDur bounds scripted durations so a hostile schedule cannot park a
+// connection (or a fuzzer) for hours.
+const maxDur = 10 * time.Second
+
+// Rule is one slot of the schedule.
+type Rule struct {
+	Action Action
+	// Dur is the added latency (Delay) or the hold time before the
+	// connection dies (Blackhole; 0 means until the proxy closes).
+	Dur time.Duration
+	// AfterBytes is how many response bytes Reset/Truncate let through
+	// before cutting the connection.
+	AfterBytes int64
+	// Methods restricts the fault to connections whose first request line
+	// uses one of these HTTP methods (upper-case). Empty matches any.
+	// Connections that do not match fall back to Pass, so writes can be
+	// exempted while reads take faults.
+	Methods []string
+}
+
+func (r Rule) matches(method string) bool {
+	if len(r.Methods) == 0 {
+		return true
+	}
+	for _, m := range r.Methods {
+		if m == method {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the rule in ParseSchedule syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Action.String())
+	switch r.Action {
+	case Delay:
+		fmt.Fprintf(&b, ":%s", r.Dur)
+	case Reset, Truncate:
+		fmt.Fprintf(&b, ":%d", r.AfterBytes)
+	case Blackhole:
+		if r.Dur > 0 {
+			fmt.Fprintf(&b, ":%s", r.Dur)
+		}
+	}
+	if len(r.Methods) > 0 {
+		b.WriteString("@" + strings.Join(r.Methods, ","))
+	}
+	return b.String()
+}
+
+// Schedule scripts the proxy: connection i takes Rules[i % len(Rules)]
+// (Pass when the rule's method filter does not match). Seed derives the
+// deterministic jitter applied to Delay rules; Seed 0 disables jitter.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// String renders the schedule in ParseSchedule syntax (Seed excluded).
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// rule returns the schedule slot for connection index i.
+func (s Schedule) rule(i int64) Rule {
+	if len(s.Rules) == 0 {
+		return Rule{Action: Pass}
+	}
+	return s.Rules[int(i%int64(len(s.Rules)))]
+}
+
+// splitmix64 is the finalizer used to derive per-connection jitter from
+// (Seed, conn index) — the same mixer internal/sim uses for named streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitter scales d to [0.5d, 1.5d) deterministically from (seed, idx).
+func (s Schedule) jitter(d time.Duration, idx int64) time.Duration {
+	if s.Seed == 0 || d <= 0 {
+		return d
+	}
+	u := splitmix64(s.Seed ^ uint64(idx)*0x9e3779b97f4a7c15)
+	frac := float64(u>>11) / float64(1<<53) // [0, 1)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
+
+// ParseSchedule compiles the compact fault script: rules separated by ';',
+// each `action[:arg][@METHOD[,METHOD...]]`:
+//
+//	ok                      pass through
+//	delay:DUR               add DUR latency (Go duration syntax)
+//	reset:N                 RST after N response bytes
+//	trunc:N                 FIN after N response bytes
+//	hole[:DUR]              never respond; kill the conn after DUR (0 = hold)
+//
+// Durations are capped at 10s and byte counts must be non-negative; empty
+// rules and an empty script are errors. The result round-trips through
+// Schedule.String.
+func ParseSchedule(script string) (Schedule, error) {
+	var s Schedule
+	parts := strings.Split(script, ";")
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Schedule{}, fmt.Errorf("chaos: rule %d is empty", i)
+		}
+		var methods []string
+		if at := strings.IndexByte(part, '@'); at >= 0 {
+			for _, m := range strings.Split(part[at+1:], ",") {
+				m = strings.TrimSpace(m)
+				if m == "" || m != strings.ToUpper(m) || strings.ContainsAny(m, " \t@:;") {
+					return Schedule{}, fmt.Errorf("chaos: rule %d: bad method %q", i, m)
+				}
+				methods = append(methods, m)
+			}
+			if len(methods) == 0 {
+				return Schedule{}, fmt.Errorf("chaos: rule %d: empty method filter", i)
+			}
+			part = part[:at]
+		}
+		name, arg := part, ""
+		if c := strings.IndexByte(part, ':'); c >= 0 {
+			name, arg = part[:c], part[c+1:]
+		}
+		r := Rule{Methods: methods}
+		switch name {
+		case "ok":
+			if arg != "" {
+				return Schedule{}, fmt.Errorf("chaos: rule %d: ok takes no argument", i)
+			}
+		case "delay":
+			d, err := parseDur(arg)
+			if err != nil || d <= 0 {
+				return Schedule{}, fmt.Errorf("chaos: rule %d: delay wants a positive duration, got %q", i, arg)
+			}
+			r.Action, r.Dur = Delay, d
+		case "reset", "trunc":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n < 0 {
+				return Schedule{}, fmt.Errorf("chaos: rule %d: %s wants a byte count, got %q", i, name, arg)
+			}
+			r.Action, r.AfterBytes = Reset, n
+			if name == "trunc" {
+				r.Action = Truncate
+			}
+		case "hole":
+			r.Action = Blackhole
+			if arg != "" {
+				d, err := parseDur(arg)
+				if err != nil || d <= 0 {
+					return Schedule{}, fmt.Errorf("chaos: rule %d: hole wants a positive duration, got %q", i, arg)
+				}
+				r.Dur = d
+			}
+		default:
+			return Schedule{}, fmt.Errorf("chaos: rule %d: unknown action %q", i, name)
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	return s, nil
+}
+
+func parseDur(arg string) (time.Duration, error) {
+	d, err := time.ParseDuration(arg)
+	if err != nil {
+		return 0, err
+	}
+	if d > maxDur {
+		return 0, fmt.Errorf("duration %v exceeds the %v cap", d, maxDur)
+	}
+	return d, nil
+}
+
+// MustParse is ParseSchedule for tests and constants: it panics on error.
+func MustParse(script string) Schedule {
+	s, err := ParseSchedule(script)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -205,11 +205,12 @@ func storeProfile(s store.Store, p *profile.Profile) error {
 }
 
 // Lookup fetches all stored profiles for command/tags and returns the set.
-func Lookup(s store.Store, command string, tags map[string]string) (profile.Set, error) {
+// ctx bounds the query when the store is remote (see store.FindCtx).
+func Lookup(ctx context.Context, s store.Store, command string, tags map[string]string) (profile.Set, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: no store configured")
 	}
-	return s.Find(command, tags)
+	return store.FindCtx(ctx, s, command, tags)
 }
 
 // NewEmulation resolves the machine name and option mapping once and returns
@@ -287,7 +288,7 @@ func EmulateProfile(ctx context.Context, p *profile.Profile, opts EmulateOptions
 // recent one (statistics across the set inform only the report), mirroring
 // the paper's emulate(command, tags) call.
 func Emulate(ctx context.Context, s store.Store, command string, tags map[string]string, opts EmulateOptions) (*emulator.Report, error) {
-	set, err := Lookup(s, command, tags)
+	set, err := Lookup(ctx, s, command, tags)
 	if err != nil {
 		return nil, err
 	}

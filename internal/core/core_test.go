@@ -156,7 +156,7 @@ func TestEmulateStoredProfileUsesLatest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	set, err := Lookup(s, "mdsim", tags)
+	set, err := Lookup(ctx, s, "mdsim", tags)
 	if err != nil {
 		t.Fatal(err)
 	}

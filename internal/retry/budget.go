@@ -1,0 +1,61 @@
+package retry
+
+import "sync"
+
+// Budget is a token-bucket retry budget shared by every call on one client
+// (or one fleet member): each *first* attempt deposits Ratio tokens, each
+// retry withdraws one. When a backend degrades, retries are limited to
+// Ratio× the live request rate instead of multiplying it by the attempt
+// count — the classic defense against retry storms.
+//
+// The bucket is request-driven, not wall-clock-driven, so behavior is
+// deterministic under test. The zero value is unusable; construct with
+// NewBudget. Safe for concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewBudget returns a budget holding at most max tokens, refilled by ratio
+// tokens per tracked request. A ratio of 0.1 allows roughly one retry per
+// ten successful-or-failed first attempts once the initial burst (the bucket
+// starts full) is spent. max <= 0 defaults to 10, ratio <= 0 to 0.1.
+func NewBudget(max, ratio float64) *Budget {
+	if max <= 0 {
+		max = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &Budget{tokens: max, max: max, ratio: ratio}
+}
+
+// Track records one first attempt, depositing the refill ratio.
+func (b *Budget) Track() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Spend withdraws one retry token, reporting whether a retry is allowed.
+func (b *Budget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current balance (observability, tests).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

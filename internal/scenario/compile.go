@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -74,7 +75,7 @@ type compiled struct {
 // handles — one per machine the workload could land on, which with an
 // events block includes machines only event-added nodes bring — and the
 // deterministic instance enumeration from each workload's named stream.
-func compile(spec *Spec, st store.Store) (*compiled, error) {
+func compile(ctx context.Context, spec *Spec, st store.Store) (*compiled, error) {
 	c := &compiled{spec: spec}
 
 	// Build the cluster, if the spec models one. The random policy's
@@ -120,7 +121,7 @@ func compile(spec *Spec, st store.Store) (*compiled, error) {
 	c.wls = make([]*workloadState, len(spec.Workloads))
 	for i := range spec.Workloads {
 		w := &spec.Workloads[i]
-		set, err := st.Find(w.Profile.Command, w.Profile.Tags)
+		set, err := store.FindCtx(ctx, st, w.Profile.Command, w.Profile.Tags)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: workload %q: resolve profile: %w", w.Name, err)
 		}

@@ -74,7 +74,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	c, err := compile(spec, st)
+	c, err := compile(ctx, spec, st)
 	if err != nil {
 		return nil, err
 	}

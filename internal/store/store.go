@@ -13,6 +13,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -46,6 +47,24 @@ type Store interface {
 	Delete(command string, tags map[string]string) error
 	// Close releases backend resources.
 	Close() error
+}
+
+// ContextFinder is the optional Store extension for backends whose reads can
+// honor a caller deadline or cancellation (the wire client). Local backends
+// answer from memory and have no use for it. Call through FindCtx, which
+// falls back to plain Find.
+type ContextFinder interface {
+	FindCtx(ctx context.Context, command string, tags map[string]string) (profile.Set, error)
+}
+
+// FindCtx queries s for command/tags, propagating ctx when the backend
+// supports it. Emulation and scenario compilation call this so that a
+// canceled run does not sit out a remote store's full retry schedule.
+func FindCtx(ctx context.Context, s Store, command string, tags map[string]string) (profile.Set, error) {
+	if cf, ok := s.(ContextFinder); ok {
+		return cf.FindCtx(ctx, command, tags)
+	}
+	return s.Find(command, tags)
 }
 
 // Truncator is the optional Store extension for backends that enforce a

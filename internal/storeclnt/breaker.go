@@ -1,0 +1,139 @@
+package storeclnt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when a request is refused because the
+// endpoint's circuit breaker is open. Reads may degrade to stale cache
+// entries instead of surfacing it; writes always do.
+var ErrCircuitOpen = errors.New("storeclnt: circuit open")
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker: Threshold consecutive failures
+// open it; after Cooldown it half-opens and admits exactly one probe
+// request. A successful probe closes the circuit, a failed probe re-opens
+// it for another cooldown. While open, allow() refuses instantly, so a dead
+// daemon costs a map lookup instead of a connect timeout per call.
+type breaker struct {
+	mu        sync.Mutex
+	state     int
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	opens     int64
+
+	now func() time.Time // injectable clock for tests
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. probe is true when the
+// request is the half-open trial whose outcome decides the circuit.
+func (b *breaker) allow() (probe, ok bool) {
+	if b == nil || b.threshold <= 0 {
+		return false, true // breaker disabled
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return false, true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false // one probe at a time
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// onSuccess records a request outcome that proves the endpoint healthy.
+func (b *breaker) onSuccess() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a breaker-relevant failure (transport error or 5xx).
+func (b *breaker) onFailure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.reopen()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.reopen()
+		}
+	}
+}
+
+func (b *breaker) reopen() {
+	b.state = breakerOpen
+	b.failures = 0
+	b.probing = false
+	b.openedAt = b.now()
+	b.opens++
+}
+
+// snapshot reports (state, opens) for observability and tests.
+func (b *breaker) snapshot() (state int, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}
+
+// breakerFor returns the breaker guarding one endpoint class, creating it on
+// first use.
+func (r *Remote) breakerFor(endpoint string) *breaker {
+	if r.brkThreshold <= 0 {
+		return nil
+	}
+	r.brkMu.Lock()
+	defer r.brkMu.Unlock()
+	b, ok := r.breakers[endpoint]
+	if !ok {
+		b = newBreaker(r.brkThreshold, r.brkCooldown)
+		if r.brkClock != nil {
+			b.now = r.brkClock
+		}
+		r.breakers[endpoint] = b
+	}
+	return b
+}
+
+// circuitErr wraps ErrCircuitOpen with the endpoint for diagnostics.
+func circuitErr(endpoint string) error {
+	return fmt.Errorf("%w: %s refusing requests during cooldown", ErrCircuitOpen, endpoint)
+}

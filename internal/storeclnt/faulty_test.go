@@ -83,7 +83,12 @@ func TestRemoteConformanceThroughFaultyServer(t *testing.T) {
 		mu.Unlock()
 		ts := httptest.NewServer(fh)
 		t.Cleanup(ts.Close)
-		return New(ts.URL)
+		// The fault schedule 503s the first attempt of EVERY idempotent
+		// request, so the Concurrent subtest produces bursts of consecutive
+		// failures no healthy deployment would: disable the breaker here
+		// (its own transitions are covered by breaker_test.go) so the suite
+		// exercises the retry path alone.
+		return New(ts.URL, WithBreaker(0, 0))
 	}
 	storetest.Run(t, storetest.Factory{
 		New: func(t *testing.T) store.Store {

@@ -1,0 +1,174 @@
+package storesrv
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Overload-protection error codes (alongside the data-path codes in
+// storesrv.go). Clients treat 429 as retry-after-the-hint for any method;
+// read_only and draining ride on 503 and are terminal for writes.
+const (
+	CodeOverloaded = "overloaded"
+	CodeReadOnly   = "read_only"
+	CodeDraining   = "draining"
+)
+
+// shedRetryAfter is the backoff hint attached to shed responses: long
+// enough that a retry lands after a transient spike, short enough that
+// clients recover promptly.
+const shedRetryAfter = 1 // seconds
+
+// defaultQueueWait bounds how long an admitted-but-queued request may wait
+// for an execution slot when no RequestTimeout is configured.
+const defaultQueueWait = time.Second
+
+// HealthResponse is the /v1/healthz body: liveness plus the overload
+// counters operators watch when tuning -max-inflight and -queue.
+type HealthResponse struct {
+	Status      string `json:"status"` // "ok", "read_only", or "draining"
+	InFlight    int64  `json:"inflight"`
+	MaxInFlight int    `json:"max_inflight,omitempty"`
+	Queue       int    `json:"queue,omitempty"`
+	Shed        int64  `json:"shed"`
+}
+
+// admission is the server's overload-protection state: a semaphore bounding
+// concurrently-executing requests, a small counted queue for reads that
+// arrive while the semaphore is full, and the degraded-mode flags.
+type admission struct {
+	sem     chan struct{} // nil = unbounded
+	queue   chan struct{} // waiter slots; nil = no queue
+	timeout time.Duration // per-request server-side deadline (0 = none)
+
+	readOnly atomic.Bool
+	draining atomic.Bool
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{timeout: cfg.RequestTimeout}
+	if cfg.MaxInFlight > 0 {
+		a.sem = make(chan struct{}, cfg.MaxInFlight)
+		if cfg.Queue > 0 {
+			a.queue = make(chan struct{}, cfg.Queue)
+		}
+	}
+	a.readOnly.Store(cfg.ReadOnly)
+	return a
+}
+
+// isWrite reports whether the request mutates the store. Writes are shed
+// first: they are refused in read-only mode and never queue under load.
+func isWrite(r *http.Request) bool {
+	return r.Method != http.MethodGet && r.Method != http.MethodHead
+}
+
+// bypass reports whether the request skips admission control entirely:
+// health checks and profiling must answer even (especially) when the data
+// path is saturated.
+func bypass(r *http.Request) bool {
+	return r.URL.Path == "/v1/healthz" || strings.HasPrefix(r.URL.Path, "/debug/pprof")
+}
+
+// admit reserves an execution slot, queueing reads briefly when the server
+// is saturated. It returns release=nil when the request was shed (the
+// response has already been written).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func()) {
+	a := s.adm
+	if a.draining.Load() {
+		s.shedResponse(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return nil
+	}
+	if isWrite(r) && a.readOnly.Load() {
+		s.shedResponse(w, r, http.StatusServiceUnavailable, CodeReadOnly, "server is read-only")
+		return nil
+	}
+	if a.sem == nil {
+		return func() {}
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }
+	default:
+	}
+	// Saturated. Writes shed immediately; reads may hold a queue slot and
+	// wait (bounded) for capacity.
+	if isWrite(r) || !s.await(r) {
+		s.shedResponse(w, r, http.StatusTooManyRequests, CodeOverloaded, "server is at capacity")
+		return nil
+	}
+	return func() { <-s.adm.sem }
+}
+
+// await parks a read in the admission queue until an execution slot frees
+// up, the caller gives up, or the wait budget burns down. True means a
+// semaphore slot was acquired.
+func (s *Server) await(r *http.Request) bool {
+	a := s.adm
+	if a.queue == nil {
+		return false
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return false // queue full too
+	}
+	defer func() { <-a.queue }()
+	wait := a.timeout
+	if wait <= 0 {
+		wait = defaultQueueWait
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+// shedResponse refuses a request with a structured error and a Retry-After
+// hint, counting it.
+func (s *Server) shedResponse(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	s.adm.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, r, status, ErrorResponse{Error: "storesrv: " + msg, Code: code})
+}
+
+// SetReadOnly toggles read-only degraded mode at runtime: writes are shed
+// with 503/read_only while reads proceed normally.
+func (s *Server) SetReadOnly(on bool) { s.adm.readOnly.Store(on) }
+
+// ReadOnly reports whether the server is in read-only degraded mode.
+func (s *Server) ReadOnly() bool { return s.adm.readOnly.Load() }
+
+// Counters snapshots the overload counters (currently executing requests
+// and total shed responses).
+func (s *Server) Counters() (inflight, shed int64) {
+	return s.adm.inflight.Load(), s.adm.shed.Load()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	switch {
+	case s.adm.draining.Load():
+		status = "draining"
+	case s.adm.readOnly.Load():
+		status = "read_only"
+	}
+	inflight, shed := s.Counters()
+	writeJSON(w, r, http.StatusOK, HealthResponse{
+		Status:      status,
+		InFlight:    inflight,
+		MaxInFlight: cap(s.adm.sem),
+		Queue:       cap(s.adm.queue),
+		Shed:        shed,
+	})
+}

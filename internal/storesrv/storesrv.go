@@ -91,6 +91,19 @@ type KeysResponse struct {
 type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// MaxInFlight bounds concurrently-executing requests (0 = unbounded).
+	// Excess reads wait in the admission queue; excess writes are shed
+	// immediately with 429 and a Retry-After hint (writes shed first).
+	MaxInFlight int
+	// Queue is the admission-queue depth for reads arriving while
+	// MaxInFlight requests are executing (0 = shed instead of queueing).
+	Queue int
+	// RequestTimeout is the server-side deadline applied to each admitted
+	// request's context, and the bound on admission-queue waits (0 = none).
+	RequestTimeout time.Duration
+	// ReadOnly starts the server in read-only degraded mode: writes are
+	// shed with 503/read_only, reads proceed. Toggle later via SetReadOnly.
+	ReadOnly bool
 }
 
 // Server serves a store.Store over HTTP. Construct with New; it implements
@@ -111,6 +124,10 @@ type Server struct {
 	gen   map[string]uint64
 	epoch string
 
+	// adm is the overload-protection state: in-flight bounding, admission
+	// queue, shedding, and the read-only/draining degraded modes.
+	adm *admission
+
 	httpSrv *http.Server
 }
 
@@ -123,16 +140,14 @@ func New(backend store.Store, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		gen:     map[string]uint64{},
 		epoch:   hex.EncodeToString(nonce),
+		adm:     newAdmission(cfg),
 	}
 	s.mux.HandleFunc("PUT /v1/profiles", s.handlePut)
 	s.mux.HandleFunc("GET /v1/profiles", s.handleFind)
 	s.mux.HandleFunc("DELETE /v1/profiles", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/profiles:batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if cfg.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -143,8 +158,28 @@ func New(backend store.Store, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every data-path request passes
+// admission control (health checks and pprof bypass it) and runs under the
+// configured server-side deadline.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if bypass(r) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return // shed; response already written
+	}
+	defer release()
+	s.adm.inflight.Add(1)
+	defer s.adm.inflight.Add(-1)
+	if s.adm.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.adm.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Start listens on addr (e.g. ":8181" or "127.0.0.1:0") and serves in the
 // background, returning the bound address. Stop with Shutdown.
@@ -158,10 +193,11 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Shutdown gracefully stops a Start'ed server: it stops accepting new
-// connections and waits (up to ctx) for in-flight requests, then closes the
-// backend.
+// Shutdown gracefully stops a Start'ed server: new data-path requests are
+// shed (503/draining) while it stops accepting connections and waits (up to
+// ctx) for in-flight requests, then the backend closes.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.adm.draining.Store(true)
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)

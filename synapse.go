@@ -319,7 +319,7 @@ func EmulateProfile(ctx context.Context, p *ProfileData, opts ...Option) (*Repor
 // Profiles returns every stored profile for command/tags.
 func Profiles(command string, tags map[string]string, opts ...Option) (Set, error) {
 	o := buildOptions(opts)
-	return core.Lookup(o.st, command, tags)
+	return core.Lookup(context.Background(), o.st, command, tags)
 }
 
 // Machines lists the built-in machine models (the paper's six testbeds).
