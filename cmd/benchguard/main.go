@@ -4,13 +4,17 @@
 //
 //	benchguard -old BENCH_scenario.json -new fresh.json
 //	benchguard -old BENCH_placement.json -new fresh.json -metric emulations/s -max-drop 0.2
+//	benchguard -old BENCH_scenario.json -new fresh.json -alloc-metric allocs/op -max-rise 0.2
 //
 // Both files are the raw `go test -json` stream (the format of the
 // committed snapshots and the CI artifacts). Every benchmark in -old that
 // reports the metric must appear in -new at no less than (1 - max-drop)
 // of its old value; a missing benchmark is a failure too (a silently
 // deleted benchmark would otherwise retire its regression guard with it).
-// Higher-is-better metrics only.
+// The primary -metric is higher-is-better; -alloc-metric adds a second,
+// lower-is-better gate (allocations per op must not rise beyond
+// -max-rise), so a hot path that starts boxing into the heap fails CI
+// even while it is still fast enough to pass the throughput gate.
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"synapse/internal/telemetry"
 )
 
 // stdout is the output stream, replaceable in tests.
@@ -41,8 +47,15 @@ func run(args []string) error {
 	newPath := fs.String("new", "", "fresh `go test -json` capture (required)")
 	metric := fs.String("metric", "emulations/s", "benchmark metric to guard (higher is better)")
 	maxDrop := fs.Float64("max-drop", 0.2, "largest tolerated fractional drop vs the baseline")
+	allocMetric := fs.String("alloc-metric", "", "additional lower-is-better metric to guard (e.g. allocs/op; empty disables)")
+	maxRise := fs.Float64("max-rise", 0.2, "largest tolerated fractional rise of -alloc-metric vs the baseline")
+	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		telemetry.PrintVersion(stdout, "benchguard")
+		return nil
 	}
 	if *oldPath == "" || *newPath == "" {
 		return fmt.Errorf("need both -old and -new capture files")
@@ -50,56 +63,98 @@ func run(args []string) error {
 	if *maxDrop < 0 || *maxDrop >= 1 {
 		return fmt.Errorf("-max-drop %g outside [0, 1)", *maxDrop)
 	}
-	olds, err := loadMetrics(*oldPath, *metric)
+	if *maxRise < 0 {
+		return fmt.Errorf("-max-rise %g must be >= 0", *maxRise)
+	}
+	olds, err := loadMetrics(*oldPath, *metric, false)
 	if err != nil {
 		return err
 	}
 	if len(olds) == 0 {
 		return fmt.Errorf("%s: no benchmarks report %q", *oldPath, *metric)
 	}
-	news, err := loadMetrics(*newPath, *metric)
+	news, err := loadMetrics(*newPath, *metric, false)
 	if err != nil {
 		return err
 	}
 
+	failures := gate(olds, news, *metric, *maxDrop, false, *newPath)
+	if *allocMetric != "" {
+		oldAllocs, err := loadMetrics(*oldPath, *allocMetric, true)
+		if err != nil {
+			return err
+		}
+		if len(oldAllocs) == 0 {
+			return fmt.Errorf("%s: no benchmarks report %q (run the benchmarks with -benchmem or b.ReportAllocs)", *oldPath, *allocMetric)
+		}
+		newAllocs, err := loadMetrics(*newPath, *allocMetric, true)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, gate(oldAllocs, newAllocs, *allocMetric, *maxRise, true, *newPath)...)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "all %d benchmarks within %.0f%% of baseline\n", len(olds), 100**maxDrop)
+	if *allocMetric != "" {
+		fmt.Fprintf(stdout, "%s within %.0f%% rise everywhere\n", *allocMetric, 100**maxRise)
+	}
+	return nil
+}
+
+// gate compares one metric across the two captures and returns the
+// failures. lower flips the direction: tol is then the largest tolerated
+// fractional rise instead of drop. A baseline of zero tolerates only zero
+// (an allocation-free hot path that starts allocating is a regression at
+// any tolerance).
+func gate(olds, news map[string]float64, metric string, tol float64, lower bool, newPath string) []string {
 	names := make([]string, 0, len(olds))
 	for name := range olds {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark", "old "+*metric, "new "+*metric, "delta")
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
 	var failures []string
 	for _, name := range names {
 		old := olds[name]
 		fresh, ok := news[name]
 		if !ok {
 			fmt.Fprintf(stdout, "%-40s %14.0f %14s %8s\n", name, old, "missing", "-")
-			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, *newPath))
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, newPath))
 			continue
 		}
-		delta := fresh/old - 1
+		var delta float64
+		if old != 0 {
+			delta = fresh/old - 1
+		} else if fresh != 0 {
+			delta = 1 // 0 -> nonzero: worst possible rise for lower-is-better
+		}
 		fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %+7.1f%%\n", name, old, fresh, 100*delta)
-		if delta < -*maxDrop {
+		if lower {
+			if (old == 0 && fresh > 0) || delta > tol {
+				failures = append(failures, fmt.Sprintf("%s: %s rose %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					name, metric, 100*delta, old, fresh, 100*tol))
+			}
+		} else if delta < -tol {
 			failures = append(failures, fmt.Sprintf("%s: %s dropped %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
-				name, *metric, -100*delta, old, fresh, 100**maxDrop))
+				name, metric, -100*delta, old, fresh, 100*tol))
 		}
 	}
-	if len(failures) > 0 {
-		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
-	}
-	fmt.Fprintf(stdout, "all %d benchmarks within %.0f%% of baseline\n", len(names), 100**maxDrop)
-	return nil
+	return failures
 }
 
 // loadMetrics extracts `metric` values per benchmark from a `go test
 // -json` stream. A benchmark that ran multiple times (e.g. -count > 1)
-// keeps its best value — the guard compares capability, not noise.
+// keeps its best value — the guard compares capability, not noise. For a
+// higher-is-better metric best is the max; with lower set (allocs/op,
+// ns/op) it is the min.
 //
 // Attribution is layered because `go test -json` is inconsistent across
 // repeated runs: only the first run's events carry a Test field, later
 // runs announce the name as a bare "BenchmarkFoo" output line (or inline
 // at the head of the result line) with Test empty.
-func loadMetrics(path, metric string) (map[string]float64, error) {
+func loadMetrics(path, metric string, lower bool) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -143,7 +198,7 @@ func loadMetrics(path, metric string) (map[string]float64, error) {
 		if name == "" {
 			continue
 		}
-		if prev, seen := out[name]; !seen || value > prev {
+		if prev, seen := out[name]; !seen || (lower && value < prev) || (!lower && value > prev) {
 			out[name] = value
 		}
 	}

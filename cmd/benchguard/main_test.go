@@ -105,7 +105,7 @@ func TestBestOfRepeatedRuns(t *testing.T) {
 	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ms, err := loadMetrics(path, "emulations/s")
+	ms, err := loadMetrics(path, "emulations/s", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestGuardAgainstCommittedSnapshots(t *testing.T) {
 	// The committed snapshots must parse and carry the guarded metric —
 	// otherwise CI's guard is vacuously green.
 	for _, snap := range []string{"../../BENCH_scenario.json", "../../BENCH_placement.json"} {
-		ms, err := loadMetrics(snap, "emulations/s")
+		ms, err := loadMetrics(snap, "emulations/s", false)
 		if err != nil {
 			t.Fatalf("%s: %v", snap, err)
 		}
@@ -151,6 +151,118 @@ func TestGuardErrors(t *testing.T) {
 	if err := run([]string{"-old", empty, "-new", empty}); err == nil ||
 		!strings.Contains(err.Error(), "no benchmarks report") {
 		t.Fatalf("metric-free baseline accepted: %v", err)
+	}
+}
+
+// captureAllocs renders a stream whose result lines carry both the
+// throughput metric and allocs/op.
+func captureAllocs(t *testing.T, path string, benches map[string][2]float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"p"}` + "\n")
+	for name, v := range benches {
+		line := fmt.Sprintf("      10\\t  1234 ns/op\\t  %.0f emulations/s\\t 99 B/op\\t %.0f allocs/op", v[0], v[1])
+		fmt.Fprintf(&b, `{"Action":"output","Package":"p","Test":"%s","Output":"%s\n"}`+"\n", name, line)
+	}
+	b.WriteString(`{"Action":"pass","Package":"p"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocGateCatchesRise: throughput holds steady while allocs/op
+// climbs past the tolerance — exactly the regression -metric alone
+// cannot see.
+func TestAllocGateCatchesRise(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	captureAllocs(t, old, map[string][2]float64{"BenchmarkScenarioThroughput": {100000, 10}})
+	captureAllocs(t, fresh, map[string][2]float64{"BenchmarkScenarioThroughput": {100000, 13}}) // +30% allocs
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh, "-alloc-metric", "allocs/op"})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op rose 30.0%") {
+		t.Fatalf("30%% alloc rise not caught: %v", err)
+	}
+	// Within tolerance passes, and the summary names both gates.
+	buf.Reset()
+	captureAllocs(t, fresh, map[string][2]float64{"BenchmarkScenarioThroughput": {100000, 11}}) // +10%
+	if err := run([]string{"-old", old, "-new", fresh, "-alloc-metric", "allocs/op"}); err != nil {
+		t.Fatalf("10%% alloc rise rejected at 20%% tolerance: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op within 20% rise") {
+		t.Fatalf("missing alloc summary: %s", buf.String())
+	}
+}
+
+// TestAllocGateZeroBaseline: an allocation-free benchmark that starts
+// allocating fails at any tolerance.
+func TestAllocGateZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	captureAllocs(t, old, map[string][2]float64{"BenchmarkHot": {100000, 0}})
+	captureAllocs(t, fresh, map[string][2]float64{"BenchmarkHot": {100000, 1}})
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh, "-alloc-metric", "allocs/op", "-max-rise", "5"})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkHot: allocs/op rose") {
+		t.Fatalf("0 -> 1 allocs/op not caught: %v", err)
+	}
+	// Staying allocation-free passes.
+	captureAllocs(t, fresh, map[string][2]float64{"BenchmarkHot": {100000, 0}})
+	if err := run([]string{"-old", old, "-new", fresh, "-alloc-metric", "allocs/op"}); err != nil {
+		t.Fatalf("0 -> 0 allocs/op rejected: %v", err)
+	}
+}
+
+// TestAllocGateRequiresMetric: pointing -alloc-metric at a capture taken
+// without -benchmem is an error, not a vacuous pass.
+func TestAllocGateRequiresMetric(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	capture(t, old, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	capture(t, fresh, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh, "-alloc-metric", "allocs/op"})
+	if err == nil || !strings.Contains(err.Error(), `no benchmarks report "allocs/op"`) {
+		t.Fatalf("metric-free alloc baseline accepted: %v", err)
+	}
+}
+
+// TestLoadMetricsLowerKeepsMin: repeated runs keep the minimum when the
+// metric is lower-is-better.
+func TestLoadMetricsLowerKeepsMin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "multi.json")
+	stream := strings.Join([]string{
+		`{"Action":"output","Test":"BenchmarkHot","Output":"      10\t 100 ns/op\t 7 allocs/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkHot","Output":"      10\t 100 ns/op\t 5 allocs/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkHot","Output":"      10\t 100 ns/op\t 6 allocs/op\n"}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := loadMetrics(path, "allocs/op", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms["BenchmarkHot"] != 5 {
+		t.Fatalf("lower-is-better best = %g, want 5", ms["BenchmarkHot"])
+	}
+}
+
+func TestBenchguardVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "benchguard") || !strings.Contains(buf.String(), "go1.") {
+		t.Fatalf("version output incomplete: %q", buf.String())
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"synapse/internal/kernels"
+	"synapse/internal/telemetry"
 )
 
 const (
@@ -37,7 +38,12 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers")
 	mode := flag.String("mode", "openmp", "parallel mode: openmp (threads)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	version := flag.Bool("version", false, "print version and build information, then exit")
 	flag.Parse()
+	if *version {
+		telemetry.PrintVersion(os.Stdout, "mdsim")
+		return
+	}
 
 	if err := run(*steps, *input, *output, *workers, *mode, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)

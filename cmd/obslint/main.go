@@ -1,0 +1,117 @@
+// obslint validates observability artifacts in CI: a Prometheus text
+// exposition scraped from /v1/metrics, or a Chrome trace-event JSON file
+// written by `synapse-sim -trace`. It exits non-zero when the artifact
+// fails to parse or is missing a required metric family / trace phase,
+// so a smoke job catches a telemetry regression before a dashboard does.
+//
+//	curl -s localhost:8080/v1/metrics | obslint -format exposition -require synapse_http_requests_total,synapse_admission_queue_depth
+//	obslint -format trace -require X,b,e,C trace.json
+//
+// With a file argument it reads the file; otherwise stdin. -require is a
+// comma-separated list: metric family names for exposition, trace-event
+// phases (X, b, e, i, C, M) for trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"synapse/internal/telemetry"
+)
+
+// stdout is the output stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader) error {
+	fs := flag.NewFlagSet("obslint", flag.ExitOnError)
+	format := fs.String("format", "exposition", "artifact format: exposition or trace")
+	require := fs.String("require", "", "comma-separated metric families (exposition) or event phases (trace) that must be present")
+	version := fs.Bool("version", false, "print version and build information, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		telemetry.PrintVersion(stdout, "obslint")
+		return nil
+	}
+
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+
+	var required []string
+	for _, r := range strings.Split(*require, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			required = append(required, r)
+		}
+	}
+
+	switch *format {
+	case "exposition":
+		return lintExposition(data, required)
+	case "trace":
+		return lintTrace(data, required)
+	default:
+		return fmt.Errorf("unknown -format %q (want exposition or trace)", *format)
+	}
+}
+
+func lintExposition(data []byte, required []string) error {
+	exp, err := telemetry.ParseExposition(data)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	var missing []string
+	for _, name := range required {
+		if !exp.Has(name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(stdout, "exposition ok: %d families, %d series\n", len(exp.Families), exp.Series)
+	return nil
+}
+
+func lintTrace(data []byte, required []string) error {
+	sum, err := telemetry.ParseTrace(data)
+	if err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+	var missing []string
+	for _, ph := range required {
+		if sum.Phases[ph] == 0 {
+			missing = append(missing, ph)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("trace missing required phases: %s", strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(stdout, "trace ok: %d events\n", sum.Events)
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/telemetry"
+)
+
+// goodExposition renders a real scrape from a live registry so the lint
+// input matches what /v1/metrics serves.
+func goodExposition(t *testing.T) []byte {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("synapse_http_requests_total", "requests").Add(3)
+	reg.Gauge("synapse_admission_queue_depth", "queued").Set(2)
+	reg.Histogram("synapse_http_request_seconds", "latency", []float64{0.01, 0.1, 1}).Observe(0.05)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLintExpositionFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-format", "exposition",
+		"-require", "synapse_http_requests_total, synapse_http_request_seconds"},
+		bytes.NewReader(goodExposition(t)))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "exposition ok") {
+		t.Fatalf("missing summary: %q", out.String())
+	}
+}
+
+func TestLintExpositionMissingFamily(t *testing.T) {
+	stdout = &bytes.Buffer{}
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-require", "synapse_no_such_family"}, bytes.NewReader(goodExposition(t)))
+	if err == nil || !strings.Contains(err.Error(), "synapse_no_such_family") {
+		t.Fatalf("missing family not reported: %v", err)
+	}
+}
+
+func TestLintExpositionGarbage(t *testing.T) {
+	stdout = &bytes.Buffer{}
+	defer func() { stdout = os.Stdout }()
+	if err := run(nil, strings.NewReader("<html>not metrics</html>\n")); err == nil {
+		t.Fatal("garbage accepted as exposition")
+	}
+}
+
+func TestLintTraceFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := telemetry.NewTraceWriter(&buf)
+	w.MetaProcessName(1, "workloads")
+	w.AsyncBegin("mdsim", "instance", 1, 7, time.Microsecond, "")
+	w.AsyncEnd("mdsim", "instance", 1, 7, 2*time.Microsecond, "")
+	w.Counter("queued", 1, time.Microsecond, []string{"queued"}, []float64{3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-format", "trace", "-require", "b,e,C,M", path}, nil); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "trace ok") {
+		t.Fatalf("missing summary: %q", out.String())
+	}
+	// A phase the trace lacks fails the lint.
+	err := run([]string{"-format", "trace", "-require", "X", path}, nil)
+	if err == nil || !strings.Contains(err.Error(), "missing required phases: X") {
+		t.Fatalf("missing phase not reported: %v", err)
+	}
+}
+
+func TestLintErrors(t *testing.T) {
+	stdout = &bytes.Buffer{}
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-format", "yaml"}, strings.NewReader("")); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"a.txt", "b.txt"}, nil); err == nil {
+		t.Error("two input files accepted")
+	}
+	if err := run([]string{"/no/such/file.txt"}, nil); err == nil {
+		t.Error("unreadable file accepted")
+	}
+}
+
+func TestObslintVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-version"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "obslint") || !strings.Contains(out.String(), "go1.") {
+		t.Fatalf("version output incomplete: %q", out.String())
+	}
+}

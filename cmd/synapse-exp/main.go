@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"synapse/internal/exp"
+	"synapse/internal/telemetry"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	blockprofile := flag.String("blockprofile", "", "write a pprof block profile to this file")
+	version := flag.Bool("version", false, "print version and build information, then exit")
 	flag.Parse()
+	if *version {
+		telemetry.PrintVersion(os.Stdout, "synapse-exp")
+		return nil
+	}
 
 	cfg := exp.DefaultConfig()
 	if *quick {

@@ -8,6 +8,7 @@
 //	synapse-sim -scenario mix.json -store ./synapse-store -workers 4
 //	synapse-sim -scenario mix.json -cluster cluster.json
 //	synapse-sim -scenario failover.json -timeline series.csv
+//	synapse-sim -scenario failover.json -trace out.json -progress
 //
 // The -store flag accepts a local file-store directory or the URL of a
 // running synapsed daemon. -cluster attaches (or replaces) the spec's
@@ -15,8 +16,13 @@
 // against different machine pools and placement policies. -timeline
 // writes the run's bucketed time-series (throughput, queue depth,
 // per-node occupancy) as CSV, enabling a 1s-bucket timeline when the
-// spec does not configure one. Reports are deterministic for a fixed
-// spec and seed: same inputs, byte-identical -out file. See
+// spec does not configure one. -trace streams the run as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one span per placed instance, queue/running counter
+// series, node lifecycle markers (see docs/observability.md). -progress
+// paints a live stderr meter (virtual time, arrivals/s, queue depth) for
+// long runs. Reports are deterministic for a fixed spec and seed: same
+// inputs, byte-identical -out file (and byte-identical -trace file). See
 // docs/scenarios.md for the spec format, including the events block
 // (node failures, drains, additions, autoscaling).
 package main
@@ -35,6 +41,7 @@ import (
 	"synapse/internal/cluster"
 	"synapse/internal/scenario"
 	"synapse/internal/storeclnt"
+	"synapse/internal/telemetry"
 )
 
 // stdout is the CLI's output stream, replaceable in tests.
@@ -56,8 +63,15 @@ func run(args []string) error {
 	out := fs.String("out", "", "write the full JSON report to this file")
 	timeline := fs.String("timeline", "", "write the bucketed time-series as CSV to this file (enables a 1s-bucket timeline if the spec has none)")
 	seed := fs.String("seed", "", "override the spec's seed (uint64; empty keeps the spec value)")
+	tracePath := fs.String("trace", "", "write the run as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+	progress := fs.Bool("progress", false, "paint a live progress meter (virtual time, arrivals/s, queue depth) on stderr")
+	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		telemetry.PrintVersion(stdout, "synapse-sim")
+		return nil
 	}
 	if *specPath == "" {
 		return fmt.Errorf("no -scenario file given")
@@ -96,9 +110,28 @@ func run(args []string) error {
 	}
 	defer st.Close()
 
-	rep, err := scenario.Run(context.Background(), spec, st, scenario.RunOptions{Workers: *workers})
+	opts := scenario.RunOptions{Workers: *workers}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		defer traceFile.Close()
+		opts.Trace = traceFile
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	rep, err := scenario.Run(context.Background(), spec, st, opts)
 	if err != nil {
 		return err
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
 
 	printSummary(stdout, rep)

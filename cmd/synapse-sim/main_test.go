@@ -12,6 +12,7 @@ import (
 	"synapse/internal/core"
 	"synapse/internal/scenario"
 	"synapse/internal/store"
+	"synapse/internal/telemetry"
 )
 
 // setup profiles two commands into a file store and writes a two-workload
@@ -368,5 +369,59 @@ func TestSimErrors(t *testing.T) {
 	if err := run([]string{"-scenario", bad, "-store", t.TempDir()}); err == nil ||
 		!strings.Contains(err.Error(), "unknown spec version") {
 		t.Fatalf("expected spec version error, got %v", err)
+	}
+}
+
+// TestSimTraceFlag: -trace writes valid, deterministic Chrome trace-event
+// JSON alongside an unchanged report.
+func TestSimTraceFlag(t *testing.T) {
+	storeDir, specPath := setup(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace written to") {
+		t.Errorf("no trace confirmation in output: %q", buf.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := telemetry.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if sum.Phases["b"] != 7 || sum.Phases["e"] != 7 {
+		t.Errorf("trace spans = %d begins / %d ends, want 7/7", sum.Phases["b"], sum.Phases["e"])
+	}
+
+	tracePath2 := filepath.Join(dir, "trace2.json")
+	if err := run([]string{"-scenario", specPath, "-store", storeDir, "-trace", tracePath2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(tracePath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("two CLI runs of the same spec+seed wrote different traces")
+	}
+}
+
+func TestSimVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "synapse-sim") || !strings.Contains(buf.String(), "go1.") {
+		t.Errorf("version output incomplete: %q", buf.String())
 	}
 }

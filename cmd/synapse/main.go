@@ -32,6 +32,7 @@ import (
 	"synapse/internal/profile"
 	"synapse/internal/store"
 	"synapse/internal/storeclnt"
+	"synapse/internal/telemetry"
 )
 
 // stdout is the CLI's output stream, replaceable in tests.
@@ -66,6 +67,8 @@ func main() {
 		}
 	case "table1":
 		fmt.Fprint(stdout, profile.Table1())
+	case "version", "-version", "--version":
+		telemetry.PrintVersion(stdout, "synapse")
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -92,6 +95,7 @@ commands:
   list      list stored profile keys
   machines  list built-in machine models
   table1    print the supported-metrics table
+  version   print version and build information
 
 run 'synapse <command> -h' for flags.
 `)

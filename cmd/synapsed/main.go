@@ -7,13 +7,18 @@
 //	synapsed -addr 127.0.0.1:8181 -pprof      # mounts /debug/pprof/
 //	synapsed -max-inflight 256 -queue 64 -request-timeout 5s
 //	synapsed -read-only                       # degraded: shed writes
+//	synapsed -log-format json -log-level debug
 //
 // Clients connect with synapse.NewRemoteStore("http://host:8181") or any
 // CLI -store flag given as an http:// URL. Overload protection (bounded
 // in-flight requests, admission queue, 429 shedding with Retry-After) is
 // configured with -max-inflight/-queue/-request-timeout; /v1/healthz
-// reports the shed and in-flight counters. The daemon sheds new requests
-// and drains in-flight ones on SIGINT/SIGTERM.
+// reports the shed and in-flight counters plus build identity, and
+// GET /v1/metrics renders the daemon's instruments in Prometheus text
+// exposition (see docs/observability.md). Logs are structured (log/slog):
+// -log-format picks text or json, -log-level sets the floor (per-request
+// lines log at debug). The daemon sheds new requests and drains in-flight
+// ones on SIGINT/SIGTERM.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +34,7 @@ import (
 
 	"synapse/internal/store"
 	"synapse/internal/storesrv"
+	"synapse/internal/telemetry"
 )
 
 // stdout is the daemon's log stream, replaceable in tests.
@@ -55,7 +62,18 @@ func run(args []string, ready chan<- string) error {
 	queue := fs.Int("queue", 0, "admission queue depth for reads at capacity (0 = shed)")
 	readOnly := fs.Bool("read-only", false, "degraded mode: shed writes, serve reads")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side per-request deadline (0 = none)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "log level floor: debug, info, warn, error (request lines log at debug)")
+	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		telemetry.PrintVersion(stdout, "synapsed")
+		return nil
+	}
+	logger, err := telemetry.NewLogger(stdout, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 	if *maxInflight < 0 || *queue < 0 {
@@ -87,16 +105,18 @@ func run(args []string, ready chan<- string) error {
 		Queue:          *queue,
 		RequestTimeout: *requestTimeout,
 		ReadOnly:       *readOnly,
+		Metrics:        telemetry.NewRegistry(),
+		Logger:         logger,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
 	}
-	mode := ""
-	if *readOnly {
-		mode = " (read-only)"
-	}
-	fmt.Fprintf(stdout, "synapsed: serving backend=%s on http://%s%s\n", *backendName, bound, mode)
+	logger.Info("serving",
+		slog.String("backend", *backendName),
+		slog.String("addr", "http://"+bound.String()),
+		slog.Bool("read_only", *readOnly),
+		slog.String("version", telemetry.BuildInfo().String()))
 	if ready != nil {
 		ready <- bound.String()
 	}
@@ -104,7 +124,7 @@ func run(args []string, ready chan<- string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Fprintf(stdout, "synapsed: %v, draining (up to %v)\n", s, *grace)
+	logger.Info("draining", slog.String("signal", s.String()), slog.Duration("grace", *grace))
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	return srv.Shutdown(ctx)

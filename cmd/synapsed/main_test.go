@@ -157,7 +157,80 @@ func TestOverloadFlagsWired(t *testing.T) {
 	if runErr != nil {
 		t.Fatalf("run returned %v", runErr)
 	}
-	if !bytes.Contains(out.Bytes(), []byte("(read-only)")) {
+	if !bytes.Contains(out.Bytes(), []byte("read_only=true")) {
 		t.Errorf("startup log missing read-only marker: %q", out.String())
+	}
+}
+
+// TestLogFormatJSON: -log-format json emits structured JSON lines, and
+// -log-level debug surfaces the per-request lines.
+func TestLogFormatJSON(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = nil }()
+
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = run([]string{"-addr", "127.0.0.1:0", "-backend", "mem",
+			"-log-format", "json", "-log-level", "debug"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	resp, err := http.Get("http://" + addr + "/v1/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	var sawServing, sawRequest bool
+	for _, line := range bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n")) {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("log line not JSON: %v: %s", err, line)
+		}
+		switch rec["msg"] {
+		case "serving":
+			sawServing = true
+		case "request":
+			if rec["route"] == "/v1/keys" && rec["method"] == "GET" {
+				sawRequest = true
+			}
+		}
+	}
+	if !sawServing || !sawRequest {
+		t.Errorf("json log missing serving/request lines (serving=%v request=%v):\n%s",
+			sawServing, sawRequest, out.String())
+	}
+}
+
+func TestBadLogFlags(t *testing.T) {
+	if err := run([]string{"-log-format", "xml"}, nil); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+	if err := run([]string{"-log-level", "verbose"}, nil); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = nil }()
+	if err := run([]string{"-version"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("synapsed")) || !bytes.Contains(out.Bytes(), []byte("go1.")) {
+		t.Errorf("version output incomplete: %q", out.String())
 	}
 }

@@ -35,6 +35,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 
@@ -42,6 +43,7 @@ import (
 	"synapse/internal/exp"
 	"synapse/internal/sim"
 	"synapse/internal/store"
+	"synapse/internal/telemetry"
 )
 
 // RunOptions tune scenario execution (not its outcome).
@@ -49,6 +51,17 @@ type RunOptions struct {
 	// Workers bounds the parallel emulation fan-out; 0 uses GOMAXPROCS,
 	// 1 forces serial execution. The report is identical at any value.
 	Workers int
+	// Trace, when non-nil, receives the run as Chrome trace-event JSON
+	// (loadable in Perfetto / chrome://tracing): one async span per placed
+	// instance, queue/running counter series, node lifecycle instants. The
+	// trace derives from the kernel's deterministic event order, so a
+	// (spec, seed) pair always produces byte-identical output. The report
+	// is unaffected.
+	Trace io.Writer
+	// Progress, when non-nil, receives a live single-line meter (virtual
+	// time, arrivals/s, queue depth) repainted in place — point it at
+	// stderr. Purely cosmetic; the report is unaffected.
+	Progress io.Writer
 }
 
 // jobKey identifies one distinct emulation: instances sharing a key share a
@@ -171,9 +184,28 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		tl = newTimelineSink(spec.Timeline.Bucket.D(), len(c.wls), c.cl)
 		k.Attach(tl)
 	}
+	var trace *traceState
+	if opts.Trace != nil {
+		var sink *telemetry.TraceSink
+		sink, trace = newTraceSink(opts.Trace, c)
+		k.Attach(sink)
+	}
+	var prog *progressSink
+	if opts.Progress != nil {
+		prog = newProgressSink(opts.Progress)
+		k.Attach(prog)
+	}
 	s := newSched(k, c, resolve)
 	if err := s.run(); err != nil {
 		return nil, err
+	}
+	if trace != nil {
+		if err := trace.close(); err != nil {
+			return nil, err
+		}
+	}
+	if prog != nil {
+		prog.finish(rp.makespan)
 	}
 
 	rep := assemble(c, rp, reports)

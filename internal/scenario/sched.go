@@ -30,13 +30,14 @@ type (
 	// evArrived: an instance joined its workload's queue.
 	evArrived struct{ w int }
 	// evStarted: an instance was placed and began service. node is -1
-	// without a cluster.
-	evStarted struct{ w, node, cores int }
+	// without a cluster. id is the global instance index — stable across
+	// kill-and-retry, so sinks can pair starts with completions/kills.
+	evStarted struct{ w, node, cores, id int }
 	// evCompleted: an instance finished service.
-	evCompleted struct{ w, node, cores int }
+	evCompleted struct{ w, node, cores, id int }
 	// evKilled: a node failure killed a running instance; it re-joined
 	// its queue (kill-and-retry).
-	evKilled struct{ w, node, cores int }
+	evKilled struct{ w, node, cores, id int }
 	// evDropped: n instances of workload w were dropped — queued ones
 	// (stranded) or unarrived closed-loop successors (horizon cuts).
 	evDropped struct {
@@ -121,18 +122,18 @@ func (s *sched) emitArrived(w int) {
 	s.k.Emit(&s.scrArrived)
 }
 
-func (s *sched) emitStarted(w, node, cores int) {
-	s.scrStarted = evStarted{w: w, node: node, cores: cores}
+func (s *sched) emitStarted(w, node, cores, id int) {
+	s.scrStarted = evStarted{w: w, node: node, cores: cores, id: id}
 	s.k.Emit(&s.scrStarted)
 }
 
-func (s *sched) emitCompleted(w, node, cores int) {
-	s.scrCompleted = evCompleted{w: w, node: node, cores: cores}
+func (s *sched) emitCompleted(w, node, cores, id int) {
+	s.scrCompleted = evCompleted{w: w, node: node, cores: cores, id: id}
 	s.k.Emit(&s.scrCompleted)
 }
 
-func (s *sched) emitKilled(w, node, cores int) {
-	s.scrKilled = evKilled{w: w, node: node, cores: cores}
+func (s *sched) emitKilled(w, node, cores, id int) {
+	s.scrKilled = evKilled{w: w, node: node, cores: cores, id: id}
 	s.k.Emit(&s.scrKilled)
 }
 
@@ -233,7 +234,7 @@ func (s *sched) complete(id, gen int) {
 		s.cl.Release(in.node, ws.req)
 		s.cl.AddBusy(in.node, time.Duration(cores)*in.tx)
 	}
-	s.emitCompleted(in.w, in.node, cores)
+	s.emitCompleted(in.w, in.node, cores, id)
 	a := &ws.spec.Arrival
 	if a.Process == ArrivalClosed && in.iter+1 < a.Iterations {
 		// The client issues its next iteration the moment this one
@@ -311,7 +312,7 @@ func (s *sched) downNode(idx int) {
 		s.cl.Release(idx, ws.req)
 		s.cl.AddBusy(idx, time.Duration(ws.req.Cores)*(now-in.start))
 		s.cl.AddKilled(idx)
-		s.emitKilled(in.w, idx, ws.req.Cores)
+		s.emitKilled(in.w, idx, ws.req.Cores, id)
 		// Retry: back of the workload's queue, original arrival kept.
 		s.enqSeq++
 		s.enq[id] = s.enqSeq
@@ -450,7 +451,7 @@ func (s *sched) instant() {
 		if s.cl != nil {
 			cores = s.wls[in.w].req.Cores
 		}
-		s.emitStarted(in.w, in.node, cores)
+		s.emitStarted(in.w, in.node, cores, id)
 		in.done = now + in.tx
 		gen := in.gen
 		id := id

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"synapse/internal/telemetry"
+)
+
+// Trace process ids: workload activity (spans and counters) under one
+// process, cluster/node lifecycle under another, so Perfetto groups the
+// tracks sensibly.
+const (
+	tracePidWorkloads = 1
+	tracePidCluster   = 2
+)
+
+// traceState is the scenario-side mapper feeding a telemetry.TraceSink: it
+// translates the scheduler's event stream into Chrome trace events. Each
+// placed instance becomes an async span keyed by its global instance id
+// (async spans may overlap freely, so colocated instances render side by
+// side instead of force-nesting); queue depth and running count stream as
+// counter series; node lifecycle and autoscale transitions land as
+// instants on per-node tracks. Everything derives from the kernel's
+// deterministic event order, so a (spec, seed) pair always produces a
+// byte-identical trace.
+type traceState struct {
+	w     *telemetry.TraceWriter
+	names []string // workload names, spec order
+
+	queued  []float64 // per-workload queue depth
+	running []float64 // per-workload running count
+	started int       // spans opened, to name spans w/o re-deriving state
+
+	nodeSeen []bool // node tids already labeled
+}
+
+// newTraceSink builds the sink Run attaches to the kernel when RunOptions
+// carries a trace writer.
+func newTraceSink(out io.Writer, c *compiled) (*telemetry.TraceSink, *traceState) {
+	ts := &traceState{
+		w:       telemetry.NewTraceWriter(out),
+		names:   make([]string, len(c.wls)),
+		queued:  make([]float64, len(c.wls)),
+		running: make([]float64, len(c.wls)),
+	}
+	for i, ws := range c.wls {
+		ts.names[i] = ws.spec.Name
+	}
+	ts.w.MetaProcessName(tracePidWorkloads, "workloads: "+c.spec.Name)
+	ts.w.MetaProcessName(tracePidCluster, "cluster")
+	return &telemetry.TraceSink{W: ts.w, Map: ts.observe}, ts
+}
+
+// counters streams the current queue/running series after a change.
+func (ts *traceState) counters(t time.Duration) {
+	ts.w.Counter("queued", tracePidWorkloads, t, ts.names, ts.queued)
+	ts.w.Counter("running", tracePidWorkloads, t, ts.names, ts.running)
+}
+
+// nodeTrack labels a node's track on first sight and returns its tid.
+// tid 0 is the async-span track, so nodes start at 1.
+func (ts *traceState) nodeTrack(node int, name string, cores int) int {
+	for node >= len(ts.nodeSeen) {
+		ts.nodeSeen = append(ts.nodeSeen, false)
+	}
+	if !ts.nodeSeen[node] {
+		ts.nodeSeen[node] = true
+		ts.w.MetaThreadName(tracePidCluster, node+1, fmt.Sprintf("%s (%d cores)", name, cores))
+	}
+	return node + 1
+}
+
+// observe is the TraceSink mapper. Events arrive as pointers to the
+// scheduler's scratch values; nothing is retained.
+func (ts *traceState) observe(t time.Duration, ev any, _ *telemetry.TraceWriter) {
+	switch e := ev.(type) {
+	case *evArrived:
+		ts.queued[e.w]++
+		ts.counters(t)
+	case *evStarted:
+		ts.queued[e.w]--
+		ts.running[e.w]++
+		args := ""
+		if e.node >= 0 {
+			args = fmt.Sprintf(`{"node":%d,"cores":%d}`, e.node, e.cores)
+		}
+		ts.w.AsyncBegin(ts.names[e.w], "instance", tracePidWorkloads, e.id, t, args)
+		ts.started++
+		ts.counters(t)
+	case *evCompleted:
+		ts.running[e.w]--
+		ts.w.AsyncEnd(ts.names[e.w], "instance", tracePidWorkloads, e.id, t, "")
+		ts.counters(t)
+	case *evKilled:
+		ts.running[e.w]--
+		ts.queued[e.w]++ // kill-and-retry: back in the queue
+		ts.w.AsyncEnd(ts.names[e.w], "instance", tracePidWorkloads, e.id, t, `{"killed":true}`)
+		ts.w.Instant("kill: "+ts.names[e.w], "failure", tracePidCluster, e.node+1, t, "t", "")
+		ts.counters(t)
+	case *evDropped:
+		if e.queued {
+			ts.queued[e.w] -= float64(e.n)
+		}
+		ts.w.Instant(fmt.Sprintf("drop: %s (%d)", ts.names[e.w], e.n),
+			"drop", tracePidWorkloads, 0, t, "p", "")
+		ts.counters(t)
+	case *evNode:
+		tid := ts.nodeTrack(e.node, e.name, e.cores)
+		ts.w.Instant("node "+e.state, "lifecycle", tracePidCluster, tid, t, "t", "")
+	}
+}
+
+// close terminates the trace document.
+func (ts *traceState) close() error {
+	if err := ts.w.Close(); err != nil {
+		return fmt.Errorf("scenario: trace: %w", err)
+	}
+	return nil
+}
+
+// progressSink is the live stderr meter: virtual time, arrival rate and
+// queue depth, updated in place (carriage return) at a wall-clock cadence
+// so huge runs don't drown the terminal. It writes no newline until done,
+// and never touches the report — purely cosmetic.
+type progressSink struct {
+	out      io.Writer
+	arrived  int
+	done     int
+	queued   int
+	last     time.Time // wall clock of the last repaint
+	interval time.Duration
+}
+
+func newProgressSink(out io.Writer) *progressSink {
+	return &progressSink{out: out, interval: 100 * time.Millisecond}
+}
+
+// Observe implements sim.MetricsSink.
+func (p *progressSink) Observe(t time.Duration, ev any) {
+	switch e := ev.(type) {
+	case *evArrived:
+		p.arrived++
+		p.queued++
+	case *evStarted:
+		p.queued--
+	case *evCompleted:
+		p.done++
+	case *evKilled:
+		p.queued++
+	case *evDropped:
+		if e.queued {
+			p.queued -= e.n
+		}
+		p.done += e.n
+	default:
+		return
+	}
+	if now := time.Now(); now.Sub(p.last) >= p.interval {
+		p.last = now
+		p.paint(t, "")
+	}
+}
+
+// paint renders one meter line; tail is "\n" for the final repaint.
+func (p *progressSink) paint(t time.Duration, tail string) {
+	rate := 0.0
+	if secs := t.Seconds(); secs > 0 {
+		rate = float64(p.arrived) / secs
+	}
+	fmt.Fprintf(p.out, "\rscenario: t=%-12s arrived=%-8d done=%-8d queue=%-6d arrivals/s=%-8.1f%s",
+		t, p.arrived, p.done, p.queued, rate, tail)
+}
+
+// finish paints the final state and terminates the meter line.
+func (p *progressSink) finish(t time.Duration) {
+	p.paint(t, "\n")
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"synapse/internal/telemetry"
+)
+
+func runTraced(t *testing.T, spec *Spec) ([]byte, *Report) {
+	t.Helper()
+	st := seedStore(t, "mdsim", "sleep")
+	var buf bytes.Buffer
+	rep, err := Run(context.Background(), spec, st, RunOptions{Workers: 1, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestTraceValidAndComplete: a traced run emits Perfetto-loadable
+// trace-event JSON with one async begin/end pair per placement, counter
+// series, and node lifecycle instants for cluster runs.
+func TestTraceValidAndComplete(t *testing.T) {
+	data, rep := runTraced(t, eventSpec())
+	sum, err := telemetry.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, data)
+	}
+	// Every placement opens a span; completions and kills close them.
+	wantSpans := rep.Emulations + rep.Killed
+	if sum.Phases["b"] != wantSpans {
+		t.Errorf("span begins = %d, want %d (emulations %d + killed %d)",
+			sum.Phases["b"], wantSpans, rep.Emulations, rep.Killed)
+	}
+	if sum.Phases["e"] != wantSpans {
+		t.Errorf("span ends = %d, want %d", sum.Phases["e"], wantSpans)
+	}
+	if sum.Phases["C"] == 0 {
+		t.Error("no counter events in trace")
+	}
+	if sum.Phases["i"] == 0 {
+		t.Error("no instant events (node lifecycle) in trace")
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"killed":true`,         // the node-down kills are flagged on the span end
+		"node down",             // lifecycle instant
+		`"queued"`, `"running"`, // counter series
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+// TestTraceDeterministic: the trace derives from the kernel's event order,
+// so one (spec, seed) gives byte-identical bytes, and tracing must not
+// perturb the report (golden fixtures pin report bytes separately).
+func TestTraceDeterministic(t *testing.T) {
+	a, repA := runTraced(t, mixSpec())
+	b, _ := runTraced(t, mixSpec())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same spec+seed produced different traces")
+	}
+	plain := marshal(t, runReport(t, mixSpec(), 1))
+	traced := marshal(t, repA)
+	if !bytes.Equal(plain, traced) {
+		t.Fatalf("tracing changed the report:\n%s\n---\n%s", plain, traced)
+	}
+}
+
+// TestProgressMeter: the meter paints at least a final line carrying the
+// headline numbers and ends with a newline so the shell prompt is clean.
+func TestProgressMeter(t *testing.T) {
+	st := seedStore(t, "mdsim", "sleep")
+	var buf bytes.Buffer
+	rep, err := Run(context.Background(), mixSpec(), st, RunOptions{Workers: 1, Progress: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("progress output does not terminate its line: %q", out)
+	}
+	last := out[strings.LastIndex(strings.TrimRight(out, "\n"), "\r")+1:]
+	for _, want := range []string{"t=", "arrived=16", "done=16", "queue=0", "arrivals/s="} {
+		if !strings.Contains(last, want) {
+			t.Errorf("final meter line missing %q: %q", want, last)
+		}
+	}
+	// The meter must not perturb the report.
+	if rep.Emulations == 0 {
+		t.Error("report empty under progress meter")
+	}
+}

@@ -33,6 +33,7 @@ type breaker struct {
 	openedAt  time.Time
 	probing   bool // a half-open probe is in flight
 	opens     int64
+	onOpen    func() // counts open transitions (telemetry); may be nil
 
 	now func() time.Time // injectable clock for tests
 }
@@ -105,6 +106,9 @@ func (b *breaker) reopen() {
 	b.probing = false
 	b.openedAt = b.now()
 	b.opens++
+	if b.onOpen != nil {
+		b.onOpen()
+	}
 }
 
 // snapshot reports (state, opens) for observability and tests.
@@ -128,6 +132,7 @@ func (r *Remote) breakerFor(endpoint string) *breaker {
 		if r.brkClock != nil {
 			b.now = r.brkClock
 		}
+		b.onOpen = r.met.breakerOpens.Inc
 		r.breakers[endpoint] = b
 	}
 	return b

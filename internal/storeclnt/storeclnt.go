@@ -36,13 +36,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"synapse/internal/profile"
 	"synapse/internal/retry"
 	"synapse/internal/store"
 	"synapse/internal/storesrv"
+	"synapse/internal/telemetry"
 )
 
 // Defaults, overridable through Options.
@@ -157,7 +157,10 @@ type Remote struct {
 	latIdx       int
 	latN         int
 
-	nRetries, nHedges, nHedgeWins, nStale, nShed atomic.Int64
+	// met holds the resilience counters; Stats() reads them. metricsReg is
+	// the registry they register into (WithMetrics; nil gets a private one).
+	metricsReg *telemetry.Registry
+	met        *clientMetrics
 
 	// Read cache: key -> cacheEntry, LRU-evicted at cacheCap.
 	cacheMu sync.Mutex
@@ -213,6 +216,11 @@ func New(base string, opts ...Option) *Remote {
 	for _, o := range opts {
 		o(r)
 	}
+	reg := r.metricsReg
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	r.met = newClientMetrics(r, reg)
 	return r
 }
 
@@ -227,22 +235,18 @@ func Open(dirOrURL string) (store.Store, error) {
 	return store.NewFile(dirOrURL)
 }
 
-// Stats snapshots the resilience counters.
+// Stats snapshots the resilience counters. It is a view over the client's
+// registered instruments: the same series a WithMetrics registry exposes at
+// /v1/metrics, read back as a struct.
 func (r *Remote) Stats() Stats {
-	s := Stats{
-		Retries:     r.nRetries.Load(),
-		Hedges:      r.nHedges.Load(),
-		HedgeWins:   r.nHedgeWins.Load(),
-		StaleServes: r.nStale.Load(),
-		Shed429:     r.nShed.Load(),
+	return Stats{
+		Retries:      r.met.retries.Value(),
+		Hedges:       r.met.hedges.Value(),
+		HedgeWins:    r.met.hedgeWins.Value(),
+		StaleServes:  r.met.staleReads.Value(),
+		Shed429:      r.met.shed429.Value(),
+		BreakerOpens: r.met.breakerOpens.Value(),
 	}
-	r.brkMu.Lock()
-	for _, b := range r.breakers {
-		_, opens := b.snapshot()
-		s.BreakerOpens += opens
-	}
-	r.brkMu.Unlock()
-	return s
 }
 
 // remoteError reconstructs sentinel errors from a structured error response
@@ -413,7 +417,7 @@ func (r *Remote) attempt(ctx context.Context, c *call) (*response, error) {
 			done++
 			if o.err == nil {
 				if o.i == 1 {
-					r.nHedgeWins.Add(1)
+					r.met.hedgeWins.Inc()
 				}
 				return o.rs, nil
 			}
@@ -425,7 +429,7 @@ func (r *Remote) attempt(ctx context.Context, c *call) (*response, error) {
 			}
 		case <-timer.C:
 			if launched < 2 {
-				r.nHedges.Add(1)
+				r.met.hedges.Inc()
 				launched++
 				go run(1)
 			}
@@ -469,7 +473,7 @@ func (r *Remote) do(ctx context.Context, c *call) (*response, error) {
 	attemptNo := 0
 	err := pol.Do(ctx, func(actx context.Context) error {
 		if attemptNo++; attemptNo > 1 {
-			r.nRetries.Add(1)
+			r.met.retries.Inc()
 		}
 		br := r.breakerFor(c.endpoint)
 		if _, ok := br.allow(); !ok {
@@ -492,7 +496,7 @@ func (r *Remote) do(ctx context.Context, c *call) (*response, error) {
 			// The server shed the request before executing it: safe to
 			// retry any method, after the server's own hint.
 			br.onSuccess() // alive, just overloaded
-			r.nShed.Add(1)
+			r.met.shed429.Inc()
 			return retry.After(remoteError(rs.status, rs.body), retryAfter(rs.header))
 		case rs.status >= 500:
 			br.onFailure()
@@ -689,7 +693,7 @@ func (r *Remote) fetch(ctx context.Context, key string) (profile.Set, Freshness,
 	resp, err := r.do(ctx, c)
 	if err != nil {
 		if r.staleReads && cached != nil && errors.Is(err, ErrCircuitOpen) {
-			r.nStale.Add(1)
+			r.met.staleReads.Inc()
 			return cached, Freshness{Stale: true, ETag: etag}, nil
 		}
 		return nil, Freshness{}, err

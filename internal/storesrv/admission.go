@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"synapse/internal/telemetry"
 )
 
 // Overload-protection error codes (alongside the data-path codes in
@@ -26,13 +28,15 @@ const shedRetryAfter = 1 // seconds
 const defaultQueueWait = time.Second
 
 // HealthResponse is the /v1/healthz body: liveness plus the overload
-// counters operators watch when tuning -max-inflight and -queue.
+// counters operators watch when tuning -max-inflight and -queue, and the
+// build block identifying exactly what binary is answering.
 type HealthResponse struct {
-	Status      string `json:"status"` // "ok", "read_only", or "draining"
-	InFlight    int64  `json:"inflight"`
-	MaxInFlight int    `json:"max_inflight,omitempty"`
-	Queue       int    `json:"queue,omitempty"`
-	Shed        int64  `json:"shed"`
+	Status      string          `json:"status"` // "ok", "read_only", or "draining"
+	InFlight    int64           `json:"inflight"`
+	MaxInFlight int             `json:"max_inflight,omitempty"`
+	Queue       int             `json:"queue,omitempty"`
+	Shed        int64           `json:"shed"`
+	Build       telemetry.Build `json:"build"`
 }
 
 // admission is the server's overload-protection state: a semaphore bounding
@@ -68,10 +72,13 @@ func isWrite(r *http.Request) bool {
 }
 
 // bypass reports whether the request skips admission control entirely:
-// health checks and profiling must answer even (especially) when the data
-// path is saturated.
+// health checks, metrics scrapes and profiling must answer even
+// (especially) when the data path is saturated — an overloaded server that
+// stops reporting its own overload is unobservable exactly when it matters.
 func bypass(r *http.Request) bool {
-	return r.URL.Path == "/v1/healthz" || strings.HasPrefix(r.URL.Path, "/debug/pprof")
+	return r.URL.Path == "/v1/healthz" ||
+		r.URL.Path == "/v1/metrics" ||
+		strings.HasPrefix(r.URL.Path, "/debug/pprof")
 }
 
 // admit reserves an execution slot, queueing reads briefly when the server
@@ -138,6 +145,7 @@ func (s *Server) await(r *http.Request) bool {
 // hint, counting it.
 func (s *Server) shedResponse(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	s.adm.shed.Add(1)
+	s.met.shed.With(code).Inc()
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, r, status, ErrorResponse{Error: "storesrv: " + msg, Code: code})
 }
@@ -170,5 +178,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight: cap(s.adm.sem),
 		Queue:       cap(s.adm.queue),
 		Shed:        shed,
+		Build:       s.build,
 	})
 }

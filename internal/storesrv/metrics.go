@@ -1,0 +1,99 @@
+package storesrv
+
+import (
+	"net/http"
+	"strconv"
+
+	"synapse/internal/telemetry"
+)
+
+// metrics holds the server's registered instruments: RED metrics per route
+// (rate from the request counter, errors from its code label, duration from
+// the latency histogram) plus the overload-protection series operators
+// watch when tuning -max-inflight and -queue. Everything lives in one
+// telemetry.Registry, exposed at /v1/metrics.
+type metrics struct {
+	reg      *telemetry.Registry
+	requests *telemetry.CounterVec   // by route, method, code
+	latency  *telemetry.HistogramVec // by route, method
+	shed     *telemetry.CounterVec   // by shed code
+}
+
+func newMetrics(reg *telemetry.Registry, adm *admission) *metrics {
+	m := &metrics{
+		reg: reg,
+		requests: reg.CounterVec("synapse_http_requests_total",
+			"HTTP requests served, by route, method and status code.",
+			"route", "method", "code"),
+		latency: reg.HistogramVec("synapse_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route and method.",
+			nil, "route", "method"),
+		shed: reg.CounterVec("synapse_admission_shed_total",
+			"Requests refused by admission control, by shed code.",
+			"code"),
+	}
+	reg.GaugeFunc("synapse_http_inflight_requests",
+		"Requests currently executing (admission-controlled data path).",
+		func() float64 { return float64(adm.inflight.Load()) })
+	reg.GaugeFunc("synapse_admission_queue_depth",
+		"Reads currently parked in the admission queue.",
+		func() float64 { return float64(len(adm.queue)) })
+	reg.GaugeFunc("synapse_admission_read_only",
+		"1 while the server is in read-only degraded mode.",
+		func() float64 { return boolGauge(adm.readOnly.Load()) })
+	reg.GaugeFunc("synapse_admission_draining",
+		"1 while the server is draining for shutdown.",
+		func() float64 { return boolGauge(adm.draining.Load()) })
+	b := telemetry.BuildInfo()
+	reg.GaugeVec("synapse_build_info",
+		"Build metadata; the value is always 1.",
+		"version", "go_version", "revision").
+		With(b.Version, b.GoVersion, b.Revision).Set(1)
+	return m
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// routeOf collapses request paths onto a bounded route label set, so a
+// client probing random URLs cannot explode series cardinality.
+func routeOf(path string) string {
+	switch path {
+	case "/v1/profiles", "/v1/profiles:batch", "/v1/keys", "/v1/healthz", "/v1/metrics":
+		return path
+	}
+	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the RED middleware; the
+// body streams through untouched (including the gzip writer wrapping).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// observe records one finished request in the RED instruments.
+func (m *metrics) observe(route, method string, status int, seconds float64) {
+	code := strconv.Itoa(status)
+	m.requests.With(route, method, code).Inc()
+	m.latency.With(route, method).Observe(seconds)
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -40,6 +41,7 @@ import (
 
 	"synapse/internal/profile"
 	"synapse/internal/store"
+	"synapse/internal/telemetry"
 )
 
 // Error codes carried in structured error responses.
@@ -104,6 +106,14 @@ type Config struct {
 	// ReadOnly starts the server in read-only degraded mode: writes are
 	// shed with 503/read_only, reads proceed. Toggle later via SetReadOnly.
 	ReadOnly bool
+	// Metrics is the registry the server's instruments register into; it is
+	// rendered at GET /v1/metrics in Prometheus text exposition. nil gets a
+	// private registry, so metrics always work; pass a shared registry to
+	// merge server and client series into one scrape.
+	Metrics *telemetry.Registry
+	// Logger receives one structured line per request (level DEBUG for
+	// successes, WARN for 5xx/shed) plus lifecycle events. nil discards.
+	Logger *slog.Logger
 }
 
 // Server serves a store.Store over HTTP. Construct with New; it implements
@@ -128,6 +138,10 @@ type Server struct {
 	// queue, shedding, and the read-only/draining degraded modes.
 	adm *admission
 
+	met   *metrics
+	log   *slog.Logger
+	build telemetry.Build
+
 	httpSrv *http.Server
 }
 
@@ -135,19 +149,31 @@ type Server struct {
 func New(backend store.Store, cfg Config) *Server {
 	nonce := make([]byte, 6)
 	_, _ = rand.Read(nonce)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
 	s := &Server{
 		backend: backend,
 		mux:     http.NewServeMux(),
 		gen:     map[string]uint64{},
 		epoch:   hex.EncodeToString(nonce),
 		adm:     newAdmission(cfg),
+		log:     log,
+		build:   telemetry.BuildInfo(),
 	}
+	s.met = newMetrics(reg, s.adm)
 	s.mux.HandleFunc("PUT /v1/profiles", s.handlePut)
 	s.mux.HandleFunc("GET /v1/profiles", s.handleFind)
 	s.mux.HandleFunc("DELETE /v1/profiles", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/profiles:batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /v1/metrics", reg.Handler())
 	if cfg.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -159,9 +185,39 @@ func New(backend store.Store, cfg Config) *Server {
 }
 
 // ServeHTTP implements http.Handler. Every data-path request passes
-// admission control (health checks and pprof bypass it) and runs under the
-// configured server-side deadline.
+// admission control (health checks, metrics and pprof bypass it) and runs
+// under the configured server-side deadline. All requests — including
+// bypassed and shed ones — flow through the RED middleware: the request
+// counter, the latency histogram, and one structured log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	s.serve(rec, r)
+	elapsed := time.Since(start)
+	route := routeOf(r.URL.Path)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK // handler never wrote; net/http sends 200
+	}
+	s.met.observe(route, r.Method, status, elapsed.Seconds())
+	level := slog.LevelDebug
+	if status >= 500 || status == http.StatusTooManyRequests {
+		level = slog.LevelWarn
+	}
+	attrs := []any{
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.Int("code", status),
+		slog.Duration("duration", elapsed),
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		attrs = append(attrs, slog.String("key", key))
+	}
+	s.log.Log(r.Context(), level, "request", attrs...)
+}
+
+// serve is the pre-telemetry handler chain: bypass, admission, deadline.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	if bypass(r) {
 		s.mux.ServeHTTP(w, r)
 		return
@@ -180,6 +236,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// Metrics returns the registry the server's instruments live in — the same
+// one /v1/metrics renders.
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // Start listens on addr (e.g. ":8181" or "127.0.0.1:0") and serves in the
 // background, returning the bound address. Stop with Shutdown.

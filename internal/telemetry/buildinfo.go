@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: module version, Go toolchain, and
+// (when built from a checkout) the VCS revision. It rides in healthz
+// payloads and behind every command's -version flag.
+type Build struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+// BuildInfo reads the binary's embedded build metadata. Outside a module
+// build (go run of a loose file, tests without build info) the fields
+// degrade to "(devel)" and the runtime's Go version.
+func BuildInfo() Build {
+	b := Build{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" {
+		b.Version = v
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the build for a -version flag: "name version (rev, go)".
+func (b Build) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "unknown rev"
+	} else if b.Dirty {
+		rev += "-dirty"
+	}
+	return fmt.Sprintf("%s (%s, %s)", b.Version, rev, b.GoVersion)
+}
+
+// PrintVersion writes the canonical -version line for a command.
+func PrintVersion(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, BuildInfo())
+}

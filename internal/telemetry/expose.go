@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family as Prometheus text
+// exposition (version 0.0.4): families sorted by name, series sorted by
+// label values, histograms expanded into cumulative _bucket/_sum/_count
+// series. The output is deterministic for a fixed registry state, which is
+// what lets tests golden-pin it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range r.names() {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.RLock()
+	keys := append([]labelKey(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	// Sort series by label values so output order is registration-order
+	// independent.
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, i := range idx {
+		labels := f.labelString(keys[i], "")
+		switch s := series[i].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatValue(s.Value()))
+		case func() float64:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatValue(s()))
+		case *Histogram:
+			cum, count, sum := s.snapshot()
+			for b, ub := range f.upper {
+				le := f.labelString(keys[i], formatValue(ub))
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum[b])
+			}
+			inf := f.labelString(keys[i], "+Inf")
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, inf, cum[len(cum)-1])
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatValue(sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, count)
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound. Returns "" for an unlabeled series without le.
+func (f *family) labelString(key labelKey, le string) string {
+	if len(f.labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(key[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(f.labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus expects: integers without
+// a decimal point, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Exposition summarizes a parsed scrape: family names (HELP/TYPE subjects
+// and series base names) and the total series count.
+type Exposition struct {
+	Families map[string]string // name -> type ("" when only seen as a series)
+	Series   int
+}
+
+// Has reports whether a family or series base name appears, directly or as
+// a histogram child (_bucket/_sum/_count).
+func (e *Exposition) Has(name string) bool {
+	if _, ok := e.Families[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if _, ok := e.Families[name+suffix]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseExposition validates Prometheus text exposition syntax line by line:
+// comment lines must be well-formed HELP/TYPE declarations, series lines
+// must have a valid metric name, balanced label syntax, and a parseable
+// value. It returns a summary of what the scrape contained, or the first
+// syntax error with its line number. This is the validator behind CI's
+// /v1/metrics smoke check and cmd/obslint.
+func ParseExposition(data []byte) (*Exposition, error) {
+	exp := &Exposition{Families: map[string]string{}}
+	line := 0
+	for len(data) > 0 {
+		line++
+		var row string
+		if i := strings.IndexByte(string(data), '\n'); i >= 0 {
+			row, data = string(data[:i]), data[i+1:]
+		} else {
+			row, data = string(data), nil
+		}
+		if strings.TrimSpace(row) == "" {
+			continue
+		}
+		if strings.HasPrefix(row, "#") {
+			fields := strings.Fields(row)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q (want # HELP/TYPE name ...)", line, row)
+			}
+			if !validMetricName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", line, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
+				}
+				exp.Families[fields[2]] = fields[3]
+			} else if _, ok := exp.Families[fields[2]]; !ok {
+				exp.Families[fields[2]] = ""
+			}
+			continue
+		}
+		name, rest, err := parseSeriesName(row)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: want value [timestamp] after series, got %q", line, rest)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil && fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return nil, fmt.Errorf("line %d: bad value %q", line, fields[0])
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp %q", line, fields[1])
+			}
+		}
+		if _, ok := exp.Families[name]; !ok {
+			exp.Families[name] = ""
+		}
+		exp.Series++
+	}
+	if exp.Series == 0 {
+		return nil, fmt.Errorf("no series in exposition")
+	}
+	return exp, nil
+}
+
+// parseSeriesName splits a series line into its metric name (labels
+// validated and discarded) and the remainder holding value and optional
+// timestamp.
+func parseSeriesName(row string) (name, rest string, err error) {
+	i := 0
+	for i < len(row) && isNameChar(row[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("series line does not start with a metric name: %q", row)
+	}
+	name = row[:i]
+	rest = row[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label set in %q", row)
+		}
+		body := rest[1:end]
+		if strings.TrimSpace(body) != "" {
+			for _, pair := range splitLabels(body) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validMetricName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return "", "", fmt.Errorf("malformed label %q in %q", pair, row)
+				}
+			}
+		}
+		rest = rest[end+1:]
+	}
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", fmt.Errorf("missing value separator in %q", row)
+	}
+	return name, rest, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch {
+		case inQuote && body[i] == '\\':
+			i++
+		case body[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && body[i] == ',':
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, body[start:])
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text a small registry renders:
+// families sorted by name, series sorted by label values, histograms
+// expanded into cumulative buckets with an +Inf tail. The exposition
+// format is a wire contract (Prometheus scrapes it), so it is golden-
+// pinned rather than substring-checked.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	req := r.CounterVec("http_requests_total", "Requests served.", "route", "code")
+	req.With("/v1/profiles", "200").Add(3)
+	req.With("/v1/keys", "200").Inc()
+	req.With("/v1/profiles", "404").Inc()
+	r.Gauge("inflight", "Currently executing requests.").Set(2)
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{route="/v1/keys",code="200"} 1
+http_requests_total{route="/v1/profiles",code="200"} 3
+http_requests_total{route="/v1/profiles",code="404"} 1
+# HELP inflight Currently executing requests.
+# TYPE inflight gauge
+inflight 2
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.01"} 1
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.055
+latency_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// And the golden output must satisfy our own validator.
+	exp, err := ParseExposition([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("golden exposition fails validation: %v", err)
+	}
+	if exp.Series != 9 {
+		t.Errorf("parsed %d series, want 9", exp.Series)
+	}
+	for _, name := range []string{"http_requests_total", "inflight", "latency_seconds"} {
+		if !exp.Has(name) {
+			t.Errorf("exposition missing family %s", name)
+		}
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("weird_total", "with \"quotes\" and\nnewline", "k").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `k="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", out)
+	}
+	if _, err := ParseExposition([]byte(out)); err != nil {
+		t.Errorf("escaped exposition fails validation: %v", err)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if _, err := ParseExposition(body); err != nil {
+		t.Errorf("handler output invalid: %v\n%s", err, body)
+	}
+}
+
+// TestParseExpositionRejects: the validator catches the malformations CI
+// cares about — it must fail loudly on a broken scrape, not rubber-stamp.
+func TestParseExpositionRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":             "",
+		"comment only":      "# HELP x y\n# TYPE x counter\n",
+		"bad name":          "9metric 1\n",
+		"bad value":         "metric abc\n",
+		"unterminated":      `metric{a="b 1` + "\n",
+		"malformed label":   `metric{a=b} 1` + "\n",
+		"bad type":          "# TYPE x enum\nx 1\n",
+		"malformed comment": "# NOPE\nx 1\n",
+		"bad timestamp":     "metric 1 notatime\n",
+	} {
+		if _, err := ParseExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+
+	// Valid corner cases must pass: +Inf values, timestamps, empty labels.
+	ok := "metric{} 1\nother +Inf 1234567890\nnan_metric NaN\n"
+	if _, err := ParseExposition([]byte(ok)); err != nil {
+		t.Errorf("valid corner cases rejected: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w in the requested format
+// ("text" or "json") at the requested level ("debug", "info", "warn",
+// "error"). This is the single place the daemons' -log-format/-log-level
+// flags resolve, so their meaning cannot drift between binaries.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// libraries whose caller did not wire logging up.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExactTotals hammers one counter, one gauge and one
+// histogram from many goroutines and asserts exact totals — the registry's
+// atomics must not lose updates under the race detector.
+func TestConcurrentExactTotals(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("level", "level")
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	vec := r.CounterVec("by_code_total", "per code", "code")
+
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+				vec.With("200").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+
+	const want = workers * per
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := h.Sum(); got != want*0.5 {
+		t.Errorf("histogram sum = %g, want %g", got, float64(want)*0.5)
+	}
+	if got := vec.With("200").Value(); got != want {
+		t.Errorf("vec counter = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramBucketEdges pins the inclusive-upper-bound semantics: a
+// value equal to a bound lands in that bound's bucket, a value above every
+// bound lands only in +Inf, and cumulative counts expose correctly.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", "", []float64{1, 2, 4})
+	for _, v := range []float64{
+		0,    // first bucket
+		1,    // == bound 1: still the first bucket (le is inclusive)
+		1.5,  // second bucket
+		2,    // == bound 2
+		4,    // == last finite bound
+		4.01, // +Inf only
+		-3,   // below everything: first bucket
+	} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+	wantCum := []int64{3, 5, 6, 7} // le=1, le=2, le=4, +Inf
+	for i, want := range wantCum {
+		if cum[i] != want {
+			t.Errorf("cumulative[%d] = %d, want %d (all: %v)", i, cum[i], want, cum)
+		}
+	}
+	if want := 0.0 + 1 + 1.5 + 2 + 4 + 4.01 - 3; sum != want {
+		t.Errorf("sum = %g, want %g", sum, want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted buckets accepted")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("bad", "", []float64{1, 1})
+}
+
+// TestRegistrationIdempotent: same name+type+labels returns the same
+// instrument (shared across registrants); a conflicting type panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("shared counter not shared")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type conflict accepted")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestVecLabelArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("l_total", "", "a", "b")
+	v.With("1", "2").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	v.With("1")
+}
+
+func TestGaugeFuncAndSetAdd(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("live", "", func() float64 { return n })
+	g := r.Gauge("dial", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	n = 42
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live 42\n") {
+		t.Errorf("gauge func not read at exposition time:\n%s", sb.String())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add accepted")
+		}
+	}()
+	c := NewRegistry().Counter("c_total", "")
+	c.Add(-1)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TraceWriter streams Chrome trace-event JSON — the format chrome://tracing
+// and Perfetto (ui.perfetto.dev) load directly. Events are written as they
+// are emitted, one per line inside {"traceEvents": [...]}, so a scenario's
+// trace needs no in-memory accumulation: a 10M-instance run streams to disk.
+//
+// Virtual times map onto the trace's microsecond timestamps, so one second
+// of simulated time reads as one second in the viewer. The writer is not
+// safe for concurrent use; the sim kernel's single timeline goroutine is
+// the intended caller.
+type TraceWriter struct {
+	bw  *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceWriter starts a trace stream on w. Call Close to terminate the
+// JSON document.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{bw: bufio.NewWriter(w)}
+	_, tw.err = tw.bw.WriteString("{\"traceEvents\": [\n")
+	return tw
+}
+
+// Events returns the number of events written so far.
+func (tw *TraceWriter) Events() int { return tw.n }
+
+// Close terminates the trace document and flushes. The writer is unusable
+// afterwards.
+func (tw *TraceWriter) Close() error {
+	if tw.err == nil {
+		_, tw.err = tw.bw.WriteString("\n]}\n")
+	}
+	if err := tw.bw.Flush(); tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// raw writes one pre-rendered event object, handling commas and error
+// latching.
+func (tw *TraceWriter) raw(obj string) {
+	if tw.err != nil {
+		return
+	}
+	if tw.n > 0 {
+		if _, tw.err = tw.bw.WriteString(",\n"); tw.err != nil {
+			return
+		}
+	}
+	_, tw.err = tw.bw.WriteString(obj)
+	tw.n++
+}
+
+// micros renders a virtual time as the trace's microsecond timestamp.
+func micros(t time.Duration) string {
+	return strconv.FormatFloat(float64(t)/float64(time.Microsecond), 'f', 3, 64)
+}
+
+func quoted(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// Complete writes an "X" (complete) event: a span [start, start+dur) on
+// the (pid, tid) track. args, when non-empty, must be a JSON object.
+func (tw *TraceWriter) Complete(name, cat string, pid, tid int, start, dur time.Duration, args string) {
+	tw.raw(fmt.Sprintf(`{"ph":"X","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s%s}`,
+		quoted(name), quoted(cat), pid, tid, micros(start), micros(dur), argsField(args)))
+}
+
+// AsyncBegin / AsyncEnd write "b"/"e" async events: spans keyed by
+// (cat, id) that may overlap freely — one per placed instance, so
+// colocated instances render side by side instead of nesting.
+func (tw *TraceWriter) AsyncBegin(name, cat string, pid, id int, t time.Duration, args string) {
+	tw.raw(fmt.Sprintf(`{"ph":"b","name":%s,"cat":%s,"pid":%d,"tid":0,"id":%d,"ts":%s%s}`,
+		quoted(name), quoted(cat), pid, id, micros(t), argsField(args)))
+}
+
+func (tw *TraceWriter) AsyncEnd(name, cat string, pid, id int, t time.Duration, args string) {
+	tw.raw(fmt.Sprintf(`{"ph":"e","name":%s,"cat":%s,"pid":%d,"tid":0,"id":%d,"ts":%s%s}`,
+		quoted(name), quoted(cat), pid, id, micros(t), argsField(args)))
+}
+
+// Instant writes an "i" event — a zero-duration marker. scope is "g"
+// (global), "p" (process) or "t" (thread).
+func (tw *TraceWriter) Instant(name, cat string, pid, tid int, t time.Duration, scope string, args string) {
+	tw.raw(fmt.Sprintf(`{"ph":"i","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"s":%s%s}`,
+		quoted(name), quoted(cat), pid, tid, micros(t), quoted(scope), argsField(args)))
+}
+
+// Counter writes a "C" event: the named series' values at t, rendered as
+// stacked area charts by the viewers. names and values run in parallel so
+// series order (and thus the byte stream) is deterministic.
+func (tw *TraceWriter) Counter(name string, pid int, t time.Duration, names []string, values []float64) {
+	if len(names) != len(values) {
+		tw.err = fmt.Errorf("telemetry: counter %q: %d names, %d values", name, len(names), len(values))
+		return
+	}
+	args := ""
+	for i, n := range names {
+		if i > 0 {
+			args += ","
+		}
+		args += quoted(n) + ":" + strconv.FormatFloat(values[i], 'g', -1, 64)
+	}
+	tw.raw(fmt.Sprintf(`{"ph":"C","name":%s,"pid":%d,"tid":0,"ts":%s,"args":{%s}}`,
+		quoted(name), pid, micros(t), args))
+}
+
+// MetaProcessName labels a pid in the viewer's track list.
+func (tw *TraceWriter) MetaProcessName(pid int, name string) {
+	tw.raw(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"ts":0,"args":{"name":%s}}`,
+		pid, quoted(name)))
+}
+
+// MetaThreadName labels a (pid, tid) track.
+func (tw *TraceWriter) MetaThreadName(pid, tid int, name string) {
+	tw.raw(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"ts":0,"args":{"name":%s}}`,
+		pid, tid, quoted(name)))
+}
+
+func argsField(args string) string {
+	if args == "" {
+		return ""
+	}
+	return `,"args":` + args
+}
+
+// TraceSink adapts a TraceWriter into the sim kernel's MetricsSink: Observe
+// forwards each (virtual time, event) pair to Map, which renders whatever
+// trace events it decides onto W. The mapping lives with the emitter (the
+// scenario scheduler knows its own event types); the sink and writer stay
+// model-agnostic, so any future kernel user traces through the same layer.
+type TraceSink struct {
+	W   *TraceWriter
+	Map func(t time.Duration, ev any, w *TraceWriter)
+}
+
+// Observe implements the sim kernel's MetricsSink interface.
+func (s *TraceSink) Observe(t time.Duration, ev any) {
+	if s.Map != nil {
+		s.Map(t, ev, s.W)
+	}
+}
+
+// TraceSummary reports what a parsed trace contained.
+type TraceSummary struct {
+	Events int
+	Phases map[string]int // count per ph
+}
+
+// ParseTrace validates Chrome trace-event JSON: the document must be either
+// a JSON array of events or an object with a traceEvents array, and every
+// event must carry a known "ph" phase, a name where the phase requires one,
+// and a numeric "ts" for timeline phases. CI's synapse-sim smoke and
+// cmd/obslint gate trace files through this before anyone loads them into
+// Perfetto.
+func ParseTrace(data []byte) (*TraceSummary, error) {
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &events); err != nil {
+		var doc struct {
+			TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+		}
+		if err2 := json.Unmarshal(data, &doc); err2 != nil {
+			return nil, fmt.Errorf("not trace-event JSON (neither array nor {\"traceEvents\": ...}): %w", err2)
+		}
+		if doc.TraceEvents == nil {
+			return nil, fmt.Errorf("document has no traceEvents array")
+		}
+		events = doc.TraceEvents
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace contains no events")
+	}
+	sum := &TraceSummary{Events: len(events), Phases: map[string]int{}}
+	for i, ev := range events {
+		var ph string
+		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil || ph == "" {
+			return nil, fmt.Errorf("event %d: missing or malformed ph", i)
+		}
+		switch ph {
+		case "B", "E", "X", "i", "I", "C", "b", "e", "n", "s", "t", "f", "M", "P", "N", "O", "D":
+		default:
+			return nil, fmt.Errorf("event %d: unknown phase %q", i, ph)
+		}
+		sum.Phases[ph]++
+		if ph != "M" {
+			var ts float64
+			if raw, ok := ev["ts"]; !ok || json.Unmarshal(raw, &ts) != nil {
+				return nil, fmt.Errorf("event %d (ph %q): missing or non-numeric ts", i, ph)
+			}
+		}
+		if ph != "E" && ph != "e" {
+			var name string
+			if raw, ok := ev["name"]; !ok || json.Unmarshal(raw, &name) != nil || name == "" {
+				return nil, fmt.Errorf("event %d (ph %q): missing name", i, ph)
+			}
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceWriterRoundTrip: everything the writer emits must parse as
+// valid trace-event JSON through our own validator (the same one CI runs
+// on synapse-sim -trace output).
+func TestTraceWriterRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb)
+	tw.MetaProcessName(1, "scenario \"mix\"")
+	tw.MetaThreadName(1, 2, "node n-0 [stampede]")
+	tw.Complete("md", "service", 1, 2, 100*time.Millisecond, 250*time.Millisecond, `{"load":0.3}`)
+	tw.AsyncBegin("md", "service", 1, 7, 100*time.Millisecond, "")
+	tw.AsyncEnd("md", "service", 1, 7, 350*time.Millisecond, `{"killed":true}`)
+	tw.Instant("node_down", "cluster", 1, 0, time.Second, "g", "")
+	tw.Counter("queue", 1, time.Second, []string{"md", "sleep"}, []float64{3, 0.5})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := ParseTrace([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("writer output invalid: %v\n%s", err, sb.String())
+	}
+	if sum.Events != 7 {
+		t.Errorf("parsed %d events, want 7", sum.Events)
+	}
+	for _, ph := range []string{"M", "X", "b", "e", "i", "C"} {
+		if sum.Phases[ph] == 0 {
+			t.Errorf("phase %q missing: %v", ph, sum.Phases)
+		}
+	}
+	// Timestamps are microseconds: 100ms -> 100000.
+	if !strings.Contains(sb.String(), `"ts":100000.000`) {
+		t.Errorf("virtual time not mapped to microseconds:\n%s", sb.String())
+	}
+}
+
+func TestTraceWriterEmpty(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An empty trace is syntactically fine JSON but fails validation — CI
+	// must reject a trace that recorded nothing.
+	if _, err := ParseTrace([]byte(sb.String())); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestParseTraceForms(t *testing.T) {
+	array := `[{"ph":"i","name":"x","ts":1,"pid":1,"tid":1,"s":"g"}]`
+	if sum, err := ParseTrace([]byte(array)); err != nil || sum.Events != 1 {
+		t.Errorf("bare array rejected: %v", err)
+	}
+	for name, in := range map[string]string{
+		"not json":      "perfetto",
+		"no ph":         `[{"name":"x","ts":1}]`,
+		"unknown phase": `[{"ph":"Z","name":"x","ts":1}]`,
+		"no ts":         `[{"ph":"i","name":"x"}]`,
+		"no name":       `[{"ph":"X","ts":1,"dur":2}]`,
+		"empty doc":     `{"traceEvents":[]}`,
+		"wrong object":  `{"events":[]}`,
+	} {
+		if _, err := ParseTrace([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
