@@ -9,6 +9,7 @@
 //	synapse-sim -scenario mix.json -cluster cluster.json
 //	synapse-sim -scenario failover.json -timeline series.csv
 //	synapse-sim -scenario failover.json -trace out.json -progress
+//	synapse-sim -scenario huge.json -workers-remote h1:9191,h2:9191 -shards 32
 //
 // The -store flag accepts a local file-store directory or the URL of a
 // running synapsed daemon. -cluster attaches (or replaces) the spec's
@@ -21,10 +22,14 @@
 // chrome://tracing: one span per placed instance, queue/running counter
 // series, node lifecycle markers (see docs/observability.md). -progress
 // paints a live stderr meter (virtual time, arrivals/s, queue depth) for
-// long runs. Reports are deterministic for a fixed spec and seed: same
-// inputs, byte-identical -out file (and byte-identical -trace file). See
-// docs/scenarios.md for the spec format, including the events block
-// (node failures, drains, additions, autoscaling).
+// long runs. -workers-remote distributes the emulation replays across a
+// fleet of synapse-worker daemons (comma-separated host:port list; -shards
+// sets the partition granularity) — the schedule stays local and the
+// report stays byte-identical to a single-process run, at any fleet size
+// (see docs/distributed.md). Reports are deterministic for a fixed spec
+// and seed: same inputs, byte-identical -out file (and byte-identical
+// -trace file). See docs/scenarios.md for the spec format, including the
+// events block (node failures, drains, additions, autoscaling).
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"synapse/internal/cluster"
+	"synapse/internal/dist"
 	"synapse/internal/scenario"
 	"synapse/internal/storeclnt"
 	"synapse/internal/telemetry"
@@ -65,6 +71,8 @@ func run(args []string) error {
 	seed := fs.String("seed", "", "override the spec's seed (uint64; empty keeps the spec value)")
 	tracePath := fs.String("trace", "", "write the run as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
 	progress := fs.Bool("progress", false, "paint a live progress meter (virtual time, arrivals/s, queue depth) on stderr")
+	workersRemote := fs.String("workers-remote", "", "comma-separated synapse-worker addresses (host:port or http://host:port); distributes emulation replays across the fleet")
+	shards := fs.Int("shards", 0, "shard count for -workers-remote (0 = 4x fleet size)")
 	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +119,34 @@ func run(args []string) error {
 	defer st.Close()
 
 	opts := scenario.RunOptions{Workers: *workers}
+	if *workersRemote != "" {
+		var fleet []dist.Worker
+		for _, addr := range strings.Split(*workersRemote, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+				addr = "http://" + addr
+			}
+			fleet = append(fleet, dist.NewHTTPWorker(addr, nil))
+		}
+		if len(fleet) == 0 {
+			return fmt.Errorf("-workers-remote lists no addresses")
+		}
+		co, err := dist.NewCoordinator(context.Background(), spec, st, dist.Config{
+			Workers: fleet,
+			Shards:  *shards,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Executor = co
+		fmt.Fprintf(stdout, "distributing replays across %d workers in %d shards\n",
+			len(fleet), co.Shards())
+	} else if *shards != 0 {
+		return fmt.Errorf("-shards requires -workers-remote")
+	}
 	var traceFile *os.File
 	if *tracePath != "" {
 		traceFile, err = os.Create(*tracePath)

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"synapse/internal/testutil"
 )
 
 // backend returns a plain HTTP server (real TCP listener) serving a fixed
@@ -194,6 +196,7 @@ func TestMethodFilterExemptsWrites(t *testing.T) {
 }
 
 func TestCloseSeversBlackholedConns(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	addr := backend(t, "x")
 	sched := MustParse("hole")
 	p, err := Start(addr, sched)

@@ -1,0 +1,40 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"synapse/internal/scenario"
+)
+
+// BenchmarkDist measures distributed scenario throughput over in-process
+// fleets — the protocol and fold overhead without wire latency. The custom
+// metric is emulated instances per second of wall time; benchguard tracks
+// it via BENCH_dist.json.
+func BenchmarkDist(b *testing.B) {
+	st := seedStore(b, "mdsim", "sleep")
+	for _, fleet := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", fleet), func(b *testing.B) {
+			spec := bigJitteredSpec()
+			ctx := context.Background()
+			co, err := NewCoordinator(ctx, spec, st, Config{Workers: localFleet(fleet)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			emulations := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.Run(ctx, spec, st, scenario.RunOptions{Executor: co})
+				if err != nil {
+					b.Fatal(err)
+				}
+				emulations += rep.Emulations
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(emulations)/sec, "emulations/s")
+			}
+		})
+	}
+}

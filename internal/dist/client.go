@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"synapse/internal/retry"
+	"synapse/internal/scenario"
+)
+
+// HTTPWorker drives one synapse-worker daemon over the wire protocol. It
+// performs single attempts — retry discipline lives in the coordinator's
+// policy, which also decides when the worker is dead — but it does the
+// error translation: structured codes come back as the package's sentinel
+// errors, and shed responses carry their Retry-After hint for the backoff.
+type HTTPWorker struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPWorker returns a client for the worker daemon at base (e.g.
+// "http://host:9191"). hc nil uses a client with a 60s overall timeout —
+// shard executions are real work, not metadata lookups.
+func NewHTTPWorker(base string, hc *http.Client) *HTTPWorker {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &HTTPWorker{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Name implements Worker: workers are named by their base URL.
+func (w *HTTPWorker) Name() string { return w.base }
+
+// Compile implements Worker.
+func (w *HTTPWorker) Compile(ctx context.Context, req *CompileRequest) error {
+	var resp CompileResponse
+	if err := w.post(ctx, "/v1/compile", req, &resp); err != nil {
+		return err
+	}
+	if resp.Seed != req.Spec.Seed {
+		return fmt.Errorf("%w: worker %s compiled seed %d, coordinator has %d",
+			ErrShardKey, w.base, resp.Seed, req.Spec.Seed)
+	}
+	return nil
+}
+
+// Execute implements Worker.
+func (w *HTTPWorker) Execute(ctx context.Context, req *ExecuteRequest) ([]*scenario.Outcome, error) {
+	var resp ExecuteResponse
+	if err := w.post(ctx, "/v1/execute", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Outcomes, nil
+}
+
+// post sends one JSON request and decodes the JSON response, translating
+// structured error bodies into sentinel errors.
+func (w *HTTPWorker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s %s: %w", w.base, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return w.decodeError(path, resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dist: %s %s: decode response: %w", w.base, path, err)
+	}
+	return nil
+}
+
+// decodeError rebuilds a sentinel error from a structured error response,
+// attaching any Retry-After hint for the coordinator's backoff.
+func (w *HTTPWorker) decodeError(path string, resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er ErrorResponse
+	_ = json.Unmarshal(data, &er)
+	msg := er.Error
+	if msg == "" {
+		msg = strings.TrimSpace(string(data))
+	}
+	base := fmt.Errorf("dist: %s %s: HTTP %d: %s", w.base, path, resp.StatusCode, msg)
+	var err error
+	switch er.Code {
+	case CodeNoSession:
+		err = fmt.Errorf("%w: %v", ErrNoSession, base)
+	case CodeShardKey:
+		err = fmt.Errorf("%w: %v", ErrShardKey, base)
+	case CodeInvalid:
+		err = fmt.Errorf("%w: %v", ErrInvalid, base)
+	default:
+		err = base
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			err = retry.After(err, time.Duration(secs)*time.Second)
+		}
+	}
+	return err
+}

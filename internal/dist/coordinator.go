@@ -1,0 +1,334 @@
+package dist
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"synapse/internal/retry"
+	"synapse/internal/scenario"
+	"synapse/internal/store"
+	"synapse/internal/telemetry"
+)
+
+// Config tunes a coordinator.
+type Config struct {
+	// Workers is the fleet. At least one is required.
+	Workers []Worker
+	// Shards is the partition granularity (shard keys derive from the
+	// scenario seed, so the partition itself is deterministic). 0 picks
+	// 4× the fleet size — enough slack that reassignment after a failure
+	// spreads across survivors instead of doubling one worker's share.
+	Shards int
+	// Retry governs each shard RPC; nil uses retry.Default. Protocol
+	// errors (invalid request, shard-key mismatch) are always terminal
+	// regardless of the policy's own classifier.
+	Retry *retry.Policy
+	// Logger receives shard dispatch and failure events. nil discards.
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the coordinator's instruments
+	// (jobs, shard RPCs, worker failures, live-worker gauge).
+	Metrics *telemetry.Registry
+}
+
+// workerState is the coordinator's view of one fleet member.
+type workerState struct {
+	w Worker
+	// mu serializes compilation so concurrent shards on one worker do
+	// not compile twice.
+	mu       sync.Mutex
+	compiled bool
+	dead     atomic.Bool
+}
+
+// Coordinator partitions replay jobs into deterministic shards and executes
+// them on the fleet. It implements scenario.Executor, so plugging it into
+// scenario.RunOptions.Executor distributes any scenario unchanged.
+type Coordinator struct {
+	creq   *CompileRequest
+	keys   []uint64
+	policy retry.Policy
+	log    *slog.Logger
+
+	workers []*workerState
+
+	// counters (exposed via Stats and, optionally, Config.Metrics)
+	jobs             atomic.Int64
+	rpcs             atomic.Int64
+	failures         atomic.Int64
+	recomputedShards atomic.Int64
+}
+
+// Stats is a snapshot of the coordinator's counters.
+type Stats struct {
+	// Jobs counts replay jobs dispatched; RPCs counts shard executions
+	// attempted (retries included); WorkerFailures counts workers marked
+	// dead; RecomputedShards counts shard reassignments after a failure.
+	Jobs             int64 `json:"jobs"`
+	RPCs             int64 `json:"rpcs"`
+	WorkerFailures   int64 `json:"worker_failures"`
+	RecomputedShards int64 `json:"recomputed_shards"`
+	// LiveWorkers is the current live fleet size.
+	LiveWorkers int `json:"live_workers"`
+}
+
+// NewCoordinator resolves the spec's profiles through st and prepares the
+// fleet-wide compile request. Workers compile lazily, on the first shard
+// each receives.
+func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	profs, err := scenario.ResolveProfiles(ctx, spec, st)
+	if err != nil {
+		return nil, err
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 4 * len(cfg.Workers)
+	}
+	policy := retry.Default()
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
+	inner := policy.Classify
+	policy.Classify = func(err error) retry.Class {
+		if errors.Is(err, ErrInvalid) || errors.Is(err, ErrShardKey) {
+			return retry.Terminal
+		}
+		if inner != nil {
+			return inner(err)
+		}
+		return retry.Transient
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
+	nonce := make([]byte, 8)
+	_, _ = rand.Read(nonce)
+	co := &Coordinator{
+		creq: &CompileRequest{
+			Session:  "sc-" + hex.EncodeToString(nonce),
+			Spec:     spec,
+			Profiles: profs,
+			Shards:   shards,
+		},
+		keys:   ShardKeys(spec.Seed, shards),
+		policy: policy,
+		log:    log,
+	}
+	for _, w := range cfg.Workers {
+		co.workers = append(co.workers, &workerState{w: w})
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("synapse_dist_live_workers",
+			"Workers the coordinator currently considers alive.",
+			func() float64 { return float64(len(co.live())) })
+		reg.GaugeFunc("synapse_dist_jobs_total",
+			"Replay jobs dispatched to the fleet.",
+			func() float64 { return float64(co.jobs.Load()) })
+		reg.GaugeFunc("synapse_dist_shard_rpcs_total",
+			"Shard executions attempted, retries included.",
+			func() float64 { return float64(co.rpcs.Load()) })
+		reg.GaugeFunc("synapse_dist_worker_failures_total",
+			"Workers marked dead after exhausting their retry policy.",
+			func() float64 { return float64(co.failures.Load()) })
+	}
+	return co, nil
+}
+
+// Shards returns the partition granularity the coordinator derived.
+func (co *Coordinator) Shards() int { return co.creq.Shards }
+
+// Stats snapshots the coordinator's counters.
+func (co *Coordinator) Stats() Stats {
+	return Stats{
+		Jobs:             co.jobs.Load(),
+		RPCs:             co.rpcs.Load(),
+		WorkerFailures:   co.failures.Load(),
+		RecomputedShards: co.recomputedShards.Load(),
+		LiveWorkers:      len(co.live()),
+	}
+}
+
+// live returns the live fleet, in configuration order.
+func (co *Coordinator) live() []*workerState {
+	var out []*workerState
+	for _, ws := range co.workers {
+		if !ws.dead.Load() {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
+// markDead retires a worker after its retry policy exhausted.
+func (co *Coordinator) markDead(ws *workerState, err error) {
+	if ws.dead.CompareAndSwap(false, true) {
+		co.failures.Add(1)
+		co.log.Warn("worker failed; reassigning its shards",
+			slog.String("worker", ws.w.Name()), slog.String("error", err.Error()))
+	}
+}
+
+// ExecuteJobs implements scenario.Executor: partition the jobs into shards
+// by rendezvous hashing, execute every non-empty shard on the live fleet,
+// reassigning and recomputing shards whose worker dies, and return the
+// outcomes in job order — the fixed order that makes failures and fleet
+// size invisible downstream.
+func (co *Coordinator) ExecuteJobs(ctx context.Context, jobs []scenario.Job) ([]*scenario.Outcome, error) {
+	outs := make([]*scenario.Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outs, nil
+	}
+	co.jobs.Add(int64(len(jobs)))
+
+	// Partition: job index lists per shard, shard order fixed by index.
+	byShard := make([][]int, len(co.keys))
+	for i, j := range jobs {
+		s := shardOf(jobHash(j), co.keys)
+		byShard[s] = append(byShard[s], i)
+	}
+	var pending []int
+	for s, idxs := range byShard {
+		if len(idxs) > 0 {
+			pending = append(pending, s)
+		}
+	}
+
+	for round := 0; len(pending) > 0; round++ {
+		live := co.live()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("%w: %d shards unexecuted", ErrNoWorkers, len(pending))
+		}
+		if round > 0 {
+			co.recomputedShards.Add(int64(len(pending)))
+			co.log.Info("recomputing reassigned shards",
+				slog.Int("shards", len(pending)), slog.Int("live_workers", len(live)))
+		}
+		type result struct {
+			ws   *workerState
+			outs []*scenario.Outcome
+			err  error
+		}
+		results := make([]result, len(pending))
+		var wg sync.WaitGroup
+		for i, s := range pending {
+			ws := live[i%len(live)]
+			shardJobs := make([]scenario.Job, len(byShard[s]))
+			for k, idx := range byShard[s] {
+				shardJobs[k] = jobs[idx]
+			}
+			wg.Add(1)
+			go func(i, s int, ws *workerState) {
+				defer wg.Done()
+				o, err := co.executeShard(ctx, ws, s, shardJobs)
+				results[i] = result{ws: ws, outs: o, err: err}
+			}(i, s, ws)
+		}
+		wg.Wait()
+
+		var next []int
+		for i, r := range results {
+			s := pending[i]
+			if r.err != nil {
+				if ctx.Err() != nil {
+					return nil, r.err
+				}
+				if errors.Is(r.err, ErrInvalid) || errors.Is(r.err, ErrShardKey) {
+					return nil, r.err
+				}
+				co.markDead(r.ws, r.err)
+				next = append(next, s)
+				continue
+			}
+			idxs := byShard[s]
+			if len(r.outs) != len(idxs) {
+				return nil, fmt.Errorf("dist: worker %s returned %d outcomes for shard %d's %d jobs",
+					r.ws.w.Name(), len(r.outs), s, len(idxs))
+			}
+			for k, idx := range idxs {
+				if r.outs[k] == nil {
+					return nil, fmt.Errorf("dist: worker %s returned a nil outcome for shard %d job %d",
+						r.ws.w.Name(), s, k)
+				}
+				outs[idx] = r.outs[k]
+			}
+		}
+		pending = next
+	}
+	return outs, nil
+}
+
+// executeShard runs one shard on one worker under the retry policy,
+// compiling the session on first contact (or after the worker lost it).
+func (co *Coordinator) executeShard(ctx context.Context, ws *workerState, shard int, jobs []scenario.Job) ([]*scenario.Outcome, error) {
+	var outs []*scenario.Outcome
+	err := co.policy.Do(ctx, func(ctx context.Context) error {
+		if err := co.ensureCompiled(ctx, ws); err != nil {
+			return err
+		}
+		co.rpcs.Add(1)
+		o, err := ws.w.Execute(ctx, &ExecuteRequest{
+			Session:  co.creq.Session,
+			Shard:    shard,
+			ShardKey: co.keys[shard],
+			Jobs:     jobs,
+		})
+		if errors.Is(err, ErrNoSession) {
+			// The worker restarted or evicted us: force a fresh compile
+			// and report transient so the policy retries this shard here.
+			ws.mu.Lock()
+			ws.compiled = false
+			ws.mu.Unlock()
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		outs = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// ensureCompiled compiles the session on the worker exactly once (again
+// after a session loss), serialized per worker.
+func (co *Coordinator) ensureCompiled(ctx context.Context, ws *workerState) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.compiled {
+		return nil
+	}
+	if err := ws.w.Compile(ctx, co.creq); err != nil {
+		return err
+	}
+	co.log.Debug("worker compiled session",
+		slog.String("worker", ws.w.Name()), slog.String("session", co.creq.Session))
+	ws.compiled = true
+	return nil
+}
+
+// Run distributes spec across the fleet: it builds a coordinator, plugs it
+// into the scenario engine as the executor, and runs the scenario. The
+// report is byte-identical to scenario.Run with no executor.
+func Run(ctx context.Context, spec *scenario.Spec, st store.Store, cfg Config, opts scenario.RunOptions) (*scenario.Report, error) {
+	co, err := NewCoordinator(ctx, spec, st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.Executor = co
+	return scenario.Run(ctx, spec, st, opts)
+}

@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/scenario"
+	"synapse/internal/store"
+	"synapse/internal/testutil"
+)
+
+// startServer boots a WorkerServer on a loopback port and returns its base
+// URL. The server drains on test cleanup; the leak checker verifies the
+// drain actually releases its goroutines.
+func startServer(t *testing.T, cfg ServerConfig) (*WorkerServer, string) {
+	t.Helper()
+	s := NewServer(cfg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, "http://" + addr.String()
+}
+
+// TestHTTPByteIdentity runs the full wire path — coordinator, HTTPWorker,
+// WorkerServer, JSON round trips of jobs and outcomes — against real
+// daemons, and requires the jittered spec's report to match the local run
+// byte for byte. This is where float64 loads and duration outcomes must
+// survive the wire exactly.
+func TestHTTPByteIdentity(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st := seedStore(t, "mdsim", "sleep")
+	spec := bigJitteredSpec()
+	local, err := scenario.Run(context.Background(), spec, st, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalReport(t, local)
+
+	var fleet []Worker
+	for i := 0; i < 2; i++ {
+		_, base := startServer(t, ServerConfig{Workers: 2})
+		fleet = append(fleet, NewHTTPWorker(base, nil))
+	}
+	rep, co := runDist(t, spec, st, Config{Workers: fleet})
+	if got := marshalReport(t, rep); !bytes.Equal(got, want) {
+		t.Errorf("report over HTTP diverged from local run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if s := co.Stats(); s.WorkerFailures != 0 || s.LiveWorkers != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestHTTPShardKeyMismatch: a coordinator whose (seed, shards) disagrees
+// with the worker's compiled session must be refused with ErrShardKey —
+// 409 on the wire — before any outcome folds.
+func TestHTTPShardKeyMismatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st := seedStore(t, "mdsim", "sleep")
+	spec := jitteredSpec()
+	profs, err := scenario.ResolveProfiles(context.Background(), spec, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := startServer(t, ServerConfig{})
+	w := NewHTTPWorker(base, nil)
+	ctx := context.Background()
+	req := &CompileRequest{Session: "s", Spec: spec, Profiles: profs, Shards: 4}
+	if err := w.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	keys := ShardKeys(spec.Seed, 4)
+	_, err = w.Execute(ctx, &ExecuteRequest{Session: "s", Shard: 0, ShardKey: keys[0] ^ 1})
+	if !errors.Is(err, ErrShardKey) {
+		t.Fatalf("err = %v, want ErrShardKey", err)
+	}
+	if _, err := w.Execute(ctx, &ExecuteRequest{Session: "s", Shard: 0, ShardKey: keys[0]}); err != nil {
+		t.Fatalf("matching key refused: %v", err)
+	}
+}
+
+// TestHTTPNoSessionRecovery: a worker that evicted the coordinator's
+// session answers no_session; the coordinator recompiles transparently and
+// the rerun still reproduces the first report exactly.
+func TestHTTPNoSessionRecovery(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st := seedStore(t, "mdsim", "sleep")
+	spec := jitteredSpec()
+	srv, base := startServer(t, ServerConfig{MaxSessions: 1})
+	ctx := context.Background()
+	co, err := NewCoordinator(ctx, spec, st, Config{
+		Workers: []Worker{NewHTTPWorker(base, nil)},
+		Retry:   fastRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := scenario.Run(ctx, spec, st, scenario.RunOptions{Executor: co})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second coordinator's compile evicts the first session (cap is 1).
+	other, err := NewCoordinator(ctx, spec, st, Config{Workers: []Worker{NewHTTPWorker(base, nil)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Run(ctx, spec, st, scenario.RunOptions{Executor: other}); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.local.sessions.len(); n != 1 {
+		t.Fatalf("server holds %d sessions, want 1", n)
+	}
+
+	// The first coordinator's session is gone; the rerun must recover via
+	// no_session → recompile, not fail, and reproduce the report.
+	again, err := scenario.Run(ctx, spec, st, scenario.RunOptions{Executor: co})
+	if err != nil {
+		t.Fatalf("rerun after eviction: %v", err)
+	}
+	if a, b := marshalReport(t, first), marshalReport(t, again); !bytes.Equal(a, b) {
+		t.Errorf("rerun after session eviction changed the report\nfirst:\n%s\nagain:\n%s", a, b)
+	}
+	if s := co.Stats(); s.WorkerFailures != 0 {
+		t.Errorf("eviction recovery marked the worker dead: %+v", s)
+	}
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, ErrorResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var er ErrorResponse
+	_ = json.Unmarshal(data, &er)
+	return resp, er
+}
+
+// TestHTTPStructuredErrors pins the wire contract: malformed and unknown
+// requests come back with the documented status codes and machine-readable
+// error codes.
+func TestHTTPStructuredErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	_, base := startServer(t, ServerConfig{})
+	cases := []struct {
+		path, body string
+		status     int
+		code       string
+	}{
+		{"/v1/compile", "{not json", http.StatusBadRequest, CodeInvalid},
+		{"/v1/compile", `{"session":"s"}`, http.StatusBadRequest, CodeInvalid},
+		{"/v1/execute", `{"session":"ghost","shard":0}`, http.StatusNotFound, CodeNoSession},
+	}
+	for _, tc := range cases {
+		resp, er := postJSON(t, base+tc.path, tc.body)
+		if resp.StatusCode != tc.status || er.Code != tc.code {
+			t.Errorf("POST %s %q: got %d/%q, want %d/%q",
+				tc.path, tc.body, resp.StatusCode, er.Code, tc.status, tc.code)
+		}
+	}
+}
+
+// TestHTTPHealthzAndMetrics: the observability endpoints answer with the
+// worker's session count, admission state and the RED series.
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st := seedStore(t, "mdsim", "sleep")
+	spec := jitteredSpec()
+	_, base := startServer(t, ServerConfig{Workers: 1, MaxInFlight: 8})
+	fleet := []Worker{NewHTTPWorker(base, nil)}
+	if _, err := scenario.Run(context.Background(), spec, st, scenario.RunOptions{
+		Executor: mustCoordinator(t, spec, st, Config{Workers: fleet}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Sessions != 1 || h.MaxInFlight != 8 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	resp, err = http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"synapse_http_requests_total",
+		"synapse_http_request_duration_seconds",
+		"synapse_dist_worker_jobs_total",
+		"synapse_dist_worker_sessions",
+		"synapse_build_info",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("metrics exposition missing %s", series)
+		}
+	}
+}
+
+func mustCoordinator(t *testing.T, spec *scenario.Spec, st store.Store, cfg Config) *Coordinator {
+	t.Helper()
+	co, err := NewCoordinator(context.Background(), spec, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// TestHTTPDrainSheds: once draining, data-path requests shed with
+// 503/draining and a Retry-After hint while healthz keeps answering and
+// reports the drain.
+func TestHTTPDrainSheds(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := NewServer(ServerConfig{})
+	s.draining.Store(true)
+
+	rec := httptest.NewRecorder()
+	req, _ := http.NewRequest(http.MethodPost, "/v1/execute", strings.NewReader("{}"))
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining execute: status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("draining shed carries no Retry-After")
+	}
+	var er ErrorResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &er)
+	if er.Code != CodeDraining {
+		t.Errorf("shed code = %q, want %q", er.Code, CodeDraining)
+	}
+
+	rec = httptest.NewRecorder()
+	req, _ = http.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: status %d", rec.Code)
+	}
+	var h HealthResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &h)
+	if h.Status != "draining" || h.Shed != 1 {
+		t.Errorf("healthz while draining = %+v", h)
+	}
+}
+
+// TestHTTPOverloadSheds: with the only execution slot taken and no queue,
+// a data-path request sheds with 429/overloaded.
+func TestHTTPOverloadSheds(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := NewServer(ServerConfig{MaxInFlight: 1})
+	s.sem <- struct{}{} // occupy the sole slot
+	defer func() { <-s.sem }()
+
+	rec := httptest.NewRecorder()
+	req, _ := http.NewRequest(http.MethodPost, "/v1/execute", strings.NewReader("{}"))
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded execute: status %d, want 429", rec.Code)
+	}
+	var er ErrorResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &er)
+	if er.Code != CodeOverloaded {
+		t.Errorf("shed code = %q, want %q", er.Code, CodeOverloaded)
+	}
+	// Bypass routes must still answer at capacity.
+	rec = httptest.NewRecorder()
+	req, _ = http.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz at capacity: status %d", rec.Code)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"synapse/internal/core"
 	"synapse/internal/emulator"
 	"synapse/internal/machine"
+	"synapse/internal/profile"
 	"synapse/internal/sim"
 	"synapse/internal/stats"
 	"synapse/internal/store"
@@ -46,6 +47,9 @@ type instance struct {
 type workloadState struct {
 	spec    *Workload
 	machine string
+	// prof is the resolved profile — kept so distributed coordinators can
+	// ship the exact emulation inputs to workers without store access.
+	prof *profile.Profile
 	// run replays instances without a cluster; runs holds one handle per
 	// node machine with one (instances replay on the node they land on —
 	// including nodes that only join the pool through events).
@@ -75,7 +79,10 @@ type compiled struct {
 // handles — one per machine the workload could land on, which with an
 // events block includes machines only event-added nodes bring — and the
 // deterministic instance enumeration from each workload's named stream.
-func compile(ctx context.Context, spec *Spec, st store.Store) (*compiled, error) {
+// With buildRuns false the emulation handles are skipped: an external
+// Executor owns the compute, and this process only needs the scheduling
+// view (cluster, instances, resolved profiles).
+func compile(ctx context.Context, spec *Spec, st store.Store, buildRuns bool) (*compiled, error) {
 	c := &compiled{spec: spec}
 
 	// Build the cluster, if the spec models one. The random policy's
@@ -126,18 +133,20 @@ func compile(ctx context.Context, spec *Spec, st store.Store) (*compiled, error)
 			return nil, fmt.Errorf("scenario: workload %q: resolve profile: %w", w.Name, err)
 		}
 		p := set[len(set)-1]
-		ws := &workloadState{spec: w}
+		ws := &workloadState{spec: w, prof: p}
 		if c.cl == nil {
 			machineName := w.Emulation.Machine
 			if machineName == "" {
 				machineName = p.Machine
 			}
-			run, err := core.NewEmulation(p, w.emulateOptions(machineName))
-			if err != nil {
-				return nil, fmt.Errorf("scenario: workload %q: %w", w.Name, err)
-			}
 			ws.machine = machineName
-			ws.run = run
+			if buildRuns {
+				run, err := core.NewEmulation(p, w.emulateOptions(machineName))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: workload %q: %w", w.Name, err)
+				}
+				ws.run = run
+			}
 		} else {
 			ws.machine = "cluster"
 			ws.req = w.request()
@@ -145,13 +154,15 @@ func compile(ctx context.Context, spec *Spec, st store.Store) (*compiled, error)
 				return nil, fmt.Errorf("scenario: workload %q: an instance needs %d cores and %d bytes but fits no cluster node",
 					w.Name, ws.req.Cores, ws.req.MemBytes)
 			}
-			ws.runs = make(map[string]*emulator.Run)
-			for _, m := range models {
-				run, err := core.NewEmulationOn(p, m, w.emulateOptions(m.Name))
-				if err != nil {
-					return nil, fmt.Errorf("scenario: workload %q on %q: %w", w.Name, m.Name, err)
+			if buildRuns {
+				ws.runs = make(map[string]*emulator.Run)
+				for _, m := range models {
+					run, err := core.NewEmulationOn(p, m, w.emulateOptions(m.Name))
+					if err != nil {
+						return nil, fmt.Errorf("scenario: workload %q on %q: %w", w.Name, m.Name, err)
+					}
+					ws.runs[m.Name] = run
 				}
-				ws.runs[m.Name] = run
 			}
 		}
 		c.wls[i] = ws

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"synapse/internal/emulator"
+	"synapse/internal/exp"
+	"synapse/internal/perfcount"
+	"synapse/internal/profile"
+	"synapse/internal/store"
+)
+
+// Job identifies one distinct replay in a scenario run: instances of one
+// workload with the same effective load on the same machine share a single
+// deterministic emulation, and a Job names that equivalence class. Jobs are
+// the unit of distributed execution — the coordinator ships them to workers,
+// which resolve them against their own compilation of the same spec. Load
+// travels as raw float bits so the wire never rounds it: two processes must
+// agree bit-for-bit on the job identity or they are not running the same
+// scenario.
+type Job struct {
+	// Workload is the workload's index in the spec.
+	Workload int `json:"w"`
+	// Machine is the node machine the replay runs on in cluster mode;
+	// empty means the workload's own emulation machine (eager mode).
+	Machine string `json:"machine,omitempty"`
+	// LoadBits is math.Float64bits of the effective background load.
+	LoadBits uint64 `json:"load_bits"`
+}
+
+// Load returns the job's effective load as a float64.
+func (j Job) Load() float64 { return math.Float64frombits(j.LoadBits) }
+
+// Outcome is the fold-relevant product of one replay job: everything the
+// report aggregation consumes, nothing else. It is the wire type of the
+// distributed worker protocol, chosen so that an outcome computed remotely
+// is bit-identical to one computed in process — durations are integer
+// nanoseconds and counters round-trip exactly through JSON — which is what
+// makes the merged report byte-identical to a single-process run.
+type Outcome struct {
+	// Tx is the instance's emulation (service) time.
+	Tx time.Duration `json:"tx"`
+	// Busy is the per-atom busy time, atoms with zero activity omitted.
+	Busy map[string]time.Duration `json:"busy,omitempty"`
+	// Consumed aggregates what the atoms consumed replaying the instance.
+	Consumed perfcount.Counters `json:"consumed"`
+}
+
+// outcomeOf condenses an emulator report into its fold-relevant outcome.
+func outcomeOf(r *emulator.Report) *Outcome {
+	o := &Outcome{Tx: r.Tx, Consumed: r.Consumed}
+	for _, a := range atomNames {
+		if b := r.BusyTime(a); b > 0 {
+			if o.Busy == nil {
+				o.Busy = make(map[string]time.Duration, len(atomNames))
+			}
+			o.Busy[a] = b
+		}
+	}
+	return o
+}
+
+// Executor resolves batches of replay jobs. Run calls it once with every
+// distinct job in eager (clusterless) mode, and once per scheduling instant
+// with that instant's fresh jobs in cluster mode. Outcomes come back in job
+// order. Implementations must be pure: the outcome of a job depends only on
+// the (spec, seed) pair both sides compiled, never on batching, timing or
+// which worker computed it — that invariance is the determinism contract
+// distributed execution is gated on.
+type Executor interface {
+	ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, error)
+}
+
+// localExecutor resolves jobs against this process's compiled run handles,
+// fanning the batch across the configured workers.
+type localExecutor struct {
+	c       *compiled
+	workers int
+}
+
+func (e localExecutor) ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, error) {
+	return exp.Fan(e.workers, len(jobs), nil, func(j int) (*Outcome, error) {
+		job := jobs[j]
+		if job.Workload < 0 || job.Workload >= len(e.c.wls) {
+			return nil, fmt.Errorf("scenario: job references workload %d of %d", job.Workload, len(e.c.wls))
+		}
+		ws := e.c.wls[job.Workload]
+		run := ws.run
+		if job.Machine != "" {
+			run = ws.runs[job.Machine]
+		}
+		if run == nil {
+			return nil, fmt.Errorf("scenario: workload %q has no emulation handle for machine %q",
+				ws.spec.Name, job.Machine)
+		}
+		rep, err := run.EmulateWithLoad(ctx, job.Load())
+		if err != nil {
+			return nil, err
+		}
+		return outcomeOf(rep), nil
+	})
+}
+
+// ResolveProfiles resolves every workload's profile reference through st,
+// in spec order — the same profile Run would pick (the newest match per
+// key). Distributed coordinators use it to ship the exact emulation inputs
+// to workers that have no store access of their own.
+func ResolveProfiles(ctx context.Context, spec *Spec, st store.Store) ([]*profile.Profile, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	profs := make([]*profile.Profile, len(spec.Workloads))
+	for i := range spec.Workloads {
+		w := &spec.Workloads[i]
+		set, err := store.FindCtx(ctx, st, w.Profile.Command, w.Profile.Tags)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: workload %q: resolve profile: %w", w.Name, err)
+		}
+		profs[i] = set[len(set)-1]
+	}
+	return profs, nil
+}
+
+// JobRunner is the worker side of distributed execution: one spec compiled
+// against a store, holding reusable emulation handles for every machine an
+// instance could land on, ready to execute any shard's jobs. A runner built
+// from the same (spec, profiles) on any host produces bit-identical
+// outcomes, so a coordinator may hand the same job to any worker — or to a
+// replacement after a failure — without perturbing the merged report.
+type JobRunner struct {
+	c       *compiled
+	workers int
+}
+
+// NewJobRunner compiles spec against st (profiles must already be present)
+// and returns a runner executing up to workers replays concurrently
+// (0 = GOMAXPROCS).
+func NewJobRunner(ctx context.Context, spec *Spec, st store.Store, workers int) (*JobRunner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("scenario: no store to resolve profiles from")
+	}
+	c, err := compile(ctx, spec, st, true)
+	if err != nil {
+		return nil, err
+	}
+	return &JobRunner{c: c, workers: workers}, nil
+}
+
+// Seed returns the compiled spec's seed — the root every shard key derives
+// from, echoed in the worker protocol's determinism handshake.
+func (r *JobRunner) Seed() uint64 { return r.c.spec.Seed }
+
+// ExecuteJobs implements Executor against the runner's compiled handles.
+func (r *JobRunner) ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, error) {
+	workers := r.workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	return localExecutor{c: r.c, workers: workers}.ExecuteJobs(ctx, jobs)
+}

@@ -42,23 +42,39 @@ func TestGoldenReports(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var got []byte
+			var got, gotCSV []byte
 			for _, workers := range workerCounts {
 				rep, err := Run(context.Background(), spec, st, RunOptions{Workers: workers})
 				if err != nil {
 					t.Fatalf("workers %d: %v", workers, err)
 				}
 				b := append(marshal(t, rep), '\n')
+				var csv []byte
+				if rep.Timeline != nil {
+					var buf bytes.Buffer
+					if err := rep.TimelineCSV(&buf); err != nil {
+						t.Fatalf("workers %d: timeline csv: %v", workers, err)
+					}
+					csv = buf.Bytes()
+				}
 				if got == nil {
-					got = b
+					got, gotCSV = b, csv
 				} else if !bytes.Equal(got, b) {
 					t.Fatalf("%d workers changed the report:\n%s\n---\n%s", workers, got, b)
+				} else if !bytes.Equal(gotCSV, csv) {
+					t.Fatalf("%d workers changed the timeline csv:\n%s\n---\n%s", workers, gotCSV, csv)
 				}
 			}
 			goldenPath := filepath.Join("testdata", name+".golden.json")
+			csvPath := filepath.Join("testdata", name+".timeline.golden.csv")
 			if *update {
 				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
 					t.Fatal(err)
+				}
+				if gotCSV != nil {
+					if err := os.WriteFile(csvPath, gotCSV, 0o644); err != nil {
+						t.Fatal(err)
+					}
 				}
 				return
 			}
@@ -68,6 +84,15 @@ func TestGoldenReports(t *testing.T) {
 			}
 			if !bytes.Equal(got, want) {
 				t.Errorf("report diverged from golden %s\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+			}
+			if gotCSV != nil {
+				wantCSV, err := os.ReadFile(csvPath)
+				if err != nil {
+					t.Fatalf("missing timeline golden (run with -update to create): %v", err)
+				}
+				if !bytes.Equal(gotCSV, wantCSV) {
+					t.Errorf("timeline diverged from golden %s\ngot:\n%s\nwant:\n%s", csvPath, gotCSV, wantCSV)
+				}
 			}
 		})
 	}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"synapse/internal/cluster"
-	"synapse/internal/emulator"
 	"synapse/internal/perfcount"
 	"synapse/internal/stats"
 )
@@ -173,8 +172,9 @@ func (r *reporter) Observe(t time.Duration, ev any) {
 
 // assemble folds the instance outcomes into the report, in spec order —
 // every sum runs in deterministic instance order, so reports are
-// byte-identical across runs and worker counts.
-func assemble(c *compiled, rp *reporter, reports []*emulator.Report) *Report {
+// byte-identical across runs, worker counts, and executors (outcomes are
+// keyed by instance, never by who computed them).
+func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
 	makespan := rp.makespan
 	rep := &Report{
 		Scenario:   c.spec.Name,
@@ -205,11 +205,11 @@ func assemble(c *compiled, rp *reporter, reports []*emulator.Report) *Report {
 			sojourn = append(sojourn, float64(in.done-in.arrival))
 			wait = append(wait, float64(in.start-in.arrival))
 			service = append(service, float64(in.tx))
-			r := reports[id]
+			o := outs[id]
 			for _, a := range atomNames {
-				busy[a] += r.BusyTime(a)
+				busy[a] += o.Busy[a]
 			}
-			wr.Consumed.Accumulate(&r.Consumed)
+			wr.Consumed.Accumulate(&o.Consumed)
 		}
 		if secs := makespan.Seconds(); secs > 0 {
 			wr.Throughput = float64(wr.Emulations) / secs

@@ -39,8 +39,6 @@ import (
 	"math"
 	"runtime"
 
-	"synapse/internal/emulator"
-	"synapse/internal/exp"
 	"synapse/internal/sim"
 	"synapse/internal/store"
 	"synapse/internal/telemetry"
@@ -51,6 +49,12 @@ type RunOptions struct {
 	// Workers bounds the parallel emulation fan-out; 0 uses GOMAXPROCS,
 	// 1 forces serial execution. The report is identical at any value.
 	Workers int
+	// Executor, when non-nil, resolves replay jobs instead of this
+	// process's emulation handles — the seam distributed execution plugs
+	// into (internal/dist). Run then skips building local run handles
+	// entirely; the executor owns the compute. Any conforming executor
+	// (see the Executor contract) leaves the report byte-identical.
+	Executor Executor
 	// Trace, when non-nil, receives the run as Chrome trace-event JSON
 	// (loadable in Perfetto / chrome://tracing): one async span per placed
 	// instance, queue/running counter series, node lifecycle instants. The
@@ -72,6 +76,23 @@ type jobKey struct {
 	load    uint64 // Float64bits of the (effective) load
 }
 
+// defaultWorkers is the fan-out Run and JobRunner use when none is set.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// checkOuts verifies an executor honored its contract shape-wise: one
+// non-nil outcome per job, in order.
+func checkOuts(jobs []Job, outs []*Outcome) error {
+	if len(outs) != len(jobs) {
+		return fmt.Errorf("scenario: executor returned %d outcomes for %d jobs", len(outs), len(jobs))
+	}
+	for i, o := range outs {
+		if o == nil {
+			return fmt.Errorf("scenario: executor returned nil outcome for job %d", i)
+		}
+	}
+	return nil
+}
+
 // Run executes the scenario: profiles resolve through st, every instance
 // emulates on the batched replay engine across opts.Workers goroutines, and
 // the discrete-event kernel plays out the virtual-time outcome.
@@ -84,12 +105,16 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
 
-	c, err := compile(ctx, spec, st)
+	exec := opts.Executor
+	c, err := compile(ctx, spec, st, exec == nil)
 	if err != nil {
 		return nil, err
+	}
+	if exec == nil {
+		exec = localExecutor{c: c, workers: workers}
 	}
 
 	// Execute. Without a cluster, emulation is eager: each (workload,
@@ -104,34 +129,34 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 	// folds in the host node's occupancy), so emulation is demand-driven:
 	// the scheduler resolves each instant's placements as a batch, fanned
 	// across the workers, memoized on (workload, node machine, load).
-	reports := make([]*emulator.Report, len(c.insts))
-	memo := make(map[jobKey]*emulator.Report)
+	outs := make([]*Outcome, len(c.insts))
+	memo := make(map[jobKey]*Outcome)
 	replays := 0
 	var resolve resolver
 	if c.cl == nil {
 		jobOf := make(map[jobKey]int, len(c.insts))
 		jobIdx := make([]int, len(c.insts))
-		var jobs []int // representative instance per distinct job, first-seen order
+		var jobs []Job // distinct jobs, first-seen order
 		for i, in := range c.insts {
 			k := jobKey{w: in.w, load: math.Float64bits(in.load)}
 			j, ok := jobOf[k]
 			if !ok {
 				j = len(jobs)
 				jobOf[k] = j
-				jobs = append(jobs, i)
+				jobs = append(jobs, Job{Workload: k.w, LoadBits: k.load})
 			}
 			jobIdx[i] = j
 		}
-		jobReports, err := exp.Fan(workers, len(jobs), nil, func(j int) (*emulator.Report, error) {
-			in := c.insts[jobs[j]]
-			return c.wls[in.w].run.EmulateWithLoad(ctx, in.load)
-		})
+		jobOuts, err := exec.ExecuteJobs(ctx, jobs)
 		if err != nil {
 			return nil, err
 		}
+		if err := checkOuts(jobs, jobOuts); err != nil {
+			return nil, err
+		}
 		for i := range c.insts {
-			reports[i] = jobReports[jobIdx[i]]
-			c.insts[i].tx = reports[i].Tx
+			outs[i] = jobOuts[jobIdx[i]]
+			c.insts[i].tx = outs[i].Tx
 		}
 		replays = len(jobs)
 	} else {
@@ -140,7 +165,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		}
 		resolve = func(placed []int) error {
 			var keys []jobKey
-			var reprs []*instance
+			var jobs []Job
 			for _, id := range placed {
 				in := c.insts[id]
 				k := key(in)
@@ -149,14 +174,14 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 				}
 				memo[k] = nil // claimed for this batch
 				keys = append(keys, k)
-				reprs = append(reprs, in)
+				jobs = append(jobs, Job{Workload: k.w, Machine: k.machine, LoadBits: k.load})
 			}
-			if len(keys) > 0 {
-				reps, err := exp.Fan(workers, len(keys), nil, func(j int) (*emulator.Report, error) {
-					in := reprs[j]
-					return c.wls[in.w].runs[c.cl.MachineName(in.node)].EmulateWithLoad(ctx, in.eff)
-				})
+			if len(jobs) > 0 {
+				reps, err := exec.ExecuteJobs(ctx, jobs)
 				if err != nil {
+					return err
+				}
+				if err := checkOuts(jobs, reps); err != nil {
 					return err
 				}
 				for j, k := range keys {
@@ -165,9 +190,9 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 			}
 			for _, id := range placed {
 				in := c.insts[id]
-				r := memo[key(in)]
-				reports[id] = r
-				in.tx = r.Tx
+				o := memo[key(in)]
+				outs[id] = o
+				in.tx = o.Tx
 			}
 			return nil
 		}
@@ -208,7 +233,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		prog.finish(rp.makespan)
 	}
 
-	rep := assemble(c, rp, reports)
+	rep := assemble(c, rp, outs)
 	if c.cl != nil {
 		replays = len(memo)
 		rep.Cluster = clusterReport(c.cl, s, rp.makespan)

@@ -15,6 +15,7 @@ import (
 	"synapse/internal/profile"
 	"synapse/internal/store"
 	"synapse/internal/store/storetest"
+	"synapse/internal/testutil"
 )
 
 // gatedStore wraps a Store and blocks reads until released, so tests can
@@ -311,6 +312,7 @@ func TestReadOnlyMode(t *testing.T) {
 // TestDrainingShedsNewRequests: once Shutdown begins, new data-path
 // requests are refused with 503/draining.
 func TestDrainingShedsNewRequests(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv := New(store.NewSharded(2), Config{})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

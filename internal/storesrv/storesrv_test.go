@@ -14,6 +14,7 @@ import (
 	"synapse/internal/profile"
 	"synapse/internal/store"
 	"synapse/internal/store/storetest"
+	"synapse/internal/testutil"
 )
 
 func newServer(t *testing.T) (*Server, *store.Sharded) {
@@ -327,6 +328,7 @@ func TestPprofMountOptional(t *testing.T) {
 }
 
 func TestStartAndShutdown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s, _ := newServer(t)
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,49 @@
+// Package testutil holds helpers shared by the service-layer test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack is how many goroutines above the baseline still count as
+// clean: the runtime (finalizer, timer scavenger) and net/http's idle
+// connection reaper start helpers lazily, so an exact comparison flakes.
+const leakSlack = 2
+
+// leakWait bounds how long the cleanup waits for goroutines to wind down:
+// drained servers and canceled clients exit asynchronously.
+const leakWait = 5 * time.Second
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to within a small
+// slack of the snapshot by shortly after the test body finishes. Call it
+// first thing in any test that boots servers, proxies or client pools —
+// it is the shared replacement for ad-hoc post-drain NumGoroutine
+// assertions, so every service suite applies the same leak discipline.
+//
+// The cleanup polls (goroutines exit asynchronously after a drain) and on
+// failure reports a full stack dump of what is still running.
+func CheckGoroutines(tb testing.TB) {
+	tb.Helper()
+	baseline := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		deadline := time.Now().Add(leakWait)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= baseline+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		tb.Errorf("goroutines leaked: baseline=%d now=%d (slack %d)\n%s",
+			baseline, now, leakSlack, buf[:n])
+	})
+}
