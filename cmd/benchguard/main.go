@@ -5,6 +5,7 @@
 //	benchguard -old BENCH_scenario.json -new fresh.json
 //	benchguard -old BENCH_placement.json -new fresh.json -metric emulations/s -max-drop 0.2
 //	benchguard -old BENCH_scenario.json -new fresh.json -alloc-metric allocs/op -max-rise 0.2
+//	benchguard -old BENCH_kernel.json -new fresh.json -metric ops/s -alloc-metric allocs/op -latency-metric p99-ns
 //
 // Both files are the raw `go test -json` stream (the format of the
 // committed snapshots and the CI artifacts). Every benchmark in -old that
@@ -15,6 +16,10 @@
 // lower-is-better gate (allocations per op must not rise beyond
 // -max-rise), so a hot path that starts boxing into the heap fails CI
 // even while it is still fast enough to pass the throughput gate.
+// -latency-metric adds a third gate of the same lower-is-better shape for
+// tail latency (e.g. the kernel suite's p99-ns), with its own tolerance
+// (-latency-max-rise): tail regressions hide inside healthy means, so the
+// throughput gate alone would not catch them.
 package main
 
 import (
@@ -49,6 +54,8 @@ func run(args []string) error {
 	maxDrop := fs.Float64("max-drop", 0.2, "largest tolerated fractional drop vs the baseline")
 	allocMetric := fs.String("alloc-metric", "", "additional lower-is-better metric to guard (e.g. allocs/op; empty disables)")
 	maxRise := fs.Float64("max-rise", 0.2, "largest tolerated fractional rise of -alloc-metric vs the baseline")
+	latencyMetric := fs.String("latency-metric", "", "additional lower-is-better tail-latency metric to guard (e.g. p99-ns; empty disables)")
+	latencyMaxRise := fs.Float64("latency-max-rise", 0.2, "largest tolerated fractional rise of -latency-metric vs the baseline")
 	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +72,9 @@ func run(args []string) error {
 	}
 	if *maxRise < 0 {
 		return fmt.Errorf("-max-rise %g must be >= 0", *maxRise)
+	}
+	if *latencyMaxRise < 0 {
+		return fmt.Errorf("-latency-max-rise %g must be >= 0", *latencyMaxRise)
 	}
 	olds, err := loadMetrics(*oldPath, *metric, false)
 	if err != nil {
@@ -93,12 +103,29 @@ func run(args []string) error {
 		}
 		failures = append(failures, gate(oldAllocs, newAllocs, *allocMetric, *maxRise, true, *newPath)...)
 	}
+	if *latencyMetric != "" {
+		oldLat, err := loadMetrics(*oldPath, *latencyMetric, true)
+		if err != nil {
+			return err
+		}
+		if len(oldLat) == 0 {
+			return fmt.Errorf("%s: no benchmarks report %q", *oldPath, *latencyMetric)
+		}
+		newLat, err := loadMetrics(*newPath, *latencyMetric, true)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, gate(oldLat, newLat, *latencyMetric, *latencyMaxRise, true, *newPath)...)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	fmt.Fprintf(stdout, "all %d benchmarks within %.0f%% of baseline\n", len(olds), 100**maxDrop)
 	if *allocMetric != "" {
 		fmt.Fprintf(stdout, "%s within %.0f%% rise everywhere\n", *allocMetric, 100**maxRise)
+	}
+	if *latencyMetric != "" {
+		fmt.Fprintf(stdout, "%s within %.0f%% rise everywhere\n", *latencyMetric, 100**latencyMaxRise)
 	}
 	return nil
 }

@@ -278,3 +278,69 @@ func TestParseMetric(t *testing.T) {
 		t.Fatal("line without the metric parsed")
 	}
 }
+
+// captureKernel renders a stream shaped like the BENCH_kernel.json suite:
+// result lines carrying ops/s, allocs/op and p99-ns together.
+func captureKernel(t *testing.T, path string, benches map[string][3]float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"p"}` + "\n")
+	for name, v := range benches {
+		line := fmt.Sprintf("    1000\\t  123 ns/op\\t  %.0f ops/s\\t %.2f p99-ns\\t 0 B/op\\t %.0f allocs/op", v[0], v[1], v[2])
+		fmt.Fprintf(&b, `{"Action":"output","Package":"p","Test":"%s","Output":"%s\n"}`+"\n", name, line)
+	}
+	b.WriteString(`{"Action":"pass","Package":"p"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyGateCatchesTailRise: throughput and allocs hold steady while
+// p99 climbs past the tolerance — the tail regression the other two gates
+// cannot see.
+func TestLatencyGateCatchesTailRise(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	captureKernel(t, old, map[string][3]float64{"BenchmarkKernelPostPop": {1000000, 100, 0}})
+	captureKernel(t, fresh, map[string][3]float64{"BenchmarkKernelPostPop": {1000000, 150, 0}}) // +50% p99
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh, "-metric", "ops/s",
+		"-alloc-metric", "allocs/op", "-latency-metric", "p99-ns"})
+	if err == nil || !strings.Contains(err.Error(), "p99-ns rose 50.0%") {
+		t.Fatalf("50%% p99 rise not caught: %v", err)
+	}
+	// Within its own tolerance passes, and the summary names the gate.
+	buf.Reset()
+	captureKernel(t, fresh, map[string][3]float64{"BenchmarkKernelPostPop": {1000000, 110, 0}})
+	err = run([]string{"-old", old, "-new", fresh, "-metric", "ops/s",
+		"-alloc-metric", "allocs/op", "-latency-metric", "p99-ns", "-latency-max-rise", "0.3"})
+	if err != nil {
+		t.Fatalf("10%% p99 rise rejected at 30%% tolerance: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "p99-ns within 30% rise") {
+		t.Fatalf("missing latency summary: %s", buf.String())
+	}
+}
+
+// TestLatencyGateRequiresMetric: pointing -latency-metric at a capture
+// without that metric is an error, not a vacuous pass; and a negative
+// tolerance is rejected.
+func TestLatencyGateRequiresMetric(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	capture(t, old, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	capture(t, fresh, map[string]float64{"BenchmarkScenarioThroughput": 100000})
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+	err := run([]string{"-old", old, "-new", fresh, "-metric", "emulations/s", "-latency-metric", "p99-ns"})
+	if err == nil || !strings.Contains(err.Error(), `no benchmarks report "p99-ns"`) {
+		t.Fatalf("metric-free latency baseline accepted: %v", err)
+	}
+	err = run([]string{"-old", old, "-new", fresh, "-latency-max-rise", "-1"})
+	if err == nil || !strings.Contains(err.Error(), "-latency-max-rise") {
+		t.Fatalf("negative latency tolerance accepted: %v", err)
+	}
+}

@@ -10,6 +10,8 @@
 //	synapse-sim -scenario failover.json -timeline series.csv
 //	synapse-sim -scenario failover.json -trace out.json -progress
 //	synapse-sim -scenario huge.json -workers-remote h1:9191,h2:9191 -shards 32
+//	synapse-sim -scenario mix.json -cpuprofile cpu.pprof
+//	synapse-sim -scenario huge.json -pprof 127.0.0.1:6060
 //
 // The -store flag accepts a local file-store directory or the URL of a
 // running synapsed daemon. -cluster attaches (or replaces) the spec's
@@ -30,6 +32,11 @@
 // and seed: same inputs, byte-identical -out file (and byte-identical
 // -trace file). See docs/scenarios.md for the spec format, including the
 // events block (node failures, drains, additions, autoscaling).
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the same
+// flags synapse-exp carries); -pprof serves net/http/pprof on the given
+// address for the run's duration, so long scenarios can be flame-graphed
+// live (see docs/profiling.md).
 package main
 
 import (
@@ -38,7 +45,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -73,6 +85,9 @@ func run(args []string) error {
 	progress := fs.Bool("progress", false, "paint a live progress meter (virtual time, arrivals/s, queue depth) on stderr")
 	workersRemote := fs.String("workers-remote", "", "comma-separated synapse-worker addresses (host:port or http://host:port); distributes emulation replays across the fleet")
 	shards := fs.Int("shards", 0, "shard count for -workers-remote (0 = 4x fleet size)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (host:port) for the run's duration")
 	version := fs.Bool("version", false, "print version and build information, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +98,38 @@ func run(args []string) error {
 	}
 	if *specPath == "" {
 		return fmt.Errorf("no -scenario file given")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synapse-sim: mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.WriteHeapProfile(f)
+		}()
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(os.Stderr, "synapse-sim: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	spec, err := scenario.Load(*specPath)
 	if err != nil {

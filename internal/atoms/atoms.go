@@ -395,6 +395,21 @@ func (a *SimNetwork) consume(req Request) Result {
 	}
 }
 
+// Reset clears the cross-sample surplus, restoring the just-built state.
+func (a *SimCompute) Reset() { a.surplus = 0 }
+
+// ResetSim restores a simulated atom set to its just-built state, so a
+// pooled set replays as if freshly constructed. Only the compute atom
+// carries cross-sample state (its chunk-overshoot surplus); the other
+// simulated atoms are pure functions of their config.
+func ResetSim(set []Atom) {
+	for _, a := range set {
+		if c, ok := a.(*SimCompute); ok {
+			c.Reset()
+		}
+	}
+}
+
 // NewSimSet builds the full simulated atom set for a configuration.
 func NewSimSet(cfg *Config) ([]Atom, error) {
 	if err := cfg.Validate(); err != nil {

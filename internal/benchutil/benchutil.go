@@ -1,0 +1,63 @@
+// Package benchutil reports the shared custom metrics of the
+// BenchmarkKernel* micro-benchmark suite: every bench in the suite emits
+// ops/s (primary, higher is better) and p99-ns (chunked tail latency,
+// lower is better) next to testing's built-in allocs/op, so a single
+// benchguard invocation gates throughput, allocation and tail latency for
+// the whole suite against the committed BENCH_kernel.json snapshot.
+package benchutil
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"synapse/internal/stats"
+)
+
+// Recorder samples per-op latency in fixed-size chunks: timing every op
+// individually would cost more than the ops under test (a kernel post/pop
+// is tens of nanoseconds), so the recorder times whole chunks and keeps
+// the chunk's mean ns/op as one sample. The p99 over those samples is a
+// stable tail proxy that still catches the regressions the gate is for —
+// a slow path growing onto the hot path shifts every chunk it lands in.
+type Recorder struct {
+	chunk   int
+	ops     int
+	last    time.Time
+	samples []float64 // mean ns/op per chunk; first chunk is warm-up
+}
+
+// NewRecorder returns a recorder that samples every chunk ops.
+func NewRecorder(chunk int) *Recorder {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Recorder{chunk: chunk, samples: make([]float64, 0, 1024)}
+}
+
+// Tick records one completed op. Call it once per iteration of the
+// benchmark loop.
+func (r *Recorder) Tick() {
+	r.ops++
+	if r.ops < r.chunk {
+		return
+	}
+	now := time.Now()
+	if !r.last.IsZero() {
+		r.samples = append(r.samples, float64(now.Sub(r.last).Nanoseconds())/float64(r.chunk))
+	}
+	r.last = now
+	r.ops = 0
+}
+
+// Report emits the suite's custom metrics: ops/s over the benchmark's
+// whole timed window and the p99 of the chunked latency samples.
+func (r *Recorder) Report(b *testing.B) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "ops/s")
+	}
+	if len(r.samples) > 0 {
+		sort.Float64s(r.samples)
+		b.ReportMetric(stats.SortedPercentile(r.samples, 99), "p99-ns")
+	}
+}

@@ -210,7 +210,10 @@ type Cluster struct {
 	nodes      []*node
 	inline     map[string]*machine.Model
 	seen       map[string]bool
-	rng        *stats.RNG
+	rng        *stats.Batch
+	// feas backs the random policy's feasible-set scan: one buffer reused
+	// across Place calls, so the steady state never allocates.
+	feas []int
 
 	placements int
 	rejections int
@@ -240,7 +243,11 @@ func New(s *Spec, rng *stats.RNG) (*Cluster, error) {
 		contention: s.Contention,
 		inline:     inline,
 		seen:       map[string]bool{},
-		rng:        rng,
+	}
+	if rng != nil {
+		// Draws batch through stats.Batch: the served sequence is exactly
+		// the generator's, so seeded placement streams are unchanged.
+		c.rng = stats.NewBatch(rng)
 	}
 	for i := range s.Nodes {
 		if _, err := c.AddNodes(s.Nodes[i]); err != nil {
@@ -387,12 +394,13 @@ func (c *Cluster) Place(r Request) (idx int, occ float64, ok bool) {
 			}
 		}
 	case PolicyRandom:
-		var feas []int
+		feas := c.feas[:0]
 		for i, n := range c.nodes {
 			if n.feasible(r) {
 				feas = append(feas, i)
 			}
 		}
+		c.feas = feas
 		if len(feas) > 0 {
 			best = feas[c.rng.Intn(len(feas))]
 		}

@@ -299,8 +299,10 @@ const replayBatchSize = 1024
 // whole run of samples through its ConsumeBatch fast path. All buffers are
 // preallocated; per sample it performs no map lookups, no interface
 // dispatch, and (at TraceNone/TraceDurations) no allocations. The produced
-// report is bit-identical to replaySerial's.
-func replayBatched(ctx context.Context, set []atoms.Atom, p *profile.Profile, cfg *atoms.Config, level TraceLevel, overhead time.Duration, clk clock.Clock, rep *Report) (time.Duration, error) {
+// report is bit-identical to replaySerial's. A non-nil sc (whose set is
+// the set argument) lends its staging buffers, so pooled replays do not
+// reallocate them; a nil sc allocates per call.
+func replayBatched(ctx context.Context, set []atoms.Atom, p *profile.Profile, cfg *atoms.Config, level TraceLevel, overhead time.Duration, clk clock.Clock, rep *Report, sc *replayScratch) (time.Duration, error) {
 	cols := p.Columns()
 	n := cols.N
 	if n == 0 {
@@ -314,12 +316,33 @@ func replayBatched(ctx context.Context, set []atoms.Atom, p *profile.Profile, cf
 	if n < bs {
 		bs = n
 	}
-	reqs := make([]atoms.Request, bs)
-	results := make([]atoms.Result, len(set)*bs)
-	busy := make([]time.Duration, len(set))
-	names := make([]string, len(set))
-	for ai, a := range set {
-		names[ai] = a.Name()
+	var reqs []atoms.Request
+	var results []atoms.Result
+	var busy []time.Duration
+	var names []string
+	if sc != nil {
+		if cap(sc.reqs) < bs {
+			sc.reqs = make([]atoms.Request, bs)
+			sc.results = make([]atoms.Result, len(set)*bs)
+		}
+		if cap(sc.busy) < len(set) {
+			sc.busy = make([]time.Duration, len(set))
+		}
+		reqs = sc.reqs[:bs]
+		results = sc.results[:len(set)*bs]
+		busy = sc.busy[:len(set)]
+		for ai := range busy {
+			busy[ai] = 0
+		}
+		names = sc.names
+	} else {
+		reqs = make([]atoms.Request, bs)
+		results = make([]atoms.Result, len(set)*bs)
+		busy = make([]time.Duration, len(set))
+		names = make([]string, len(set))
+		for ai, a := range set {
+			names[ai] = a.Name()
+		}
 	}
 
 	// Span storage for the full trace is carved out of one growing arena;

@@ -3,6 +3,7 @@ package emulator
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"synapse/internal/atoms"
@@ -28,6 +29,10 @@ type Run struct {
 	// applied, parallel worker-pool setup folded into startup).
 	startup  time.Duration
 	overhead time.Duration
+	// pool recycles replayScratch values across simulated replays (see
+	// emulateSim). Per-Run, so every pooled scratch shares the handle's
+	// machine, kernel and filesystem — only the per-replay load varies.
+	pool sync.Pool
 }
 
 // NewRun validates the profile and options and returns a reusable handle.
@@ -79,9 +84,96 @@ func (r *Run) EmulateWithLoad(ctx context.Context, load float64) (*Report, error
 	return r.emulate(ctx, cfg)
 }
 
+// scratchEpoch is the simulated clock's fixed start time.
+var scratchEpoch = time.Unix(0, 0).UTC()
+
+// replayScratch is one simulated replay's working set: the atom set (built
+// against the scratch's own config copy), the auto-advancing clock, and
+// the batched loop's staging buffers. Recycling it turns the per-replay
+// cost — four atoms, a clock, four slices — into a pool hit.
+type replayScratch struct {
+	cfg     atoms.Config
+	set     []atoms.Atom
+	names   []string
+	clk     clock.AutoSim
+	reqs    []atoms.Request
+	results []atoms.Result
+	busy    []time.Duration
+}
+
+// acquire returns a replay-ready scratch for cfg: recycled from the pool
+// when one is free (atoms reset, clock rewound, the new per-replay config
+// written through the pointer the atoms hold), freshly built otherwise.
+func (r *Run) acquire(cfg atoms.Config) (*replayScratch, error) {
+	if sc, _ := r.pool.Get().(*replayScratch); sc != nil {
+		// The atoms read *&sc.cfg at consume time and their precomputed
+		// kernel/filesystem tables depend only on fields the per-Run pool
+		// keeps constant, so overwriting the config in place retargets
+		// them to this replay's load.
+		sc.cfg = cfg
+		atoms.ResetSim(sc.set)
+		sc.clk.Reset(scratchEpoch)
+		return sc, nil
+	}
+	sc := &replayScratch{cfg: cfg}
+	set, err := atoms.NewSimSet(&sc.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.set = filterAtoms(set, r.opts)
+	sc.names = make([]string, len(sc.set))
+	for i, a := range sc.set {
+		sc.names[i] = a.Name()
+	}
+	sc.clk = clock.NewAutoSim(scratchEpoch)
+	return sc, nil
+}
+
+// emulateSim is the simulated replay with an unpinned clock — the scenario
+// engine's high-volume path. Nothing about it is observable outside the
+// report (the clock starts at a fixed epoch and Tx is assembled from
+// modeled parts), so the whole working set comes from the per-Run pool and
+// the steady state allocates only the report itself.
+func (r *Run) emulateSim(ctx context.Context, cfg atoms.Config) (*Report, error) {
+	sc, err := r.acquire(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.pool.Put(sc)
+
+	if r.startup > 0 {
+		sc.clk.Sleep(r.startup)
+	}
+	rep := &Report{
+		Machine: sc.cfg.Machine.Name,
+		Kernel:  sc.cfg.Kernel,
+		Startup: r.startup,
+		busy:    make(map[string]time.Duration, len(sc.set)),
+	}
+	if rep.Kernel == "" {
+		rep.Kernel = machine.KernelASM
+	}
+	var total time.Duration
+	if r.opts.Serial {
+		total, err = replaySerial(ctx, sc.set, r.p, &sc.cfg, r.opts.TraceLevel, r.overhead, sc.clk, rep)
+	} else {
+		total, err = replayBatched(ctx, sc.set, r.p, &sc.cfg, r.opts.TraceLevel, r.overhead, sc.clk, rep, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Simulated clocks advance exactly by slept time; assemble Tx from
+	// parts to avoid clock granularity concerns.
+	rep.Tx = r.startup + total
+	return rep, nil
+}
+
 // emulate is one replay: fresh atom set, fresh clock (unless the options
 // pinned one), then the batched / serial / real replay loop.
 func (r *Run) emulate(ctx context.Context, cfg atoms.Config) (*Report, error) {
+	if !r.opts.Real && r.opts.Clock == nil {
+		return r.emulateSim(ctx, cfg)
+	}
 	var set []atoms.Atom
 	var err error
 	if r.opts.Real {
@@ -96,11 +188,7 @@ func (r *Run) emulate(ctx context.Context, cfg atoms.Config) (*Report, error) {
 
 	clk := r.opts.Clock
 	if clk == nil {
-		if r.opts.Real {
-			clk = clock.NewReal()
-		} else {
-			clk = clock.NewAutoSim(time.Unix(0, 0).UTC())
-		}
+		clk = clock.NewReal()
 	}
 
 	start := clk.Now()
@@ -128,7 +216,7 @@ func (r *Run) emulate(ctx context.Context, cfg atoms.Config) (*Report, error) {
 	case r.opts.Serial:
 		total, err = replaySerial(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, clk, rep)
 	default:
-		total, err = replayBatched(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, clk, rep)
+		total, err = replayBatched(ctx, set, r.p, &cfg, r.opts.TraceLevel, r.overhead, clk, rep, nil)
 	}
 	if err != nil {
 		return nil, err

@@ -169,10 +169,24 @@ func compile(ctx context.Context, spec *Spec, st store.Store, buildRuns bool) (*
 	}
 
 	// Enumerate: draw every workload's instances (arrival times for open
-	// loops, per-instance load) from its seeded named stream.
+	// loops, per-instance load) from its seeded named stream. Instances
+	// live in chunked arenas — pointers into a chunk stay valid because a
+	// full chunk is retired, never regrown — so a million-instance mix
+	// costs thousands of allocations instead of one per instance. The
+	// batched reader serves the stream's exact draw sequence, so the
+	// enumeration stays bit-identical to per-draw RNG calls.
+	var chunk []instance
+	alloc := func(in instance) *instance {
+		if len(chunk) == cap(chunk) {
+			chunk = make([]instance, 0, instChunk)
+		}
+		chunk = append(chunk, in)
+		return &chunk[len(chunk)-1]
+	}
 	for i, ws := range c.wls {
-		rng := stats.NewRNG(sim.Stream(spec.Seed, "workload/"+ws.spec.Name))
-		ws.enumerate(spec, i, rng, func(in *instance) {
+		rng := stats.NewBatch(stats.NewRNG(sim.Stream(spec.Seed, "workload/"+ws.spec.Name)))
+		ws.enumerate(spec, i, rng, func(v instance) {
+			in := alloc(v)
 			in.idx = len(ws.insts)
 			in.node = -1
 			ws.insts = append(ws.insts, len(c.insts))
@@ -181,6 +195,10 @@ func compile(ctx context.Context, spec *Spec, st store.Store, buildRuns bool) (*
 	}
 	return c, nil
 }
+
+// instChunk is the instance-arena chunk capacity: large enough that arena
+// bookkeeping is noise, small enough that a tiny mix doesn't overcommit.
+const instChunk = 1024
 
 // eventMachine resolves one event node template's machine, recording its
 // model for emulation-handle construction and its capacity shape for the
@@ -247,7 +265,7 @@ func (w *Workload) emulateOptions(machineName string) core.EmulateOptions {
 // iterations for the closed loop, arrival order for open loops. Open-loop
 // arrivals past the scenario horizon are dropped here; closed-loop chains
 // are cut by the scheduler when a completion lands past the horizon.
-func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.RNG, emit func(*instance)) {
+func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.Batch, emit func(instance)) {
 	a := &ws.spec.Arrival
 	horizon := spec.Duration.D()
 	jitter := func() float64 {
@@ -263,7 +281,7 @@ func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.RNG, emit func(
 	case ArrivalClosed:
 		for c := 0; c < a.Clients; c++ {
 			for k := 0; k < a.Iterations; k++ {
-				emit(&instance{w: w, iter: k, load: jitter()})
+				emit(instance{w: w, iter: k, load: jitter()})
 			}
 		}
 	case ArrivalConstant, ArrivalPoisson:
@@ -284,7 +302,7 @@ func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.RNG, emit func(
 				}
 				return
 			}
-			emit(&instance{w: w, arrival: t, load: jitter()})
+			emit(instance{w: w, arrival: t, load: jitter()})
 		}
 	case ArrivalBurst:
 		for b := 0; a.Bursts == 0 || b < a.Bursts; b++ {
@@ -296,7 +314,7 @@ func (ws *workloadState) enumerate(spec *Spec, w int, rng *stats.RNG, emit func(
 				return
 			}
 			for j := 0; j < a.Burst; j++ {
-				emit(&instance{w: w, arrival: t, load: jitter()})
+				emit(instance{w: w, arrival: t, load: jitter()})
 			}
 		}
 	}

@@ -132,7 +132,7 @@ type LatencySummary struct {
 }
 
 // atomNames are the emulation atoms a report can break busy time down by.
-var atomNames = []string{"compute", "memory", "network", "storage"}
+var atomNames = [...]string{"compute", "memory", "network", "storage"}
 
 // reporter is the aggregation sink: it folds the scheduler's event stream
 // into the counters the report is built from. Order-sensitive aggregation
@@ -186,7 +186,13 @@ func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
 	if secs := makespan.Seconds(); secs > 0 {
 		rep.Throughput = float64(rp.completed) / secs
 	}
-	var allSojourn []float64
+	allSojourn := make([]float64, 0, len(c.insts))
+	rep.Workloads = make([]WorkloadReport, 0, len(c.wls))
+	// One scratch sample buffer, partitioned per workload: sojourn, wait
+	// and service slices carve consecutive windows out of it, so the fold
+	// costs three slice headers per workload instead of three growing
+	// allocations per workload.
+	scratch := make([]float64, 3*len(c.insts))
 	for w, ws := range c.wls {
 		wr := WorkloadReport{
 			Name:    ws.spec.Name,
@@ -194,8 +200,14 @@ func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
 			Dropped: ws.dropped,
 			Killed:  rp.wkilled[w],
 		}
-		var sojourn, wait, service []float64
-		busy := make(map[string]time.Duration, len(atomNames))
+		n := len(ws.insts)
+		sojourn := scratch[:0:n]
+		wait := scratch[n : n : 2*n]
+		service := scratch[2*n : 2*n : 3*n]
+		// busy is indexed like atomNames; the map an earlier version built
+		// here was one allocation (plus hashing) per workload for four
+		// fixed keys.
+		var busy [len(atomNames)]time.Duration
 		for _, id := range ws.insts {
 			in := c.insts[id]
 			if !in.ran {
@@ -206,26 +218,29 @@ func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
 			wait = append(wait, float64(in.start-in.arrival))
 			service = append(service, float64(in.tx))
 			o := outs[id]
-			for _, a := range atomNames {
-				busy[a] += o.Busy[a]
+			for ai, a := range atomNames {
+				busy[ai] += o.Busy[a]
 			}
 			wr.Consumed.Accumulate(&o.Consumed)
 		}
 		if secs := makespan.Seconds(); secs > 0 {
 			wr.Throughput = float64(wr.Emulations) / secs
 		}
+		// Fold the workload's sojourns into the overall sample before
+		// summarize sorts them in place: the overall mean's summation
+		// order (instance order) is part of the byte-identity contract.
+		allSojourn = append(allSojourn, sojourn...)
 		wr.Latency = summarize(sojourn)
 		wr.Wait = summarize(wait)
 		wr.Service = summarize(service)
-		for _, a := range atomNames {
-			if busy[a] > 0 {
-				wr.BusyTime = append(wr.BusyTime, AtomBusy{Atom: a, Busy: Duration(busy[a])})
+		for ai, a := range atomNames {
+			if busy[ai] > 0 {
+				wr.BusyTime = append(wr.BusyTime, AtomBusy{Atom: a, Busy: Duration(busy[ai])})
 			}
 		}
 		sort.Slice(wr.BusyTime, func(i, j int) bool { return wr.BusyTime[i].Atom < wr.BusyTime[j].Atom })
 		rep.Dropped += ws.dropped
 		rep.Workloads = append(rep.Workloads, wr)
-		allSojourn = append(allSojourn, sojourn...)
 	}
 	rep.Latency = summarize(allSojourn)
 	return rep
@@ -263,23 +278,22 @@ func clusterReport(cl *cluster.Cluster, s *sched, makespan time.Duration) *Clust
 }
 
 // summarize condenses a duration sample (in float64 nanoseconds) into the
-// report's latency summary.
+// report's latency summary. It sorts xs in place — one sort serves all
+// three percentiles, where stats.Percentile would copy and re-sort the
+// sample per percentile — so callers that need the original order must
+// fold it out first. Mean and Max read the sample before the sort: the
+// mean's float summation order is part of the byte-identity contract.
 func summarize(xs []float64) LatencySummary {
 	if len(xs) == 0 {
 		return LatencySummary{}
 	}
-	pct := func(p float64) Duration {
-		v, err := stats.Percentile(xs, p)
-		if err != nil {
-			return 0
-		}
-		return Duration(v)
-	}
-	return LatencySummary{
+	s := LatencySummary{
 		Mean: Duration(stats.Mean(xs)),
-		P50:  pct(50),
-		P90:  pct(90),
-		P99:  pct(99),
 		Max:  Duration(stats.Max(xs)),
 	}
+	sort.Float64s(xs)
+	s.P50 = Duration(stats.SortedPercentile(xs, 50))
+	s.P90 = Duration(stats.SortedPercentile(xs, 90))
+	s.P99 = Duration(stats.SortedPercentile(xs, 99))
+	return s
 }

@@ -114,6 +114,17 @@ type sched struct {
 	scrDropped   evDropped
 	scrNode      evNode
 
+	// Pre-bound kernel handlers, created once in newSched: posting an
+	// arrival or completion then costs no closure allocation — the
+	// instance id (and generation) travel inline in the heap entry.
+	hArrive    sim.Handler // a = instance id
+	hComplete  sim.Handler // a = instance id, b = generation
+	hEvent     sim.Handler // a = timeline event index
+	hAutoscale sim.Handler // a = the check's virtual time in ns
+
+	// placedBuf backs admit's result: one buffer reused every instant.
+	placedBuf []int
+
 	err error
 }
 
@@ -144,7 +155,7 @@ func (s *sched) emitDropped(w, n int, queued bool) {
 
 // newSched wires a compiled scenario onto a kernel.
 func newSched(k *sim.Kernel, c *compiled, resolve resolver) *sched {
-	return &sched{
+	s := &sched{
 		k:        k,
 		spec:     c.spec,
 		wls:      c.wls,
@@ -161,6 +172,13 @@ func newSched(k *sim.Kernel, c *compiled, resolve resolver) *sched {
 
 		outstanding: len(c.insts),
 	}
+	// Bind the kernel handlers once; every post after this is
+	// allocation-free (the ids travel inline in the heap entries).
+	s.hArrive = func(a, _ int64) { s.arrive(int(a)) }
+	s.hComplete = func(a, b int64) { s.complete(int(a), int(b)) }
+	s.hEvent = func(a, _ int64) { s.applyEvent(&s.spec.Events.Timeline[a]) }
+	s.hAutoscale = func(a, _ int64) { s.autoscale(time.Duration(a)) }
+	return s
 }
 
 // run seeds the timeline and drains it. It returns the first resolver (or
@@ -168,6 +186,14 @@ func newSched(k *sim.Kernel, c *compiled, resolve resolver) *sched {
 // up — possible only when events shrank the pool for good — is counted
 // dropped, chains included.
 func (s *sched) run() error {
+	// Pre-size the event arena: at most one pending arrival per instance
+	// plus the event timeline and one autoscale check coexist in the heap,
+	// so the steady state never grows it.
+	events := 0
+	if ev := s.spec.Events; ev != nil {
+		events = len(ev.Timeline) + 1
+	}
+	s.k.Reserve(len(s.insts) + events + 1)
 	// Seed the timeline: open-loop arrivals are known; every closed-loop
 	// client's first iteration arrives at t=0.
 	for _, ws := range s.wls {
@@ -175,24 +201,22 @@ func (s *sched) run() error {
 			iters := ws.spec.Arrival.Iterations
 			for c := 0; c < ws.spec.Arrival.Clients; c++ {
 				id := ws.insts[c*iters]
-				s.k.Post(0, prioArrive, func() { s.arrive(id) })
+				s.k.PostHandler(0, prioArrive, s.hArrive, int64(id), 0)
 			}
 		} else {
 			for _, id := range ws.insts {
-				id := id
-				s.k.Post(s.insts[id].arrival, prioArrive, func() { s.arrive(id) })
+				s.k.PostHandler(s.insts[id].arrival, prioArrive, s.hArrive, int64(id), 0)
 			}
 		}
 	}
 	// The event timeline and the autoscaler's first check.
 	if ev := s.spec.Events; ev != nil {
 		for i := range ev.Timeline {
-			e := &ev.Timeline[i]
-			s.k.Post(e.At.D(), prioEvent, func() { s.applyEvent(e) })
+			s.k.PostHandler(ev.Timeline[i].At.D(), prioEvent, s.hEvent, int64(i), 0)
 		}
 		if a := ev.Autoscale; a != nil {
 			t := a.CheckEvery.D()
-			s.k.Post(t, prioAutoscale, func() { s.autoscale(t) })
+			s.k.PostHandler(t, prioAutoscale, s.hAutoscale, int64(t), 0)
 		}
 	}
 
@@ -247,7 +271,7 @@ func (s *sched) complete(id, gen int) {
 			s.emitDropped(in.w, n, false)
 		} else {
 			next := ws.insts[in.idx+1]
-			s.k.Post(now, prioArrive, func() { s.arrive(next) })
+			s.k.PostHandler(now, prioArrive, s.hArrive, int64(next), 0)
 		}
 	}
 }
@@ -361,7 +385,7 @@ func (s *sched) autoscale(t time.Duration) {
 	s.lastAuto = snap
 	if s.outstanding > 0 && !stuck {
 		next := t + a.CheckEvery.D()
-		s.k.Post(next, prioAutoscale, func() { s.autoscale(next) })
+		s.k.PostHandler(next, prioAutoscale, s.hAutoscale, int64(next), 0)
 	}
 }
 
@@ -453,9 +477,7 @@ func (s *sched) instant() {
 		}
 		s.emitStarted(in.w, in.node, cores, id)
 		in.done = now + in.tx
-		gen := in.gen
-		id := id
-		s.k.Post(in.done, prioComplete, func() { s.complete(id, gen) })
+		s.k.PostHandler(in.done, prioComplete, s.hComplete, int64(id), int64(in.gen))
 	}
 }
 
@@ -466,7 +488,7 @@ func (s *sched) instant() {
 // it.
 func (s *sched) admit() []int {
 	now := s.k.Now()
-	var placed []int
+	placed := s.placedBuf[:0]
 	if s.cl != nil {
 		for w := range s.blocked {
 			s.blocked[w] = false
@@ -514,6 +536,7 @@ func (s *sched) admit() []int {
 		s.heads[in.w]++
 		placed = append(placed, best)
 	}
+	s.placedBuf = placed
 	return placed
 }
 

@@ -11,8 +11,13 @@ import (
 
 // maxTimelineBuckets bounds the time-series size: a bucket width that
 // slices the run into more than this many buckets is a spec mistake, not
-// a workable resolution, and would otherwise balloon the report.
-const maxTimelineBuckets = 1 << 20
+// a workable resolution, and would otherwise balloon the report. A var
+// (not a const) only so the boundary test can lower it instead of
+// materializing a million real buckets.
+var maxTimelineBuckets int64 = 1 << 20
+
+// tlChunk is the bucket-arena chunk capacity (see at).
+const tlChunk = 256
 
 // Timeline is the report's bucketed time-series view: what the end-of-run
 // aggregates average away — when throughput dipped, how deep queues got,
@@ -72,7 +77,11 @@ type timelineSink struct {
 	wls    int
 	cl     *cluster.Cluster
 
-	buckets  []*tlBucket
+	buckets []*tlBucket
+	// arena backs the buckets in chunks: pointers into a chunk stay valid
+	// because a full chunk is retired, never regrown, so materializing a
+	// bucket is bookkeeping, not a per-bucket heap box.
+	arena    []tlBucket
 	depth    int   // current global queue depth
 	wdepth   []int // current per-workload queue depth
 	nodeUsed []int // cores currently in use per node
@@ -93,23 +102,37 @@ func newTimelineSink(bucket time.Duration, workloads int, cl *cluster.Cluster) *
 	return s
 }
 
+// bucketIndex returns the index of the bucket covering t, in int64: a
+// long horizon over a tiny bucket yields quotients past 2^31, which an
+// int conversion would truncate on 32-bit platforms before the
+// maxTimelineBuckets guard could reject them.
+func (s *timelineSink) bucketIndex(t time.Duration) int64 {
+	if s.bucket <= 0 {
+		return 0
+	}
+	return int64(t) / int64(s.bucket)
+}
+
 // at returns the bucket covering t, materializing it (and carrying queue
 // depths across any skipped buckets) on first touch.
 func (s *timelineSink) at(t time.Duration) *tlBucket {
-	idx := 0
-	if s.bucket > 0 {
-		idx = int(t / s.bucket)
-	}
+	idx := s.bucketIndex(t)
 	if idx >= maxTimelineBuckets {
 		s.overflow = true
 		idx = maxTimelineBuckets - 1
 	}
-	for len(s.buckets) <= idx {
-		b := &tlBucket{
-			queuePeak:    s.depth,
-			wCompletions: make([]int, s.wls),
-			wQueuePeak:   make([]int, s.wls),
+	for int64(len(s.buckets)) <= idx {
+		if len(s.arena) == cap(s.arena) {
+			s.arena = make([]tlBucket, 0, tlChunk)
 		}
+		// One slab serves both per-workload series.
+		ww := make([]int, 2*s.wls)
+		s.arena = append(s.arena, tlBucket{
+			queuePeak:    s.depth,
+			wCompletions: ww[:s.wls:s.wls],
+			wQueuePeak:   ww[s.wls:],
+		})
+		b := &s.arena[len(s.arena)-1]
 		copy(b.wQueuePeak, s.wdepth)
 		s.buckets = append(s.buckets, b)
 	}
@@ -125,14 +148,22 @@ func (s *timelineSink) integrate(node int, t time.Duration) {
 	}
 	used := s.nodeUsed[node]
 	last := s.nodeLast[node]
+	if t <= last {
+		// Out-of-order observation: the span up to last is already
+		// charged. Rewinding nodeLast here would re-charge [t, last] on
+		// the next forward span — double-counted busy core-seconds.
+		return
+	}
 	s.nodeLast[node] = t
-	if used == 0 || t <= last {
+	if used == 0 {
 		return
 	}
 	for last < t {
 		b := s.at(last)
-		end := (time.Duration(int(last/s.bucket)) + 1) * s.bucket
-		if s.overflow || end > t {
+		end := time.Duration(s.bucketIndex(last)+1) * s.bucket
+		// end <= last catches the (idx+1)*bucket multiply wrapping
+		// negative near the top of the int64 range.
+		if s.overflow || end > t || end <= last {
 			end = t
 		}
 		if len(b.nodeBusy) < len(s.nodeUsed) {
@@ -212,7 +243,7 @@ func (s *timelineSink) finalize(makespan time.Duration, wls []*workloadState) (*
 	for node := range s.nodeUsed {
 		s.integrate(node, end)
 	}
-	n := int(end/s.bucket) + 1
+	n := int(s.bucketIndex(end)) + 1
 	if end == 0 {
 		n = 1
 	}

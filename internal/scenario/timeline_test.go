@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// busySum folds one node's charged core-seconds across every materialized
+// bucket.
+func busySum(s *timelineSink, node int) float64 {
+	var total float64
+	for _, b := range s.buckets {
+		if node < len(b.nodeBusy) {
+			total += b.nodeBusy[node]
+		}
+	}
+	return total
+}
+
+// TestIntegrateRewindConservation feeds the sink an out-of-order node
+// observation and asserts busy-time conservation: a rewound timestamp
+// must not re-charge the span that was already integrated. The earlier
+// implementation rewound nodeLast unconditionally, double-counting the
+// [t, last] core-seconds on the next forward span.
+func TestIntegrateRewindConservation(t *testing.T) {
+	s := newTimelineSink(time.Second, 1, nil)
+	s.integrate(0, 0) // track node 0 from t=0
+	s.nodeUsed[0] = 2
+
+	s.integrate(0, 10*time.Second) // charges [0, 10] × 2 = 20 core-seconds
+	s.integrate(0, 4*time.Second)  // out of order: must be a no-op
+	s.integrate(0, 12*time.Second) // charges [10, 12] × 2 = 4 core-seconds
+
+	want := 24.0
+	if got := busySum(s, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("busy core-seconds = %g, want %g (rewound observation double-counted)", got, want)
+	}
+	if last := s.nodeLast[0]; last != 12*time.Second {
+		t.Fatalf("nodeLast = %v, want 12s", last)
+	}
+}
+
+// TestIntegrateRewindThroughObserve drives the same conservation check
+// through the public Observe path: a kill event carrying an older
+// timestamp than the node's last observation must not inflate occupancy.
+func TestIntegrateRewindThroughObserve(t *testing.T) {
+	s := newTimelineSink(time.Second, 1, nil)
+	s.Observe(0, &evNode{node: 0, cores: 4, state: "up"})
+	s.Observe(0, &evStarted{w: 0, node: 0, cores: 2, id: 0})
+	s.Observe(6*time.Second, &evCompleted{w: 0, node: 0, cores: 2, id: 0})
+	// An out-of-order kill observation: integrate must ignore the rewind
+	// (the span up to 6s is already charged) and only the still-running
+	// cores — none — accrue afterwards.
+	s.Observe(2*time.Second, &evKilled{w: 0, node: 0, cores: 0, id: 1})
+	s.Observe(9*time.Second, &evNode{node: 0, cores: 4, state: "up"})
+
+	want := 12.0 // 2 cores × 6 s; nothing ran after the completion
+	if got := busySum(s, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("busy core-seconds = %g, want %g", got, want)
+	}
+}
+
+// TestBucketIndexGuardBoundary exercises the 2^20-bucket guard with int64
+// index math: an instant far past the guard must clamp into the last
+// bucket (and flag overflow) instead of truncating the index on 32-bit
+// ints or materializing a million buckets. maxTimelineBuckets is a var
+// precisely so this test can lower it.
+func TestBucketIndexGuardBoundary(t *testing.T) {
+	defer func(old int64) { maxTimelineBuckets = old }(maxTimelineBuckets)
+	maxTimelineBuckets = 64
+
+	s := newTimelineSink(time.Nanosecond, 1, nil)
+	// The quotient t/bucket here is ~9.2e18 — far past any int32, and
+	// past the guard; at() must clamp, not index out of range.
+	s.at(time.Duration(math.MaxInt64))
+	if !s.overflow {
+		t.Fatal("overflow not flagged past the bucket guard")
+	}
+	if got := int64(len(s.buckets)); got != maxTimelineBuckets {
+		t.Fatalf("materialized %d buckets, want exactly the guard's %d", got, maxTimelineBuckets)
+	}
+	if _, err := s.finalize(time.Second, nil); err == nil {
+		t.Fatal("finalize accepted an overflowed timeline")
+	}
+}
+
+// TestIntegrateBucketEndOverflow pins the span-splitting loop's overflow
+// guard: with a huge bucket width, (index+1)*bucket wraps negative, and
+// integrate must fall back to the span end instead of charging a negative
+// duration or looping forever.
+func TestIntegrateBucketEndOverflow(t *testing.T) {
+	bucket := time.Duration(math.MaxInt64/2 + 1)
+	s := newTimelineSink(bucket, 1, nil)
+	last := bucket // bucket index 1: (1+1)*bucket overflows int64
+	s.integrate(0, last)
+	s.nodeUsed[0] = 1
+	s.integrate(0, last+1000)
+
+	want := time.Duration(1000).Seconds()
+	if got := busySum(s, 0); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("busy core-seconds = %g, want %g", got, want)
+	}
+}

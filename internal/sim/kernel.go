@@ -39,17 +39,32 @@ type MetricsSink interface {
 	Observe(t time.Duration, ev any)
 }
 
-// entry is one scheduled event.
+// Handler is a pre-bound, allocation-free event callback: the two integer
+// arguments travel inline in the heap entry, so posting one costs no heap
+// allocation — unlike a closure, which boxes its captures on every Post.
+// Callers bind a Handler once (typically a method value stored in a struct
+// field) and pass per-event state through a and b.
+type Handler func(a, b int64)
+
+// entry is one scheduled event. Exactly one of fn and h is set: fn is the
+// closure form (Post), h the pre-bound handler form (PostHandler) with its
+// two argument words stored inline.
 type entry struct {
 	t    time.Duration
 	prio Priority
 	seq  uint64 // post order; the stable tie-break
 	fn   func()
+	h    Handler
+	a, b int64
 }
 
-// entryHeap is a hand-rolled binary min-heap on (t, prio, seq). The
-// scheduler posts and pops one entry per simulated event, so the heap
-// avoids container/heap's per-operation interface boxing.
+// entryHeap is a hand-rolled binary min-heap on (t, prio, seq), backed by a
+// single value slice: entries live inline in one contiguous arena — no
+// per-event box on the heap — and popped slots are zeroed and reused by
+// subsequent pushes, so a warm kernel posts and pops events without
+// touching the allocator at all. The scheduler posts and pops one entry per
+// simulated event, so the heap also avoids container/heap's per-operation
+// interface boxing.
 type entryHeap []entry
 
 func (h entryHeap) less(i, j int) bool {
@@ -134,6 +149,32 @@ func (k *Kernel) Post(t time.Duration, prio Priority, fn func()) {
 	k.h.push(entry{t: t, prio: prio, seq: k.seq, fn: fn})
 }
 
+// PostHandler schedules h(a, b) at virtual time t — the allocation-free
+// form of Post. The handler and both argument words are stored inline in
+// the heap entry, so the steady state of a scheduler that binds its
+// handlers once (method values kept in struct fields) posts events without
+// allocating. Ordering is identical to Post: handlers and closures share
+// one (t, prio, post-order) timeline.
+func (k *Kernel) PostHandler(t time.Duration, prio Priority, h Handler, a, b int64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: post at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.h.push(entry{t: t, prio: prio, seq: k.seq, h: h, a: a, b: b})
+}
+
+// Reserve grows the event heap's backing arena to hold at least n pending
+// events without reallocating. Schedulers that know their event population
+// up front (e.g. one arrival plus one completion per enumerated instance)
+// call it once so the steady state never grows the heap.
+func (k *Kernel) Reserve(n int) {
+	if cap(k.h) < n {
+		h := make(entryHeap, len(k.h), n)
+		copy(h, k.h)
+		k.h = h
+	}
+}
+
 // Attach registers a metrics sink. Sinks observe in attach order.
 func (k *Kernel) Attach(s MetricsSink) { k.sinks = append(k.sinks, s) }
 
@@ -161,7 +202,11 @@ func (k *Kernel) Run(afterInstant func()) {
 		k.now = now
 		for len(k.h) > 0 && k.h[0].t == now {
 			e := k.h.pop()
-			e.fn()
+			if e.h != nil {
+				e.h(e.a, e.b)
+			} else {
+				e.fn()
+			}
 		}
 		if afterInstant != nil {
 			afterInstant()

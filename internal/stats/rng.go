@@ -36,6 +36,71 @@ func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
+// Fill writes the next len(dst) values of the sequence into dst — exactly
+// the values len(dst) successive Uint64 calls would return, produced in one
+// tight loop over a local state word instead of a method call per draw.
+func (r *RNG) Fill(dst []uint64) {
+	state := r.state
+	for i := range dst {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		dst[i] = z ^ (z >> 31)
+	}
+	r.state = state
+}
+
+// batchSize is how many draws a Batch pre-computes per refill. SplitMix64
+// state is one word, so pre-drawing never risks divergence: the k-th value
+// served by a Batch is bit-identical to the k-th Uint64 call on the bare
+// generator.
+const batchSize = 64
+
+// Batch serves draws from an underlying RNG in pre-computed blocks: one
+// Fill per batchSize draws replaces a method call (and its state
+// read-modify-write) per draw on hot paths that consume randomness per
+// event — scenario arrival jitter, random placement. The served sequence is
+// exactly the underlying generator's sequence, in order, so swapping a bare
+// RNG for a Batch never perturbs a seeded stream; the buffer lives inline
+// in the struct, so a Batch costs one allocation for its whole lifetime.
+//
+// A Batch pre-advances the underlying generator's state; after wrapping,
+// draw only through the Batch.
+type Batch struct {
+	rng *RNG
+	buf [batchSize]uint64
+	i   int // next unserved index in buf; batchSize forces a refill
+}
+
+// NewBatch returns a batching reader over rng.
+func NewBatch(rng *RNG) *Batch { return &Batch{rng: rng, i: batchSize} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (b *Batch) Uint64() uint64 {
+	if b.i == batchSize {
+		b.rng.Fill(b.buf[:])
+		b.i = 0
+	}
+	v := b.buf[b.i]
+	b.i++
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1), bit-identical to RNG.Float64.
+func (b *Batch) Float64() float64 {
+	return float64(b.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n), bit-identical to RNG.Intn. It
+// panics if n <= 0.
+func (b *Batch) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(b.Uint64() % uint64(n))
+}
+
 // Normal returns a normally distributed value with the given mean and
 // standard deviation, using the Box-Muller transform.
 func (r *RNG) Normal(mean, stddev float64) float64 {

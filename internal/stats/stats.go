@@ -186,17 +186,35 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return SortedPercentile(sorted, p), nil
+}
+
+// SortedPercentile is Percentile for input already sorted ascending: no
+// copy, no sort, no error path. Callers that need several percentiles of
+// one sample sort once and query many times — the report fold's summarize
+// used to copy and re-sort the sample per percentile. An empty slice
+// returns 0. The interpolation is bit-identical to Percentile's.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
 	if len(sorted) == 1 {
-		return sorted[0], nil
+		return sorted[0]
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // LinearFit fits y = a + b*x by least squares and returns the intercept a,
