@@ -1,0 +1,80 @@
+// chaosproxy is the internal/chaos fault injector as a standalone daemon:
+// a TCP proxy that degrades connections to one upstream on a scripted,
+// deterministic schedule. It exists for integration harnesses (CI's
+// dist-smoke job fronts one synapse-worker with it to manufacture a
+// straggler) — unit tests should use chaos.Start in-process instead.
+//
+//	chaosproxy -target 127.0.0.1:9191 -schedule delay:2s
+//	chaosproxy -listen 127.0.0.1:9400 -target 127.0.0.1:9191 -schedule 'ok;reset:200@GET'
+//
+// The schedule script is chaos.ParseSchedule syntax: rules separated by
+// ';', connection i takes rule i mod len(rules). The bound address is
+// printed to stdout once listening ("listening on host:port"), so callers
+// using -listen :0 can scrape the port. On SIGINT/SIGTERM the proxy stops
+// accepting, severs every live connection, and exits; fault counters are
+// printed on the way out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"synapse/internal/chaos"
+)
+
+// stdout is the daemon's output stream, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the proxy and blocks until a signal (or, in tests, until the
+// ready channel's consumer shuts it down). ready, when non-nil, receives
+// the bound address once the proxy is listening.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("chaosproxy", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	target := fs.String("target", "", "upstream host:port to proxy to (required)")
+	schedule := fs.String("schedule", "", "fault schedule script, e.g. 'delay:2s' or 'ok;reset:200@GET' (required)")
+	seed := fs.Uint64("seed", 0, "jitter seed for delay rules (0 = no jitter)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if *schedule == "" {
+		return fmt.Errorf("-schedule is required")
+	}
+	sched, err := chaos.ParseSchedule(*schedule)
+	if err != nil {
+		return err
+	}
+	sched.Seed = *seed
+
+	p, err := chaos.StartOn(*listen, *target, sched)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on %s -> %s schedule %s\n", p.Addr(), *target, sched)
+	if ready != nil {
+		ready <- p.Addr()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	err = p.Close()
+	st := p.Stats()
+	fmt.Fprintf(stdout, "closed: conns=%d passed=%d delayed=%d resets=%d truncated=%d holes=%d\n",
+		st.Conns, st.Passed, st.Delayed, st.Resets, st.Truncated, st.Holes)
+	return err
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestProxyRoundTrip boots the proxy exactly as main would, fronts a real
+// HTTP server with a delay schedule, round-trips a request through it, and
+// shuts down via SIGTERM.
+func TestProxyRoundTrip(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer upstream.Close()
+
+	var out bytes.Buffer
+	stdout = &out
+	defer func() { stdout = nil }()
+
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{
+			"-target", upstream.Listener.Addr().String(),
+			"-schedule", "delay:10ms",
+		}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy did not come up")
+	}
+
+	start := time.Now()
+	resp, err := http.Get("http://" + addr + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Errorf("proxied body = %q, want pong", body)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delay rule not applied: round trip took %v", d)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run returned %v", runErr)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("delayed=1")) {
+		t.Errorf("shutdown stats missing delay count: %q", out.String())
+	}
+}
+
+// TestFlagsValidated: target and schedule are required, and the schedule
+// script must parse.
+func TestFlagsValidated(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-target", "127.0.0.1:1"},
+		{"-target", "127.0.0.1:1", "-schedule", "warp:9"},
+	} {
+		if err := run(args, nil); err == nil {
+			t.Errorf("run(%v) accepted, want error", args)
+		}
+	}
+}

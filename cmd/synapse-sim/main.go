@@ -10,6 +10,7 @@
 //	synapse-sim -scenario failover.json -timeline series.csv
 //	synapse-sim -scenario failover.json -trace out.json -progress
 //	synapse-sim -scenario huge.json -workers-remote h1:9191,h2:9191 -shards 32
+//	synapse-sim -scenario huge.json -workers-remote h1:9191,h2:9191 -chunk 128 -steal-after 500ms
 //	synapse-sim -scenario mix.json -cpuprofile cpu.pprof
 //	synapse-sim -scenario huge.json -pprof 127.0.0.1:6060
 //
@@ -27,7 +28,10 @@
 // long runs. -workers-remote distributes the emulation replays across a
 // fleet of synapse-worker daemons (comma-separated host:port list; -shards
 // sets the partition granularity) — the schedule stays local and the
-// report stays byte-identical to a single-process run, at any fleet size
+// report stays byte-identical to a single-process run, at any fleet size.
+// Shards dispatch as fixed-size job chunks (-chunk) that idle workers pull
+// and, past the -steal-after straggler threshold, speculatively re-execute;
+// outcomes stream back and fold incrementally within a bounded -fold-window
 // (see docs/distributed.md). Reports are deterministic for a fixed spec
 // and seed: same inputs, byte-identical -out file (and byte-identical
 // -trace file). See docs/scenarios.md for the spec format, including the
@@ -85,6 +89,9 @@ func run(args []string) error {
 	progress := fs.Bool("progress", false, "paint a live progress meter (virtual time, arrivals/s, queue depth) on stderr")
 	workersRemote := fs.String("workers-remote", "", "comma-separated synapse-worker addresses (host:port or http://host:port); distributes emulation replays across the fleet")
 	shards := fs.Int("shards", 0, "shard count for -workers-remote (0 = 4x fleet size)")
+	chunk := fs.Int("chunk", 0, "jobs per dispatch chunk for -workers-remote — the unit of work stealing and speculation (0 = 256, negative = one chunk per shard)")
+	stealAfter := fs.Duration("steal-after", 0, "straggler threshold for -workers-remote: in-flight chunks older than this are speculatively re-executed on idle workers (0 = adapt to observed p95 chunk latency, negative = disable speculation)")
+	foldWindow := fs.Int("fold-window", 0, "fold window for -workers-remote: max jobs in flight or buffered ahead of the streaming fold (0 = 4096)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (host:port) for the run's duration")
@@ -182,17 +189,33 @@ func run(args []string) error {
 			return fmt.Errorf("-workers-remote lists no addresses")
 		}
 		co, err := dist.NewCoordinator(context.Background(), spec, st, dist.Config{
-			Workers: fleet,
-			Shards:  *shards,
+			Workers:    fleet,
+			Shards:     *shards,
+			ChunkSize:  *chunk,
+			StealAfter: *stealAfter,
+			Window:     *foldWindow,
 		})
 		if err != nil {
 			return err
 		}
 		opts.Executor = co
-		fmt.Fprintf(stdout, "distributing replays across %d workers in %d shards\n",
-			len(fleet), co.Shards())
-	} else if *shards != 0 {
-		return fmt.Errorf("-shards requires -workers-remote")
+		chunkDesc := fmt.Sprintf("chunks of %d jobs", co.ChunkSize())
+		if co.ChunkSize() <= 0 {
+			chunkDesc = "one chunk per shard"
+		}
+		fmt.Fprintf(stdout, "distributing replays across %d workers in %d shards (%s)\n",
+			len(fleet), co.Shards(), chunkDesc)
+	} else {
+		switch {
+		case *shards != 0:
+			return fmt.Errorf("-shards requires -workers-remote")
+		case *chunk != 0:
+			return fmt.Errorf("-chunk requires -workers-remote")
+		case *stealAfter != 0:
+			return fmt.Errorf("-steal-after requires -workers-remote")
+		case *foldWindow != 0:
+			return fmt.Errorf("-fold-window requires -workers-remote")
+		}
 	}
 	var traceFile *os.File
 	if *tracePath != "" {

@@ -13,8 +13,10 @@
 // resolves profiles and ships them inline with the spec, so a worker
 // deployment is one static binary and one port. Outcomes are pure
 // functions of the compiled (spec, profiles) — any worker can serve any
-// shard, and the coordinator's merged report is byte-identical to a
-// single-process run. /v1/healthz reports liveness plus the admission
+// chunk of any shard, any number of times (the coordinator speculatively
+// re-executes straggler chunks), and the coordinator's merged report is
+// byte-identical to a single-process run. Streaming execute requests get
+// chunked NDJSON responses, -stream-batch outcomes per line. /v1/healthz reports liveness plus the admission
 // counters, GET /v1/metrics renders Prometheus text exposition (RED
 // middleware plus worker series), and the daemon sheds new shards and
 // drains in-flight ones on SIGINT/SIGTERM. See docs/distributed.md.
@@ -56,6 +58,7 @@ func run(args []string, ready chan<- string) error {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently-executing requests (0 = unbounded)")
 	queue := fs.Int("queue", 0, "admission queue depth at capacity (0 = shed)")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side per-request deadline (0 = none)")
+	streamBatch := fs.Int("stream-batch", 0, "outcomes per NDJSON line on streaming execute responses (0 = 64)")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown drain timeout")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -85,6 +88,7 @@ func run(args []string, ready chan<- string) error {
 		MaxInFlight:    *maxInflight,
 		Queue:          *queue,
 		RequestTimeout: *requestTimeout,
+		StreamBatch:    *streamBatch,
 		Pprof:          *pprof,
 		Metrics:        telemetry.NewRegistry(),
 		Logger:         logger,

@@ -45,7 +45,13 @@ type Proxy struct {
 // Start listens on 127.0.0.1:0 and proxies every connection to target
 // (host:port), applying the schedule.
 func Start(target string, sched Schedule) (*Proxy, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return StartOn("127.0.0.1:0", target, sched)
+}
+
+// StartOn is Start with an explicit listen address, for standalone use
+// (cmd/chaosproxy) where clients need a known port rather than Addr().
+func StartOn(listen, target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: listen: %w", err)
 	}

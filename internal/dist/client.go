@@ -60,6 +60,68 @@ func (w *HTTPWorker) Execute(ctx context.Context, req *ExecuteRequest) ([]*scena
 	return resp.Outcomes, nil
 }
 
+// ExecuteStream implements StreamWorker: it asks for an NDJSON response and
+// hands each outcome batch to emit as it is decoded, so the chunk's result
+// never materializes as one body on either side. A terminal done line is
+// required — a stream that ends without one (connection cut, worker died
+// mid-chunk) is an error, never a silently short result. Servers that
+// predate streaming answer with a plain JSON body; that degrades to a
+// single emit.
+func (w *HTTPWorker) ExecuteStream(ctx context.Context, req *ExecuteRequest, emit func(outs []*scenario.Outcome) error) error {
+	sreq := *req
+	sreq.Stream = true
+	body, err := json.Marshal(&sreq)
+	if err != nil {
+		return fmt.Errorf("dist: encode /v1/execute: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: /v1/execute: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("dist: %s /v1/execute: %w", w.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return w.decodeError("/v1/execute", resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		// Pre-streaming server: one ExecuteResponse body, emitted whole.
+		var er ExecuteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			return fmt.Errorf("dist: %s /v1/execute: decode response: %w", w.base, err)
+		}
+		return emit(er.Outcomes)
+	}
+	dec := json.NewDecoder(resp.Body)
+	streamed := 0
+	for {
+		var line StreamChunk
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("dist: %s /v1/execute: stream truncated after %d outcomes (no done line)", w.base, streamed)
+			}
+			return fmt.Errorf("dist: %s /v1/execute: decode stream: %w", w.base, err)
+		}
+		switch {
+		case line.Error != "":
+			return w.sentinel(line.Code, fmt.Errorf("dist: %s /v1/execute: stream error: %s", w.base, line.Error))
+		case line.Done:
+			if line.N != streamed {
+				return fmt.Errorf("dist: %s /v1/execute: stream done line says %d outcomes, received %d", w.base, line.N, streamed)
+			}
+			return nil
+		default:
+			streamed += len(line.Outcomes)
+			if err := emit(line.Outcomes); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // post sends one JSON request and decodes the JSON response, translating
 // structured error bodies into sentinel errors.
 func (w *HTTPWorker) post(ctx context.Context, path string, in, out any) error {
@@ -97,21 +159,25 @@ func (w *HTTPWorker) decodeError(path string, resp *http.Response) error {
 		msg = strings.TrimSpace(string(data))
 	}
 	base := fmt.Errorf("dist: %s %s: HTTP %d: %s", w.base, path, resp.StatusCode, msg)
-	var err error
-	switch er.Code {
-	case CodeNoSession:
-		err = fmt.Errorf("%w: %v", ErrNoSession, base)
-	case CodeShardKey:
-		err = fmt.Errorf("%w: %v", ErrShardKey, base)
-	case CodeInvalid:
-		err = fmt.Errorf("%w: %v", ErrInvalid, base)
-	default:
-		err = base
-	}
+	err := w.sentinel(er.Code, base)
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
 			err = retry.After(err, time.Duration(secs)*time.Second)
 		}
 	}
 	return err
+}
+
+// sentinel rebuilds the package sentinel for a structured error code, from
+// a status body or an in-band stream error line alike.
+func (w *HTTPWorker) sentinel(code string, base error) error {
+	switch code {
+	case CodeNoSession:
+		return fmt.Errorf("%w: %v", ErrNoSession, base)
+	case CodeShardKey:
+		return fmt.Errorf("%w: %v", ErrShardKey, base)
+	case CodeInvalid:
+		return fmt.Errorf("%w: %v", ErrInvalid, base)
+	}
+	return base
 }

@@ -4,16 +4,38 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"synapse/internal/retry"
 	"synapse/internal/scenario"
 	"synapse/internal/store"
 	"synapse/internal/telemetry"
+)
+
+// Dispatch defaults. The chunk is the unit of scheduling, stealing and
+// speculation; the window is the dispatch high-water mark that bounds the
+// coordinator's resident outcomes.
+const (
+	defaultChunkSize = 256
+	defaultWindow    = 4096
+
+	// The straggler threshold adapts to observed chunk latency, like
+	// storeclnt's request hedge: a ring of recent successful attempt
+	// durations, speculation at stealFactor × p95 (never below stealFloor),
+	// and a fixed default until the ring has latWarmup samples.
+	latWindow         = 64
+	latWarmup         = 16
+	stealFactor       = 2
+	stealFloor        = 5 * time.Millisecond
+	defaultStealAfter = 250 * time.Millisecond
 )
 
 // Config tunes a coordinator.
@@ -25,60 +47,174 @@ type Config struct {
 	// 4× the fleet size — enough slack that reassignment after a failure
 	// spreads across survivors instead of doubling one worker's share.
 	Shards int
-	// Retry governs each shard RPC; nil uses retry.Default. Protocol
+	// ChunkSize splits each shard into job chunks of at most this size —
+	// the unit of dispatch, work stealing and speculative re-execution.
+	// Chunking changes only when work runs, never what runs or the fold
+	// order: the shard partition stays a pure function of (seed, shards).
+	// 0 picks 256; negative disables chunking (one chunk per shard).
+	ChunkSize int
+	// StealAfter is the straggler threshold: when the queue is drained and
+	// a worker sits idle, an in-flight chunk older than this is
+	// speculatively re-executed there, first-complete-wins. 0 adapts the
+	// threshold to the fleet's observed p95 chunk latency; negative
+	// disables speculation.
+	StealAfter time.Duration
+	// Window bounds the coordinator's resident outcomes: new chunks are
+	// dispatched only while the jobs in flight or buffered ahead of the
+	// fold watermark fit it, so peak retained outcomes are O(window), not
+	// O(jobs). 0 picks 4096. One chunk is always admitted, whatever the
+	// window, so progress never deadlocks.
+	Window int
+	// Retry governs each chunk RPC; nil uses retry.Default. Protocol
 	// errors (invalid request, shard-key mismatch) are always terminal
 	// regardless of the policy's own classifier.
 	Retry *retry.Policy
-	// Logger receives shard dispatch and failure events. nil discards.
+	// Logger receives chunk dispatch and failure events. nil discards.
 	Logger *slog.Logger
 	// Metrics, when non-nil, receives the coordinator's instruments
-	// (jobs, shard RPCs, worker failures, live-worker gauge).
+	// (jobs, chunks, steals, fold watermark, worker failures, live-worker
+	// gauge).
 	Metrics *telemetry.Registry
+
+	// now is the scheduler's clock, replaceable in tests. nil is time.Now.
+	now func() time.Time
 }
 
 // workerState is the coordinator's view of one fleet member.
 type workerState struct {
-	w Worker
-	// mu serializes compilation so concurrent shards on one worker do
+	w   Worker
+	idx int // configuration order, the tiebreak of the affinity pick
+	// mu serializes compilation so concurrent chunks on one worker do
 	// not compile twice.
 	mu       sync.Mutex
 	compiled bool
-	dead     atomic.Bool
+	// warm mirrors compiled for lock-free reads by the affinity pick:
+	// reassignment prefers workers that already hold the session.
+	warm atomic.Bool
+	dead atomic.Bool
 }
 
-// Coordinator partitions replay jobs into deterministic shards and executes
-// them on the fleet. It implements scenario.Executor, so plugging it into
+// chunkState is one chunk of one shard within the current dispatch: a run
+// of the shard's jobs small enough to schedule, steal and re-execute as a
+// unit.
+type chunkState struct {
+	shard int
+	idxs  []int          // global job indices, ascending
+	jobs  []scenario.Job // packed payload, parallel to idxs
+	// attempts counts executions currently in flight (primary plus at most
+	// one speculative twin); done flips at the first commit.
+	attempts int
+	done     bool
+	stolen   bool // a speculative twin was dispatched; at most one per chunk
+	// digest is the canonical hash of the committed outcomes, kept while a
+	// twin is still running so the loser can be asserted byte-equal.
+	digest    uint64
+	hasDigest bool
+	started   time.Time // start of the current primary attempt
+	// cancels aborts the in-flight attempts ([0] primary, [1] twin): the
+	// first commit cancels its rival, so a stolen straggler chunk stops
+	// costing wall clock the moment the speculative copy lands. A loser
+	// that completes despite the cancel is still verified byte-equal.
+	cancels [2]context.CancelFunc
+}
+
+// dispatchScratch is the per-instant dispatch state, pooled across
+// scheduling instants: a clustered scenario dispatches once per instant,
+// and reallocating the partition lists, chunk table and payload buffer
+// every time was measurable allocation churn on the sim hot path. plan
+// resets and reuses everything; the AllocsPerRun regression test pins the
+// steady state at zero.
+type dispatchScratch struct {
+	byShard  [][]int
+	chunks   []chunkState
+	queue    []*chunkState
+	payload  []scenario.Job
+	buffered map[int]*scenario.Outcome
+	flush    []*scenario.Outcome
+	requeue  []*chunkState
+	idle     []*workerState
+}
+
+// sort.Interface over scratch.queue, ordered by first global job index —
+// dispatch order must follow the fold order so the chunk holding the
+// watermark is always among the earliest dispatched. Implemented on the
+// scratch itself so sorting allocates nothing.
+func (sc *dispatchScratch) Len() int      { return len(sc.queue) }
+func (sc *dispatchScratch) Swap(i, j int) { sc.queue[i], sc.queue[j] = sc.queue[j], sc.queue[i] }
+func (sc *dispatchScratch) Less(i, j int) bool {
+	return sc.queue[i].idxs[0] < sc.queue[j].idxs[0]
+}
+
+// Coordinator partitions replay jobs into deterministic shards, splits the
+// shards into chunks, and pull-dispatches the chunks across the fleet with
+// straggler speculation and a streaming, windowed fold. It implements
+// scenario.StreamingExecutor, so plugging it into
 // scenario.RunOptions.Executor distributes any scenario unchanged.
 type Coordinator struct {
-	creq   *CompileRequest
-	keys   []uint64
-	policy retry.Policy
-	log    *slog.Logger
+	creq       *CompileRequest
+	keys       []uint64
+	policy     retry.Policy
+	log        *slog.Logger
+	chunkSize  int
+	window     int
+	stealAfter time.Duration
+	now        func() time.Time
 
 	workers []*workerState
 
+	// execMu serializes dispatches: the scratch below has one owner.
+	execMu  sync.Mutex
+	scratch dispatchScratch
+
+	// lat is the chunk-latency ring behind the adaptive steal threshold.
+	latMu  sync.Mutex
+	lat    [latWindow]time.Duration
+	latIdx int
+	latN   int
+
 	// counters (exposed via Stats and, optionally, Config.Metrics)
-	jobs             atomic.Int64
-	rpcs             atomic.Int64
-	failures         atomic.Int64
-	recomputedShards atomic.Int64
+	jobs         atomic.Int64
+	rpcs         atomic.Int64
+	failures     atomic.Int64
+	recomputed   atomic.Int64
+	chunks       atomic.Int64
+	steals       atomic.Int64
+	specWins     atomic.Int64
+	specDiscards atomic.Int64
+	compiles     atomic.Int64
+	peakResident atomic.Int64
+	watermark    atomic.Int64
 }
 
 // Stats is a snapshot of the coordinator's counters.
 type Stats struct {
-	// Jobs counts replay jobs dispatched; RPCs counts shard executions
+	// Jobs counts replay jobs dispatched; RPCs counts chunk executions
 	// attempted (retries included); WorkerFailures counts workers marked
-	// dead; RecomputedShards counts shard reassignments after a failure.
+	// dead; RecomputedChunks counts chunk reassignments after a failure.
 	Jobs             int64 `json:"jobs"`
 	RPCs             int64 `json:"rpcs"`
 	WorkerFailures   int64 `json:"worker_failures"`
-	RecomputedShards int64 `json:"recomputed_shards"`
+	RecomputedChunks int64 `json:"recomputed_chunks"`
+	// Chunks counts chunk dispatches (speculative twins included); Steals
+	// counts speculative re-executions dispatched; SpeculativeWins the
+	// speculations that committed first; SpeculativeDiscards the race
+	// losers whose byte-equal outcomes were dropped.
+	Chunks              int64 `json:"chunks"`
+	Steals              int64 `json:"steals"`
+	SpeculativeWins     int64 `json:"speculative_wins"`
+	SpeculativeDiscards int64 `json:"speculative_discards"`
+	// Compiles counts compile RPCs issued fleet-wide — affinity keeps it
+	// near the number of workers that actually received work.
+	Compiles int64 `json:"compiles"`
+	// PeakResident is the dispatch window's high-water mark: the most jobs
+	// simultaneously in flight or buffered ahead of the fold watermark.
+	PeakResident int64 `json:"peak_resident_outcomes"`
 	// LiveWorkers is the current live fleet size.
 	LiveWorkers int `json:"live_workers"`
 }
 
 // NewCoordinator resolves the spec's profiles through st and prepares the
-// fleet-wide compile request. Workers compile lazily, on the first shard
+// fleet-wide compile request. Workers compile lazily, on the first chunk
 // each receives.
 func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
@@ -94,6 +230,17 @@ func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cf
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 4 * len(cfg.Workers)
+	}
+	chunk := cfg.ChunkSize
+	if chunk == 0 {
+		chunk = defaultChunkSize
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = defaultWindow
+	}
+	if chunk > 0 && window < chunk {
+		window = chunk
 	}
 	policy := retry.Default()
 	if cfg.Retry != nil {
@@ -113,6 +260,10 @@ func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cf
 	if log == nil {
 		log = telemetry.NopLogger()
 	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
 	nonce := make([]byte, 8)
 	_, _ = rand.Read(nonce)
 	co := &Coordinator{
@@ -122,12 +273,16 @@ func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cf
 			Profiles: profs,
 			Shards:   shards,
 		},
-		keys:   ShardKeys(spec.Seed, shards),
-		policy: policy,
-		log:    log,
+		keys:       ShardKeys(spec.Seed, shards),
+		policy:     policy,
+		log:        log,
+		chunkSize:  chunk,
+		window:     window,
+		stealAfter: cfg.StealAfter,
+		now:        now,
 	}
-	for _, w := range cfg.Workers {
-		co.workers = append(co.workers, &workerState{w: w})
+	for i, w := range cfg.Workers {
+		co.workers = append(co.workers, &workerState{w: w, idx: i})
 	}
 	if reg := cfg.Metrics; reg != nil {
 		reg.GaugeFunc("synapse_dist_live_workers",
@@ -137,11 +292,23 @@ func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cf
 			"Replay jobs dispatched to the fleet.",
 			func() float64 { return float64(co.jobs.Load()) })
 		reg.GaugeFunc("synapse_dist_shard_rpcs_total",
-			"Shard executions attempted, retries included.",
+			"Chunk executions attempted, retries included.",
 			func() float64 { return float64(co.rpcs.Load()) })
 		reg.GaugeFunc("synapse_dist_worker_failures_total",
 			"Workers marked dead after exhausting their retry policy.",
 			func() float64 { return float64(co.failures.Load()) })
+		reg.GaugeFunc("synapse_dist_chunks_total",
+			"Job chunks dispatched, speculative twins included.",
+			func() float64 { return float64(co.chunks.Load()) })
+		reg.GaugeFunc("synapse_dist_steals_total",
+			"Speculative straggler re-executions dispatched.",
+			func() float64 { return float64(co.steals.Load()) })
+		reg.GaugeFunc("synapse_dist_speculative_wins_total",
+			"Speculative executions that completed before the original.",
+			func() float64 { return float64(co.specWins.Load()) })
+		reg.GaugeFunc("synapse_dist_fold_watermark",
+			"Job index the streaming fold has folded up to in the current dispatch.",
+			func() float64 { return float64(co.watermark.Load()) })
 	}
 	return co, nil
 }
@@ -149,14 +316,24 @@ func NewCoordinator(ctx context.Context, spec *scenario.Spec, st store.Store, cf
 // Shards returns the partition granularity the coordinator derived.
 func (co *Coordinator) Shards() int { return co.creq.Shards }
 
+// ChunkSize returns the dispatch chunk size (negative: chunking disabled,
+// one chunk per shard).
+func (co *Coordinator) ChunkSize() int { return co.chunkSize }
+
 // Stats snapshots the coordinator's counters.
 func (co *Coordinator) Stats() Stats {
 	return Stats{
-		Jobs:             co.jobs.Load(),
-		RPCs:             co.rpcs.Load(),
-		WorkerFailures:   co.failures.Load(),
-		RecomputedShards: co.recomputedShards.Load(),
-		LiveWorkers:      len(co.live()),
+		Jobs:                co.jobs.Load(),
+		RPCs:                co.rpcs.Load(),
+		WorkerFailures:      co.failures.Load(),
+		RecomputedChunks:    co.recomputed.Load(),
+		Chunks:              co.chunks.Load(),
+		Steals:              co.steals.Load(),
+		SpeculativeWins:     co.specWins.Load(),
+		SpeculativeDiscards: co.specDiscards.Load(),
+		Compiles:            co.compiles.Load(),
+		PeakResident:        co.peakResident.Load(),
+		LiveWorkers:         len(co.live()),
 	}
 }
 
@@ -175,121 +352,532 @@ func (co *Coordinator) live() []*workerState {
 func (co *Coordinator) markDead(ws *workerState, err error) {
 	if ws.dead.CompareAndSwap(false, true) {
 		co.failures.Add(1)
-		co.log.Warn("worker failed; reassigning its shards",
+		co.log.Warn("worker failed; reassigning its chunks",
 			slog.String("worker", ws.w.Name()), slog.String("error", err.Error()))
 	}
 }
 
-// ExecuteJobs implements scenario.Executor: partition the jobs into shards
-// by rendezvous hashing, execute every non-empty shard on the live fleet,
-// reassigning and recomputing shards whose worker dies, and return the
-// outcomes in job order — the fixed order that makes failures and fleet
-// size invisible downstream.
-func (co *Coordinator) ExecuteJobs(ctx context.Context, jobs []scenario.Job) ([]*scenario.Outcome, error) {
-	outs := make([]*scenario.Outcome, len(jobs))
-	if len(jobs) == 0 {
-		return outs, nil
+// recordLatency folds one successful attempt duration into the ring the
+// adaptive steal threshold reads.
+func (co *Coordinator) recordLatency(d time.Duration) {
+	co.latMu.Lock()
+	co.lat[co.latIdx] = d
+	co.latIdx = (co.latIdx + 1) % latWindow
+	if co.latN < latWindow {
+		co.latN++
 	}
-	co.jobs.Add(int64(len(jobs)))
+	co.latMu.Unlock()
+}
 
-	// Partition: job index lists per shard, shard order fixed by index.
-	byShard := make([][]int, len(co.keys))
+// stealThreshold returns the current straggler threshold: the configured
+// value when fixed, else stealFactor × the observed p95 chunk latency
+// (stealFloor-bounded), or the warmup default while samples are scarce.
+func (co *Coordinator) stealThreshold() time.Duration {
+	if co.stealAfter > 0 {
+		return co.stealAfter
+	}
+	co.latMu.Lock()
+	defer co.latMu.Unlock()
+	if co.latN < latWarmup {
+		return defaultStealAfter
+	}
+	var buf [latWindow]time.Duration
+	n := copy(buf[:], co.lat[:co.latN])
+	// Insertion sort: n ≤ 64 and this must not allocate.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	th := stealFactor * buf[(95*(n-1))/100]
+	if th < stealFloor {
+		th = stealFloor
+	}
+	return th
+}
+
+// outcomesDigest canonically hashes a chunk's outcomes: FNV-1a over the
+// JSON encoding (Go marshals map keys sorted, so the encoding is
+// canonical). Equal digests mean byte-equal encodings — the check that
+// makes first-complete-wins speculation safe: a primary and its twin must
+// be indistinguishable, or the workers are nondeterministic and no fold
+// may happen.
+func outcomesDigest(outs []*scenario.Outcome) (uint64, error) {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, o := range outs {
+		if err := enc.Encode(o); err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// plan partitions jobs into shards by rendezvous hashing and splits each
+// shard into chunks, reusing the pooled scratch. The partition is a pure
+// function of (seed, shards): chunking changes only the scheduling
+// granularity, never which shard a job belongs to or the job-order fold.
+func (co *Coordinator) plan(jobs []scenario.Job) {
+	sc := &co.scratch
+	if cap(sc.byShard) < len(co.keys) {
+		sc.byShard = make([][]int, len(co.keys))
+	}
+	sc.byShard = sc.byShard[:len(co.keys)]
+	for s := range sc.byShard {
+		sc.byShard[s] = sc.byShard[s][:0]
+	}
 	for i, j := range jobs {
 		s := shardOf(jobHash(j), co.keys)
-		byShard[s] = append(byShard[s], i)
+		sc.byShard[s] = append(sc.byShard[s], i)
 	}
-	var pending []int
-	for s, idxs := range byShard {
-		if len(idxs) > 0 {
-			pending = append(pending, s)
-		}
+	if cap(sc.payload) < len(jobs) {
+		sc.payload = make([]scenario.Job, len(jobs))
 	}
-
-	for round := 0; len(pending) > 0; round++ {
-		live := co.live()
-		if len(live) == 0 {
-			return nil, fmt.Errorf("%w: %d shards unexecuted", ErrNoWorkers, len(pending))
+	sc.payload = sc.payload[:len(jobs)]
+	n := 0
+	for _, idxs := range sc.byShard {
+		if len(idxs) == 0 {
+			continue
 		}
-		if round > 0 {
-			co.recomputedShards.Add(int64(len(pending)))
-			co.log.Info("recomputing reassigned shards",
-				slog.Int("shards", len(pending)), slog.Int("live_workers", len(live)))
+		if co.chunkSize <= 0 {
+			n++
+			continue
 		}
-		type result struct {
-			ws   *workerState
-			outs []*scenario.Outcome
-			err  error
-		}
-		results := make([]result, len(pending))
-		var wg sync.WaitGroup
-		for i, s := range pending {
-			ws := live[i%len(live)]
-			shardJobs := make([]scenario.Job, len(byShard[s]))
-			for k, idx := range byShard[s] {
-				shardJobs[k] = jobs[idx]
+		n += (len(idxs) + co.chunkSize - 1) / co.chunkSize
+	}
+	if cap(sc.chunks) < n {
+		sc.chunks = make([]chunkState, 0, n)
+	}
+	sc.chunks = sc.chunks[:0]
+	if cap(sc.queue) < n {
+		sc.queue = make([]*chunkState, 0, n)
+	}
+	sc.queue = sc.queue[:0]
+	pos := 0
+	for s, idxs := range sc.byShard {
+		for a := 0; a < len(idxs); {
+			b := len(idxs)
+			if co.chunkSize > 0 && a+co.chunkSize < b {
+				b = a + co.chunkSize
 			}
-			wg.Add(1)
-			go func(i, s int, ws *workerState) {
-				defer wg.Done()
-				o, err := co.executeShard(ctx, ws, s, shardJobs)
-				results[i] = result{ws: ws, outs: o, err: err}
-			}(i, s, ws)
+			part := idxs[a:b]
+			payload := sc.payload[pos : pos+len(part)]
+			for k, gi := range part {
+				payload[k] = jobs[gi]
+			}
+			pos += len(part)
+			sc.chunks = append(sc.chunks, chunkState{shard: s, idxs: part, jobs: payload})
+			a = b
 		}
-		wg.Wait()
+	}
+	// The pointers are taken only after sc.chunks stopped growing.
+	for i := range sc.chunks {
+		sc.queue = append(sc.queue, &sc.chunks[i])
+	}
+	sort.Sort(sc)
+}
 
-		var next []int
-		for i, r := range results {
-			s := pending[i]
-			if r.err != nil {
-				if ctx.Err() != nil {
-					return nil, r.err
-				}
-				if errors.Is(r.err, ErrInvalid) || errors.Is(r.err, ErrShardKey) {
-					return nil, r.err
-				}
-				co.markDead(r.ws, r.err)
-				next = append(next, s)
+// attemptResult is one finished chunk execution, success or not.
+type attemptResult struct {
+	c    *chunkState
+	ws   *workerState
+	spec bool
+	outs []*scenario.Outcome
+	err  error
+	dur  time.Duration
+	// cancelled: the attempt's context was revoked by the coordinator (the
+	// rival committed, or the run is failing) while the run itself is live —
+	// an abandoned attempt, not a worker failure.
+	cancelled bool
+}
+
+// ExecuteJobsStream implements scenario.StreamingExecutor: partition into
+// shards and chunks, pull-dispatch the chunks across the live fleet, and
+// fold the contiguous job-order prefix out through sink as chunks commit,
+// releasing outcome memory behind the watermark.
+//
+// Scheduling is a single event loop: idle workers pull the next chunk from
+// the queue (window permitting); when the queue drains and workers idle, the
+// oldest in-flight chunk past the straggler threshold is speculatively
+// re-executed on one of them, first-complete-wins: the first commit cancels
+// the rival attempt, so the straggler stops costing wall clock. A loser
+// that completes despite the cancel has its outcomes asserted byte-equal to
+// the winner's — a mismatch means a worker is nondeterministic, which voids
+// the fold contract, so it is a hard error rather than a coin flip. (The
+// check is opportunistic by construction: a cancelled loser that aborts
+// verified nothing, one that returns is verified.) Workers whose retries
+// exhaust are
+// marked dead and their in-flight chunks requeued, preferring replacement
+// workers that already hold a compiled session.
+func (co *Coordinator) ExecuteJobsStream(ctx context.Context, jobs []scenario.Job, sink func(first int, outs []*scenario.Outcome) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	co.execMu.Lock()
+	defer co.execMu.Unlock()
+	co.jobs.Add(int64(len(jobs)))
+	co.plan(jobs)
+	sc := &co.scratch
+	if sc.buffered == nil {
+		sc.buffered = make(map[int]*scenario.Outcome)
+	}
+	sc.idle = sc.idle[:0]
+	for _, ws := range co.workers {
+		if !ws.dead.Load() {
+			sc.idle = append(sc.idle, ws)
+		}
+	}
+	sc.requeue = sc.requeue[:0]
+	co.watermark.Store(0)
+
+	done := make(chan attemptResult)
+	var (
+		inflight   int // attempts in flight
+		next       int // next undispatched queue position
+		admitted   int // jobs in flight or buffered ahead of the watermark
+		watermark  int // next global job index to fold
+		chunksDone int
+		failErr    error
+	)
+
+	// pick removes and returns the idle worker to dispatch to: warm
+	// (session already compiled) before cold, configuration order as the
+	// tiebreak — the session-affinity rule that keeps reassignment after a
+	// death from recompiling on a cold worker while a warm one is free.
+	pick := func() *workerState {
+		best := -1
+		for i, ws := range sc.idle {
+			if best < 0 {
+				best = i
 				continue
 			}
-			idxs := byShard[s]
-			if len(r.outs) != len(idxs) {
-				return nil, fmt.Errorf("dist: worker %s returned %d outcomes for shard %d's %d jobs",
-					r.ws.w.Name(), len(r.outs), s, len(idxs))
-			}
-			for k, idx := range idxs {
-				if r.outs[k] == nil {
-					return nil, fmt.Errorf("dist: worker %s returned a nil outcome for shard %d job %d",
-						r.ws.w.Name(), s, k)
+			bw := sc.idle[best]
+			if ws.warm.Load() != bw.warm.Load() {
+				if ws.warm.Load() {
+					best = i
 				}
-				outs[idx] = r.outs[k]
+				continue
+			}
+			if ws.idx < bw.idx {
+				best = i
 			}
 		}
-		pending = next
+		ws := sc.idle[best]
+		sc.idle[best] = sc.idle[len(sc.idle)-1]
+		sc.idle = sc.idle[:len(sc.idle)-1]
+		return ws
+	}
+
+	start := func(c *chunkState, ws *workerState, spec bool) {
+		c.attempts++
+		slot := 0
+		if spec {
+			slot = 1
+			c.stolen = true
+			co.steals.Add(1)
+			co.log.Info("speculating straggler chunk",
+				slog.Int("shard", c.shard), slog.Int("jobs", len(c.idxs)),
+				slog.String("thief", ws.w.Name()))
+		} else {
+			c.started = co.now()
+		}
+		actx, cancel := context.WithCancel(ctx)
+		c.cancels[slot] = cancel
+		co.chunks.Add(1)
+		inflight++
+		go func() {
+			t0 := co.now()
+			outs, err := co.executeChunk(actx, ws, c, spec)
+			done <- attemptResult{c: c, ws: ws, spec: spec, outs: outs, err: err,
+				dur: co.now().Sub(t0), cancelled: actx.Err() != nil && ctx.Err() == nil}
+		}()
+	}
+
+	// cancelInflight revokes every live attempt — on a terminal failure the
+	// drain should not wait out stragglers whose results are already moot.
+	cancelInflight := func() {
+		for i := range sc.chunks {
+			for _, cancel := range sc.chunks[i].cancels {
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}
+	}
+
+	// oldestEligible scans in-flight chunks for the speculation candidate:
+	// the earliest-started chunk past the threshold with no twin yet. When
+	// none has crossed it, wait is the time until the earliest will.
+	oldestEligible := func(now time.Time) (cand *chunkState, wait time.Duration) {
+		wait = -1
+		th := co.stealThreshold()
+		for i := range sc.chunks {
+			c := &sc.chunks[i]
+			if c.done || c.attempts != 1 || c.stolen || c.started.IsZero() {
+				continue
+			}
+			el := now.Sub(c.started)
+			if el >= th {
+				if cand == nil || c.started.Before(cand.started) {
+					cand = c
+				}
+			} else if d := th - el; wait < 0 || d < wait {
+				wait = d
+			}
+		}
+		return cand, wait
+	}
+
+	// flush folds the contiguous prefix out through sink and releases it.
+	flush := func() error {
+		sc.flush = sc.flush[:0]
+		first := watermark
+		for {
+			o, ok := sc.buffered[watermark]
+			if !ok {
+				break
+			}
+			sc.flush = append(sc.flush, o)
+			delete(sc.buffered, watermark)
+			watermark++
+		}
+		if len(sc.flush) == 0 {
+			return nil
+		}
+		admitted -= len(sc.flush)
+		co.watermark.Store(int64(watermark))
+		err := sink(first, sc.flush)
+		for i := range sc.flush {
+			sc.flush[i] = nil
+		}
+		return err
+	}
+
+	handle := func(r attemptResult) {
+		inflight--
+		r.c.attempts--
+		slot := 0
+		if r.spec {
+			slot = 1
+		}
+		if cancel := r.c.cancels[slot]; cancel != nil {
+			cancel() // release the attempt's context
+			r.c.cancels[slot] = nil
+		}
+		if r.err != nil {
+			if r.cancelled {
+				// An abandoned attempt (rival committed, or the run is
+				// failing), not a worker failure: the worker stays live.
+				if !r.ws.dead.Load() {
+					sc.idle = append(sc.idle, r.ws)
+				}
+				return
+			}
+			if failErr == nil {
+				if ctx.Err() != nil || errors.Is(r.err, ErrInvalid) || errors.Is(r.err, ErrShardKey) {
+					failErr = r.err
+				} else {
+					co.markDead(r.ws, r.err)
+					if !r.c.done && r.c.attempts == 0 {
+						co.recomputed.Add(1)
+						r.c.started = time.Time{}
+						sc.requeue = append(sc.requeue, r.c)
+						co.log.Info("requeueing chunk after worker failure",
+							slog.Int("shard", r.c.shard), slog.Int("jobs", len(r.c.idxs)))
+					}
+				}
+			}
+			if !r.ws.dead.Load() {
+				sc.idle = append(sc.idle, r.ws)
+			}
+			return
+		}
+		co.recordLatency(r.dur)
+		if !r.ws.dead.Load() {
+			sc.idle = append(sc.idle, r.ws)
+		}
+		if failErr != nil {
+			return // draining; the result is moot
+		}
+		if r.c.done {
+			// The race's loser: its outcomes must be byte-equal to what the
+			// winner committed, then they are discarded.
+			d, err := outcomesDigest(r.outs)
+			if err != nil {
+				failErr = err
+				return
+			}
+			if !r.c.hasDigest || d != r.c.digest {
+				failErr = fmt.Errorf("dist: worker %s computed different outcomes for shard %d chunk at job %d — workers are nondeterministic, refusing to fold",
+					r.ws.w.Name(), r.c.shard, r.c.idxs[0])
+				return
+			}
+			co.specDiscards.Add(1)
+			return
+		}
+		if len(r.outs) != len(r.c.idxs) {
+			failErr = fmt.Errorf("dist: worker %s returned %d outcomes for shard %d chunk's %d jobs",
+				r.ws.w.Name(), len(r.outs), r.c.shard, len(r.c.idxs))
+			return
+		}
+		for k, o := range r.outs {
+			if o == nil {
+				failErr = fmt.Errorf("dist: worker %s returned a nil outcome for shard %d job %d",
+					r.ws.w.Name(), r.c.shard, k)
+				return
+			}
+		}
+		if r.c.attempts > 0 {
+			// A twin is still out; remember what won so the loser can be
+			// verified without retaining the outcomes themselves.
+			d, err := outcomesDigest(r.outs)
+			if err != nil {
+				failErr = err
+				return
+			}
+			r.c.digest, r.c.hasDigest = d, true
+		}
+		r.c.done = true
+		if cancel := r.c.cancels[1-slot]; cancel != nil {
+			cancel() // first-complete-wins: abort the racing rival
+		}
+		chunksDone++
+		if r.spec {
+			co.specWins.Add(1)
+		}
+		for k, idx := range r.c.idxs {
+			sc.buffered[idx] = r.outs[k]
+		}
+		if err := flush(); err != nil {
+			failErr = err
+		}
+	}
+
+	for {
+		if failErr != nil {
+			cancelInflight() // drain fast: moot attempts should not run on
+		}
+		// Dispatch while workers idle and work is available: requeued
+		// chunks first (their jobs are already admitted), then the queue
+		// head window permitting, then speculation on stragglers.
+		for failErr == nil && len(sc.idle) > 0 {
+			if n := len(sc.requeue); n > 0 {
+				c := sc.requeue[n-1]
+				sc.requeue = sc.requeue[:n-1]
+				start(c, pick(), false)
+				continue
+			}
+			if next < len(sc.queue) {
+				c := sc.queue[next]
+				if admitted+len(c.idxs) <= co.window || inflight == 0 {
+					next++
+					admitted += len(c.idxs)
+					if int64(admitted) > co.peakResident.Load() {
+						co.peakResident.Store(int64(admitted))
+					}
+					start(c, pick(), false)
+					continue
+				}
+			}
+			if co.stealAfter < 0 || inflight == 0 {
+				break
+			}
+			cand, _ := oldestEligible(co.now())
+			if cand == nil {
+				break
+			}
+			start(cand, pick(), true)
+		}
+		if inflight == 0 {
+			if failErr != nil {
+				return failErr
+			}
+			if chunksDone == len(sc.chunks) {
+				break
+			}
+			return fmt.Errorf("%w: %d chunks unexecuted", ErrNoWorkers, len(sc.chunks)-chunksDone)
+		}
+		// Wait for a completion; with spare workers and speculation armed,
+		// also wake when the oldest in-flight chunk crosses the threshold.
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if failErr == nil && co.stealAfter >= 0 && len(sc.idle) > 0 {
+			if _, wait := oldestEligible(co.now()); wait >= 0 {
+				if wait < time.Millisecond {
+					wait = time.Millisecond
+				}
+				timer = time.NewTimer(wait)
+				timerC = timer.C
+			}
+		}
+		select {
+		case r := <-done:
+			handle(r)
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	if watermark != len(jobs) {
+		return fmt.Errorf("dist: fold watermark stopped at %d of %d jobs", watermark, len(jobs))
+	}
+	return nil
+}
+
+// ExecuteJobs implements scenario.Executor by collecting the stream — the
+// path cluster-mode instants take, where each batch is folded immediately
+// by the caller anyway.
+func (co *Coordinator) ExecuteJobs(ctx context.Context, jobs []scenario.Job) ([]*scenario.Outcome, error) {
+	outs := make([]*scenario.Outcome, len(jobs))
+	err := co.ExecuteJobsStream(ctx, jobs, func(first int, batch []*scenario.Outcome) error {
+		copy(outs[first:], batch)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }
 
-// executeShard runs one shard on one worker under the retry policy,
-// compiling the session on first contact (or after the worker lost it).
-func (co *Coordinator) executeShard(ctx context.Context, ws *workerState, shard int, jobs []scenario.Job) ([]*scenario.Outcome, error) {
+// executeChunk runs one chunk attempt on one worker under the retry
+// policy, compiling the session on first contact (or after the worker lost
+// it). Streaming workers deliver their outcomes incrementally; the batches
+// are gathered here because commit is all-or-nothing per attempt — the
+// first-complete-wins race and the byte-equality check both need the
+// chunk's result whole.
+func (co *Coordinator) executeChunk(ctx context.Context, ws *workerState, c *chunkState, speculative bool) ([]*scenario.Outcome, error) {
+	req := &ExecuteRequest{
+		Session:     co.creq.Session,
+		Shard:       c.shard,
+		ShardKey:    co.keys[c.shard],
+		Jobs:        c.jobs,
+		Speculative: speculative,
+	}
 	var outs []*scenario.Outcome
 	err := co.policy.Do(ctx, func(ctx context.Context) error {
 		if err := co.ensureCompiled(ctx, ws); err != nil {
 			return err
 		}
 		co.rpcs.Add(1)
-		o, err := ws.w.Execute(ctx, &ExecuteRequest{
-			Session:  co.creq.Session,
-			Shard:    shard,
-			ShardKey: co.keys[shard],
-			Jobs:     jobs,
-		})
+		var o []*scenario.Outcome
+		var err error
+		if sw, ok := ws.w.(StreamWorker); ok {
+			o = make([]*scenario.Outcome, 0, len(c.jobs))
+			err = sw.ExecuteStream(ctx, req, func(batch []*scenario.Outcome) error {
+				o = append(o, batch...)
+				return nil
+			})
+		} else {
+			o, err = ws.w.Execute(ctx, req)
+		}
 		if errors.Is(err, ErrNoSession) {
 			// The worker restarted or evicted us: force a fresh compile
-			// and report transient so the policy retries this shard here.
+			// and report transient so the policy retries this chunk here.
 			ws.mu.Lock()
 			ws.compiled = false
 			ws.mu.Unlock()
+			ws.warm.Store(false)
 			return err
 		}
 		if err != nil {
@@ -315,9 +903,11 @@ func (co *Coordinator) ensureCompiled(ctx context.Context, ws *workerState) erro
 	if err := ws.w.Compile(ctx, co.creq); err != nil {
 		return err
 	}
+	co.compiles.Add(1)
 	co.log.Debug("worker compiled session",
 		slog.String("worker", ws.w.Name()), slog.String("session", co.creq.Session))
 	ws.compiled = true
+	ws.warm.Store(true)
 	return nil
 }
 

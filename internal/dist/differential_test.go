@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"synapse/internal/scenario"
 	"synapse/internal/store"
@@ -88,24 +89,36 @@ func TestDistGoldenByteIdentity(t *testing.T) {
 				wantCSV = b
 			}
 			for _, fleet := range []int{1, 2, 4, 8} {
-				rep, co := runDist(t, spec, st, Config{Workers: localFleet(fleet)})
-				if got := marshalReport(t, rep); !bytes.Equal(got, want) {
-					t.Errorf("fleet %d: report diverged from single-process golden\ngot:\n%s\nwant:\n%s",
-						fleet, got, want)
-				}
-				gotCSV := timelineCSV(t, rep)
-				if (gotCSV == nil) != (wantCSV == nil) {
-					t.Fatalf("fleet %d: timeline presence mismatch (got %v, golden %v)",
-						fleet, gotCSV != nil, wantCSV != nil)
-				}
-				if gotCSV != nil && !bytes.Equal(gotCSV, wantCSV) {
-					t.Errorf("fleet %d: timeline CSV diverged from golden\ngot:\n%s\nwant:\n%s",
-						fleet, gotCSV, wantCSV)
-				}
-				if s := co.Stats(); s.Jobs == 0 || s.RPCs == 0 {
-					t.Errorf("fleet %d: coordinator did no work: %+v", fleet, s)
-				} else if s.WorkerFailures != 0 {
-					t.Errorf("fleet %d: unexpected worker failures: %+v", fleet, s)
+				// Defaults, then aggressive chunking + speculation + a tiny
+				// streaming window: scheduling config must never reach the
+				// report.
+				for _, variant := range []struct {
+					name string
+					cfg  Config
+				}{
+					{"defaults", Config{Workers: localFleet(fleet)}},
+					{"chunked", Config{Workers: localFleet(fleet), ChunkSize: 2,
+						StealAfter: 20 * time.Millisecond, Window: 5}},
+				} {
+					rep, co := runDist(t, spec, st, variant.cfg)
+					if got := marshalReport(t, rep); !bytes.Equal(got, want) {
+						t.Errorf("fleet %d (%s): report diverged from single-process golden\ngot:\n%s\nwant:\n%s",
+							fleet, variant.name, got, want)
+					}
+					gotCSV := timelineCSV(t, rep)
+					if (gotCSV == nil) != (wantCSV == nil) {
+						t.Fatalf("fleet %d (%s): timeline presence mismatch (got %v, golden %v)",
+							fleet, variant.name, gotCSV != nil, wantCSV != nil)
+					}
+					if gotCSV != nil && !bytes.Equal(gotCSV, wantCSV) {
+						t.Errorf("fleet %d (%s): timeline CSV diverged from golden\ngot:\n%s\nwant:\n%s",
+							fleet, variant.name, gotCSV, wantCSV)
+					}
+					if s := co.Stats(); s.Jobs == 0 || s.RPCs == 0 {
+						t.Errorf("fleet %d (%s): coordinator did no work: %+v", fleet, variant.name, s)
+					} else if s.WorkerFailures != 0 {
+						t.Errorf("fleet %d (%s): unexpected worker failures: %+v", fleet, variant.name, s)
+					}
 				}
 			}
 		})
@@ -125,10 +138,17 @@ func TestDistMatchesLocalRun(t *testing.T) {
 	want := marshalReport(t, local)
 	for _, fleet := range []int{1, 2, 4, 8} {
 		for _, shards := range []int{1, 3, 16} {
-			rep, _ := runDist(t, spec, st, Config{Workers: localFleet(fleet), Shards: shards})
-			if got := marshalReport(t, rep); !bytes.Equal(got, want) {
-				t.Errorf("fleet %d, shards %d: distributed report != local run\ngot:\n%s\nwant:\n%s",
-					fleet, shards, got, want)
+			for _, chunk := range []int{0, 3} {
+				cfg := Config{Workers: localFleet(fleet), Shards: shards, ChunkSize: chunk}
+				if chunk != 0 {
+					cfg.Window = 4
+					cfg.StealAfter = 20 * time.Millisecond
+				}
+				rep, _ := runDist(t, spec, st, cfg)
+				if got := marshalReport(t, rep); !bytes.Equal(got, want) {
+					t.Errorf("fleet %d, shards %d, chunk %d: distributed report != local run\ngot:\n%s\nwant:\n%s",
+						fleet, shards, chunk, got, want)
+				}
 			}
 		}
 	}
@@ -184,24 +204,36 @@ func TestDistWorkerKillReassignment(t *testing.T) {
 	}
 	want := marshalReport(t, local)
 
-	dying := &dyingWorker{Worker: NewLocalWorker("dying", 2), dieAfter: 1}
-	fleet := append([]Worker{dying}, localFleet(3)...)
-	rep, co := runDist(t, spec, st, Config{Workers: fleet, Shards: 12, Retry: fastRetry()})
-	if got := marshalReport(t, rep); !bytes.Equal(got, want) {
-		t.Errorf("report after worker kill diverged from clean run\ngot:\n%s\nwant:\n%s", got, want)
-	}
-	if n := dying.executeCalls(); n <= dying.dieAfter {
-		t.Fatalf("dying worker saw %d execute calls; the kill never triggered", n)
-	}
-	s := co.Stats()
-	if s.WorkerFailures != 1 {
-		t.Errorf("worker failures = %d, want 1: %+v", s.WorkerFailures, s)
-	}
-	if s.RecomputedShards == 0 {
-		t.Errorf("no shards recomputed after the kill: %+v", s)
-	}
-	if s.LiveWorkers != 3 {
-		t.Errorf("live workers = %d, want 3: %+v", s.LiveWorkers, s)
+	for _, variant := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"defaults", Config{Shards: 12, Retry: fastRetry()}},
+		{"chunked", Config{Shards: 12, Retry: fastRetry(), ChunkSize: 2,
+			StealAfter: 20 * time.Millisecond, Window: 6}},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			dying := &dyingWorker{Worker: NewLocalWorker("dying", 2), dieAfter: 1}
+			cfg := variant.cfg
+			cfg.Workers = append([]Worker{dying}, localFleet(3)...)
+			rep, co := runDist(t, spec, st, cfg)
+			if got := marshalReport(t, rep); !bytes.Equal(got, want) {
+				t.Errorf("report after worker kill diverged from clean run\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if n := dying.executeCalls(); n <= dying.dieAfter {
+				t.Fatalf("dying worker saw %d execute calls; the kill never triggered", n)
+			}
+			s := co.Stats()
+			if s.WorkerFailures != 1 {
+				t.Errorf("worker failures = %d, want 1: %+v", s.WorkerFailures, s)
+			}
+			if s.RecomputedChunks == 0 {
+				t.Errorf("no shards recomputed after the kill: %+v", s)
+			}
+			if s.LiveWorkers != 3 {
+				t.Errorf("live workers = %d, want 3: %+v", s.LiveWorkers, s)
+			}
+		})
 	}
 }
 

@@ -80,7 +80,9 @@ type CompileResponse struct {
 	Seed    uint64 `json:"seed"`
 }
 
-// ExecuteRequest asks a worker to resolve one shard's jobs.
+// ExecuteRequest asks a worker to resolve one chunk of a shard's jobs.
+// Chunking is invisible to the worker: any sub-slice of a shard's jobs is a
+// valid request as long as the shard-key handshake holds.
 type ExecuteRequest struct {
 	Session string `json:"session"`
 	// Shard is the shard index; ShardKey must equal
@@ -89,11 +91,31 @@ type ExecuteRequest struct {
 	Shard    int            `json:"shard"`
 	ShardKey uint64         `json:"shard_key"`
 	Jobs     []scenario.Job `json:"jobs"`
+	// Stream asks for a chunked NDJSON response (StreamChunk lines) instead
+	// of one ExecuteResponse body, so outcomes flow back as they complete.
+	Stream bool `json:"stream,omitempty"`
+	// Speculative marks a straggler re-execution of a chunk already in
+	// flight elsewhere. Purely informational — the work is identical — but
+	// workers count it, so speculation is observable fleet-side.
+	Speculative bool `json:"speculative,omitempty"`
 }
 
-// ExecuteResponse returns the shard's outcomes, in job order.
+// ExecuteResponse returns the chunk's outcomes, in job order.
 type ExecuteResponse struct {
 	Outcomes []*scenario.Outcome `json:"outcomes"`
+}
+
+// StreamChunk is one NDJSON line of a streaming execute response. Outcome
+// lines carry contiguous job-order batches; the terminal line has either
+// Done set (with N echoing the total streamed, a truncation check) or an
+// in-band structured error — failures can surface after the 200 status is
+// already on the wire.
+type StreamChunk struct {
+	Outcomes []*scenario.Outcome `json:"outcomes,omitempty"`
+	Done     bool                `json:"done,omitempty"`
+	N        int                 `json:"n,omitempty"`
+	Error    string              `json:"error,omitempty"`
+	Code     string              `json:"code,omitempty"`
 }
 
 // shardPrefix is the substream family shard keys derive from.

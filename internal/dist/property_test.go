@@ -151,6 +151,12 @@ func TestDistConservation(t *testing.T) {
 			Workers: localFleet(fleetSize),
 			Shards:  1 + rng.Intn(9),
 			Retry:   fastRetry(),
+			// The whole scheduling config space must be invisible in the
+			// report: chunked / unchunked, speculation off / adaptive /
+			// hair-trigger, and windows down to the deadlock-escape regime.
+			ChunkSize:  []int{0, -1, 1 + rng.Intn(4)}[rng.Intn(3)],
+			StealAfter: []time.Duration{-1, 0, 5 * time.Millisecond}[rng.Intn(3)],
+			Window:     []int{0, 2 + rng.Intn(10)}[rng.Intn(2)],
 		}
 		injected := false
 		if fleetSize > 1 && rng.Intn(2) == 0 {
@@ -176,7 +182,7 @@ func TestDistConservation(t *testing.T) {
 		// An injected death may or may not fire (the draw controls how many
 		// shards the worker survives), but a death with no recomputation
 		// would mean its shards were silently lost.
-		if s := co.Stats(); s.WorkerFailures > 0 && s.RecomputedShards == 0 {
+		if s := co.Stats(); s.WorkerFailures > 0 && s.RecomputedChunks == 0 {
 			t.Errorf("trial %d: worker died but no shards were recomputed: %+v", trial, s)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synapse/internal/scenario"
 	"synapse/internal/telemetry"
 )
 
@@ -63,6 +64,9 @@ type ServerConfig struct {
 	// RequestTimeout is the server-side deadline per admitted request and
 	// the bound on admission-queue waits (0 = none).
 	RequestTimeout time.Duration
+	// StreamBatch is the outcome-batch granularity of streaming execute
+	// responses — one NDJSON line per about this many outcomes (0 = 64).
+	StreamBatch int
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 	// Metrics is the registry rendered at GET /v1/metrics; nil gets a
@@ -97,11 +101,15 @@ type WorkerServer struct {
 	inflight atomic.Int64
 	shed     atomic.Int64
 
-	reg      *telemetry.Registry
-	requests *telemetry.CounterVec
-	latency  *telemetry.HistogramVec
-	shedVec  *telemetry.CounterVec
-	jobsRun  *telemetry.Counter
+	reg       *telemetry.Registry
+	requests  *telemetry.CounterVec
+	latency   *telemetry.HistogramVec
+	shedVec   *telemetry.CounterVec
+	jobsRun   *telemetry.Counter
+	chunksRun *telemetry.Counter
+	specRun   *telemetry.Counter
+
+	streamBatch int
 
 	log     *slog.Logger
 	build   telemetry.Build
@@ -119,12 +127,13 @@ func NewServer(cfg ServerConfig) *WorkerServer {
 		log = telemetry.NopLogger()
 	}
 	s := &WorkerServer{
-		local:   &LocalWorker{name: "server", workers: cfg.Workers, sessions: newSessions(cfg.MaxSessions)},
-		mux:     http.NewServeMux(),
-		timeout: cfg.RequestTimeout,
-		reg:     reg,
-		log:     log,
-		build:   telemetry.BuildInfo(),
+		local:       &LocalWorker{name: "server", workers: cfg.Workers, sessions: newSessions(cfg.MaxSessions)},
+		mux:         http.NewServeMux(),
+		timeout:     cfg.RequestTimeout,
+		streamBatch: cfg.StreamBatch,
+		reg:         reg,
+		log:         log,
+		build:       telemetry.BuildInfo(),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
@@ -143,6 +152,10 @@ func NewServer(cfg ServerConfig) *WorkerServer {
 		"code")
 	s.jobsRun = reg.Counter("synapse_dist_worker_jobs_total",
 		"Replay jobs this worker executed.")
+	s.chunksRun = reg.Counter("synapse_dist_worker_chunks_total",
+		"Job chunks (execute requests) this worker ran.")
+	s.specRun = reg.Counter("synapse_dist_worker_speculative_total",
+		"Chunks this worker ran as speculative straggler re-executions.")
 	reg.GaugeFunc("synapse_http_inflight_requests",
 		"Requests currently executing (admission-controlled data path).",
 		func() float64 { return float64(s.inflight.Load()) })
@@ -330,16 +343,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps worker errors onto structured responses.
-func writeError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, CodeInternal
+// codeOf maps a worker error onto its structured code — the same mapping
+// whether the code travels in an error status or an in-band stream line.
+func codeOf(err error) string {
 	switch {
 	case errors.Is(err, ErrNoSession):
-		status, code = http.StatusNotFound, CodeNoSession
+		return CodeNoSession
 	case errors.Is(err, ErrShardKey):
-		status, code = http.StatusConflict, CodeShardKey
+		return CodeShardKey
 	case errors.Is(err, ErrInvalid):
-		status, code = http.StatusBadRequest, CodeInvalid
+		return CodeInvalid
+	}
+	return CodeInternal
+}
+
+// writeError maps worker errors onto structured responses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	code := codeOf(err)
+	switch code {
+	case CodeNoSession:
+		status = http.StatusNotFound
+	case CodeShardKey:
+		status = http.StatusConflict
+	case CodeInvalid:
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
@@ -368,13 +396,52 @@ func (s *WorkerServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: decode execute: %v", ErrInvalid, err))
 		return
 	}
-	outs, err := s.local.sessions.execute(r.Context(), &req)
+	// Validate before producing anything: session and shard-key failures
+	// must surface as proper statuses even on the streaming path, where
+	// mid-run errors can only travel in-band.
+	sess, err := s.local.sessions.lookup(&req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	s.chunksRun.Inc()
+	if req.Speculative {
+		s.specRun.Inc()
+	}
+	if !req.Stream {
+		outs, err := sess.runner.ExecuteJobs(r.Context(), req.Jobs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.jobsRun.Add(int64(len(req.Jobs)))
+		writeJSON(w, http.StatusOK, ExecuteResponse{Outcomes: outs})
+		return
+	}
+	// Streaming: one NDJSON StreamChunk line per outcome batch, flushed as
+	// the runner's reorder buffer releases the contiguous prefix, then a
+	// terminal done (or in-band error) line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streamed := 0
+	err = sess.runner.ExecuteJobsStream(r.Context(), req.Jobs, s.streamBatch, func(outs []*scenario.Outcome) error {
+		if err := enc.Encode(StreamChunk{Outcomes: outs}); err != nil {
+			return err
+		}
+		streamed += len(outs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		_ = enc.Encode(StreamChunk{Error: err.Error(), Code: codeOf(err)})
+		return
+	}
 	s.jobsRun.Add(int64(len(req.Jobs)))
-	writeJSON(w, http.StatusOK, ExecuteResponse{Outcomes: outs})
+	_ = enc.Encode(StreamChunk{Done: true, N: streamed})
 }
 
 func (s *WorkerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"synapse/internal/scenario"
+	"synapse/internal/testutil"
+)
+
+// shardJobs hand-builds n distinct jobs that rendezvous into the given
+// shard, so a wire test can execute one shard directly.
+func shardJobs(tb testing.TB, keys []uint64, shard, n int) []scenario.Job {
+	tb.Helper()
+	var jobs []scenario.Job
+	for l := 1; len(jobs) < n; l++ {
+		if l > 10_000 {
+			tb.Fatalf("could not find %d jobs for shard %d", n, shard)
+		}
+		j := scenario.Job{Workload: 0, LoadBits: math.Float64bits(0.001 * float64(l))}
+		if shardOf(jobHash(j), keys) == shard {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// TestHTTPStreamingExecute pins the NDJSON streaming wire path: a streaming
+// execute against a real daemon arrives as multiple outcome lines plus a
+// terminal done line, and the concatenated batches are exactly what the
+// plain execute path returns.
+func TestHTTPStreamingExecute(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	st := seedStore(t, "mdsim", "sleep")
+	spec := jitteredSpec()
+	profs, err := scenario.ResolveProfiles(context.Background(), spec, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One emulation worker makes the runner serial, so the stream's batch
+	// boundaries are deterministic: 6 jobs at 2 per line = 3 lines.
+	_, base := startServer(t, ServerConfig{Workers: 1, StreamBatch: 2})
+	w := NewHTTPWorker(base, nil)
+	ctx := context.Background()
+	if err := w.Compile(ctx, &CompileRequest{Session: "s", Spec: spec, Profiles: profs, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	keys := ShardKeys(spec.Seed, 2)
+	req := &ExecuteRequest{Session: "s", Shard: 0, ShardKey: keys[0], Jobs: shardJobs(t, keys, 0, 6)}
+
+	want, err := w.Execute(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*scenario.Outcome
+	batches := 0
+	err = w.ExecuteStream(ctx, req, func(outs []*scenario.Outcome) error {
+		batches++
+		got = append(got, outs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 3 {
+		t.Errorf("stream arrived in %d batches, want 3 (6 jobs, 2 per line)", batches)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("streamed outcomes differ from plain execute\nstream: %s\nplain:  %s", b, a)
+	}
+
+	// Pre-stream validation failures must come back as proper statuses with
+	// sentinel codes, exactly like the non-streaming path.
+	err = w.ExecuteStream(ctx, &ExecuteRequest{Session: "ghost"}, func([]*scenario.Outcome) error { return nil })
+	if !errors.Is(err, ErrNoSession) {
+		t.Errorf("unknown session over stream: %v, want ErrNoSession", err)
+	}
+	err = w.ExecuteStream(ctx, &ExecuteRequest{Session: "s", Shard: 0, ShardKey: keys[0] ^ 1}, func([]*scenario.Outcome) error { return nil })
+	if !errors.Is(err, ErrShardKey) {
+		t.Errorf("mismatched shard key over stream: %v, want ErrShardKey", err)
+	}
+}
+
+// TestStreamClientFallbackAndTruncation covers the client against servers
+// that cannot stream: a plain-JSON answer degrades to a single emit, and an
+// NDJSON stream that ends without a done line is an error, never a silently
+// short result.
+func TestStreamClientFallbackAndTruncation(t *testing.T) {
+	ctx := context.Background()
+	emitCount := 0
+	collect := func(outs []*scenario.Outcome) error { emitCount++; return nil }
+
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&ExecuteResponse{Outcomes: []*scenario.Outcome{}})
+	}))
+	defer legacy.Close()
+	if err := NewHTTPWorker(legacy.URL, nil).ExecuteStream(ctx, &ExecuteRequest{Session: "s"}, collect); err != nil {
+		t.Errorf("plain-JSON fallback: %v", err)
+	}
+	if emitCount != 1 {
+		t.Errorf("fallback emitted %d times, want 1", emitCount)
+	}
+
+	cut := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"outcomes":[]}`) // a batch line, then EOF: no done line
+	}))
+	defer cut.Close()
+	err := NewHTTPWorker(cut.URL, nil).ExecuteStream(ctx, &ExecuteRequest{Session: "s"}, collect)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("cut stream: err = %v, want truncation error", err)
+	}
+
+	short := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"done":true,"n":5}`) // claims 5 outcomes, sent none
+	}))
+	defer short.Close()
+	err = NewHTTPWorker(short.URL, nil).ExecuteStream(ctx, &ExecuteRequest{Session: "s"}, collect)
+	if err == nil || !strings.Contains(err.Error(), "done line says") {
+		t.Errorf("short stream: err = %v, want count-mismatch error", err)
+	}
+
+	inband := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"outcomes":[]}`)
+		fmt.Fprintln(w, `{"error":"session evicted mid-chunk","code":"no_session"}`)
+	}))
+	defer inband.Close()
+	err = NewHTTPWorker(inband.URL, nil).ExecuteStream(ctx, &ExecuteRequest{Session: "s"}, collect)
+	if !errors.Is(err, ErrNoSession) {
+		t.Errorf("in-band stream error: err = %v, want ErrNoSession", err)
+	}
+}

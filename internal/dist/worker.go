@@ -21,10 +21,21 @@ type Worker interface {
 	Name() string
 	// Compile builds (or rebuilds — it is idempotent) the session.
 	Compile(ctx context.Context, req *CompileRequest) error
-	// Execute resolves one shard's jobs, returning outcomes in job order.
+	// Execute resolves one chunk's jobs, returning outcomes in job order.
 	// ErrNoSession means the worker lost the session (restart/eviction);
 	// the coordinator recompiles and retries.
 	Execute(ctx context.Context, req *ExecuteRequest) ([]*scenario.Outcome, error)
+}
+
+// StreamWorker is a Worker that can stream a chunk's outcomes back in
+// contiguous job-order batches as they complete, instead of one response
+// body — the transport face of the streaming partial fold. emit is called
+// serially; its batches concatenate to exactly Execute's result. The
+// coordinator uses it when available and falls back to Execute otherwise,
+// so wrappers and old workers keep working.
+type StreamWorker interface {
+	Worker
+	ExecuteStream(ctx context.Context, req *ExecuteRequest, emit func(outs []*scenario.Outcome) error) error
 }
 
 // session is one compiled scenario held by a worker.
@@ -109,10 +120,12 @@ func (ss *sessions) len() int {
 	return len(ss.byID)
 }
 
-// execute runs one shard against a held session, enforcing the determinism
-// handshake: the coordinator's shard key must match the one this worker
-// derives from its own compiled seed.
-func (ss *sessions) execute(ctx context.Context, req *ExecuteRequest) ([]*scenario.Outcome, error) {
+// lookup resolves an execute request to its session, enforcing the
+// determinism handshake: the coordinator's shard key must match the one
+// this worker derives from its own compiled seed. Validation happens here,
+// before any outcome is produced, so streaming responses can still fail
+// with a proper pre-stream status.
+func (ss *sessions) lookup(req *ExecuteRequest) (*session, error) {
 	s, err := ss.get(req.Session)
 	if err != nil {
 		return nil, err
@@ -124,7 +137,26 @@ func (ss *sessions) execute(ctx context.Context, req *ExecuteRequest) ([]*scenar
 		return nil, fmt.Errorf("%w: shard %d key %#x, this worker derives %#x (differing spec, seed, or shard count)",
 			ErrShardKey, req.Shard, req.ShardKey, want)
 	}
+	return s, nil
+}
+
+// execute runs one chunk against a held session.
+func (ss *sessions) execute(ctx context.Context, req *ExecuteRequest) ([]*scenario.Outcome, error) {
+	s, err := ss.lookup(req)
+	if err != nil {
+		return nil, err
+	}
 	return s.runner.ExecuteJobs(ctx, req.Jobs)
+}
+
+// executeStream runs one chunk, emitting outcomes in contiguous job-order
+// batches of about batch as the runner's fan-out completes them.
+func (ss *sessions) executeStream(ctx context.Context, req *ExecuteRequest, batch int, emit func(outs []*scenario.Outcome) error) error {
+	s, err := ss.lookup(req)
+	if err != nil {
+		return err
+	}
+	return s.runner.ExecuteJobsStream(ctx, req.Jobs, batch, emit)
 }
 
 // LocalWorker executes shards in process: the worker protocol with the
@@ -154,4 +186,10 @@ func (w *LocalWorker) Compile(ctx context.Context, req *CompileRequest) error {
 // Execute implements Worker.
 func (w *LocalWorker) Execute(ctx context.Context, req *ExecuteRequest) ([]*scenario.Outcome, error) {
 	return w.sessions.execute(ctx, req)
+}
+
+// ExecuteStream implements StreamWorker: the transport-free streaming path,
+// emitting straight from the runner's reorder buffer.
+func (w *LocalWorker) ExecuteStream(ctx context.Context, req *ExecuteRequest, emit func(outs []*scenario.Outcome) error) error {
+	return w.sessions.executeStream(ctx, req, 0, emit)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"synapse/internal/emulator"
@@ -74,6 +75,43 @@ type Executor interface {
 	ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, error)
 }
 
+// StreamingExecutor is the streaming-fold seam: an Executor that can
+// deliver outcomes incrementally, in contiguous job-order batches, instead
+// of materializing the whole result slice. sink is called with the global
+// index of the batch's first outcome; batches arrive in order and
+// concatenate to exactly one outcome per job. Ownership of the outcomes
+// transfers to the sink — the executor must not touch them after sink
+// returns, which is what lets it release buffered results behind its fold
+// watermark and keep peak resident outcomes bounded by its window rather
+// than by the job count. The outcomes themselves are byte-identical to
+// what ExecuteJobs would return, so folding them incrementally leaves the
+// report unchanged.
+type StreamingExecutor interface {
+	Executor
+	ExecuteJobsStream(ctx context.Context, jobs []Job, sink func(first int, outs []*Outcome) error) error
+}
+
+// foldRec is the fold-relevant residue of one outcome: exactly the fields
+// assemble reads, flattened (no per-atom map) so a long run retains a
+// compact record per distinct job instead of the wire Outcome. The values
+// are copied verbatim — busy times in atomNames order, counters unchanged —
+// so folding records is byte-identical to folding the outcomes they came
+// from.
+type foldRec struct {
+	tx       time.Duration
+	busy     [len(atomNames)]time.Duration
+	consumed perfcount.Counters
+}
+
+// set condenses an outcome into the record.
+func (r *foldRec) set(o *Outcome) {
+	r.tx = o.Tx
+	for ai, a := range atomNames {
+		r.busy[ai] = o.Busy[a]
+	}
+	r.consumed = o.Consumed
+}
+
 // localExecutor resolves jobs against this process's compiled run handles,
 // fanning the batch across the configured workers.
 type localExecutor struct {
@@ -83,25 +121,29 @@ type localExecutor struct {
 
 func (e localExecutor) ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, error) {
 	return exp.Fan(e.workers, len(jobs), nil, func(j int) (*Outcome, error) {
-		job := jobs[j]
-		if job.Workload < 0 || job.Workload >= len(e.c.wls) {
-			return nil, fmt.Errorf("scenario: job references workload %d of %d", job.Workload, len(e.c.wls))
-		}
-		ws := e.c.wls[job.Workload]
-		run := ws.run
-		if job.Machine != "" {
-			run = ws.runs[job.Machine]
-		}
-		if run == nil {
-			return nil, fmt.Errorf("scenario: workload %q has no emulation handle for machine %q",
-				ws.spec.Name, job.Machine)
-		}
-		rep, err := run.EmulateWithLoad(ctx, job.Load())
-		if err != nil {
-			return nil, err
-		}
-		return outcomeOf(rep), nil
+		return e.executeJob(ctx, jobs[j])
 	})
+}
+
+// executeJob resolves one job against the compiled run handles.
+func (e localExecutor) executeJob(ctx context.Context, job Job) (*Outcome, error) {
+	if job.Workload < 0 || job.Workload >= len(e.c.wls) {
+		return nil, fmt.Errorf("scenario: job references workload %d of %d", job.Workload, len(e.c.wls))
+	}
+	ws := e.c.wls[job.Workload]
+	run := ws.run
+	if job.Machine != "" {
+		run = ws.runs[job.Machine]
+	}
+	if run == nil {
+		return nil, fmt.Errorf("scenario: workload %q has no emulation handle for machine %q",
+			ws.spec.Name, job.Machine)
+	}
+	rep, err := run.EmulateWithLoad(ctx, job.Load())
+	if err != nil {
+		return nil, err
+	}
+	return outcomeOf(rep), nil
 }
 
 // ResolveProfiles resolves every workload's profile reference through st,
@@ -163,4 +205,66 @@ func (r *JobRunner) ExecuteJobs(ctx context.Context, jobs []Job) ([]*Outcome, er
 		workers = defaultWorkers()
 	}
 	return localExecutor{c: r.c, workers: workers}.ExecuteJobs(ctx, jobs)
+}
+
+// defaultStreamBatch is the emission granularity ExecuteJobsStream falls
+// back to when the caller passes none.
+const defaultStreamBatch = 64
+
+// ExecuteJobsStream executes jobs across the runner's fan-out and emits
+// outcomes in job order as the contiguous prefix completes, at least batch
+// at a time (0 picks a default) except for the final flush. The jobs run in
+// parallel and complete out of order; a reorder buffer holds the gap and
+// emit observes only the in-order view, so a consumer can fold and discard
+// batches as they arrive. emit is never called concurrently. Outcomes are
+// released to the consumer: the runner drops its references as it emits.
+func (r *JobRunner) ExecuteJobsStream(ctx context.Context, jobs []Job, batch int, emit func(outs []*Outcome) error) error {
+	workers := r.workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if batch <= 0 {
+		batch = defaultStreamBatch
+	}
+	local := localExecutor{c: r.c, workers: workers}
+	var (
+		mu   sync.Mutex
+		outs = make([]*Outcome, len(jobs)) // reorder buffer; entries nil once emitted
+		next int                           // emission watermark
+	)
+	_, err := exp.Fan(workers, len(jobs), nil, func(j int) (struct{}, error) {
+		o, err := local.executeJob(ctx, jobs[j])
+		if err != nil {
+			return struct{}{}, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		outs[j] = o
+		// Emit the contiguous prefix once it is a full batch deep. Holding
+		// mu serializes emit; the tail below flushes what remains.
+		end := next
+		for end < len(outs) && outs[end] != nil {
+			end++
+		}
+		if end-next >= batch {
+			run := outs[next:end]
+			next = end
+			if err := emit(run); err != nil {
+				return struct{}{}, err
+			}
+			for i := range run {
+				run[i] = nil
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if next < len(jobs) {
+		if err := emit(outs[next:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -170,11 +170,11 @@ func (r *reporter) Observe(t time.Duration, ev any) {
 	}
 }
 
-// assemble folds the instance outcomes into the report, in spec order —
-// every sum runs in deterministic instance order, so reports are
-// byte-identical across runs, worker counts, and executors (outcomes are
-// keyed by instance, never by who computed them).
-func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
+// assemble folds the instance outcomes (condensed to foldRecs) into the
+// report, in spec order — every sum runs in deterministic instance order,
+// so reports are byte-identical across runs, worker counts, and executors
+// (records are keyed by instance, never by who computed them).
+func assemble(c *compiled, rp *reporter, recs []*foldRec) *Report {
 	makespan := rp.makespan
 	rep := &Report{
 		Scenario:   c.spec.Name,
@@ -217,11 +217,11 @@ func assemble(c *compiled, rp *reporter, outs []*Outcome) *Report {
 			sojourn = append(sojourn, float64(in.done-in.arrival))
 			wait = append(wait, float64(in.start-in.arrival))
 			service = append(service, float64(in.tx))
-			o := outs[id]
-			for ai, a := range atomNames {
-				busy[ai] += o.Busy[a]
+			rec := recs[id]
+			for ai := range atomNames {
+				busy[ai] += rec.busy[ai]
 			}
-			wr.Consumed.Accumulate(&o.Consumed)
+			wr.Consumed.Accumulate(&rec.consumed)
 		}
 		if secs := makespan.Seconds(); secs > 0 {
 			wr.Throughput = float64(wr.Emulations) / secs

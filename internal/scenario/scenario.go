@@ -129,8 +129,14 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 	// folds in the host node's occupancy), so emulation is demand-driven:
 	// the scheduler resolves each instant's placements as a batch, fanned
 	// across the workers, memoized on (workload, node machine, load).
-	outs := make([]*Outcome, len(c.insts))
-	memo := make(map[jobKey]*Outcome)
+	//
+	// Either way, each distinct job's outcome is condensed into a compact
+	// foldRec the moment it arrives — the wire Outcome (and, through the
+	// StreamingExecutor seam, the executor's own buffers) is released long
+	// before the fold, so a run retains one flat record per replay, not
+	// one decoded response per shard.
+	recs := make([]*foldRec, len(c.insts))
+	memo := make(map[jobKey]*foldRec)
 	replays := 0
 	var resolve resolver
 	if c.cl == nil {
@@ -147,16 +153,50 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 			}
 			jobIdx[i] = j
 		}
-		jobOuts, err := exec.ExecuteJobs(ctx, jobs)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkOuts(jobs, jobOuts); err != nil {
-			return nil, err
+		jobRecs := make([]foldRec, len(jobs))
+		if se, ok := exec.(StreamingExecutor); ok {
+			// Streaming fold: contiguous job-order batches arrive as the
+			// executor completes them; each is folded to records in place
+			// and the outcomes dropped, so peak resident outcomes follow
+			// the executor's window, not the job count.
+			folded := 0
+			err := se.ExecuteJobsStream(ctx, jobs, func(first int, outs []*Outcome) error {
+				if first != folded {
+					return fmt.Errorf("scenario: executor streamed batch at %d, fold watermark is %d", first, folded)
+				}
+				if first+len(outs) > len(jobs) {
+					return fmt.Errorf("scenario: executor streamed %d outcomes past %d jobs", first+len(outs), len(jobs))
+				}
+				for k, o := range outs {
+					if o == nil {
+						return fmt.Errorf("scenario: executor streamed nil outcome for job %d", first+k)
+					}
+					jobRecs[first+k].set(o)
+				}
+				folded += len(outs)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if folded != len(jobs) {
+				return nil, fmt.Errorf("scenario: executor streamed %d outcomes for %d jobs", folded, len(jobs))
+			}
+		} else {
+			jobOuts, err := exec.ExecuteJobs(ctx, jobs)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkOuts(jobs, jobOuts); err != nil {
+				return nil, err
+			}
+			for j, o := range jobOuts {
+				jobRecs[j].set(o)
+			}
 		}
 		for i := range c.insts {
-			outs[i] = jobOuts[jobIdx[i]]
-			c.insts[i].tx = outs[i].Tx
+			recs[i] = &jobRecs[jobIdx[i]]
+			c.insts[i].tx = recs[i].tx
 		}
 		replays = len(jobs)
 	} else {
@@ -184,15 +224,17 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 				if err := checkOuts(jobs, reps); err != nil {
 					return err
 				}
+				batch := make([]foldRec, len(jobs))
 				for j, k := range keys {
-					memo[k] = reps[j]
+					batch[j].set(reps[j])
+					memo[k] = &batch[j]
 				}
 			}
 			for _, id := range placed {
 				in := c.insts[id]
-				o := memo[key(in)]
-				outs[id] = o
-				in.tx = o.Tx
+				rec := memo[key(in)]
+				recs[id] = rec
+				in.tx = rec.tx
 			}
 			return nil
 		}
@@ -233,7 +275,7 @@ func Run(ctx context.Context, spec *Spec, st store.Store, opts RunOptions) (*Rep
 		prog.finish(rp.makespan)
 	}
 
-	rep := assemble(c, rp, outs)
+	rep := assemble(c, rp, recs)
 	if c.cl != nil {
 		replays = len(memo)
 		rep.Cluster = clusterReport(c.cl, s, rp.makespan)
